@@ -1,0 +1,90 @@
+"""Ablation A4 — pipeline delay (Sections 2.3.3 and 3.5).
+
+[WiA93]: "each step in a linear pipeline (a join with one base-relation
+operand) causes a constant delay.  A step in a bushy pipeline (a join
+that has two intermediate results as operands) causes a delay that is
+proportional to the size of the operands."
+
+Measured here by regressing FP's response time against pipeline length
+for linear chains (slope ≈ constant per step, independent of operand
+size beyond the compute term) and against operand size for one bushy
+step (delay grows linearly with size).
+"""
+
+import pytest
+
+from repro.core import Catalog, get_strategy, paper_relation_names
+from repro.core.shapes import right_linear
+from repro.core.trees import Join, Leaf
+from repro.engine import simulate_strategy
+from repro.sim import MachineConfig
+
+#: Overhead-free except pipeline mechanics: latency only.
+CONFIG = MachineConfig(
+    tuple_unit=0.001, process_startup=0.0, handshake=0.0,
+    network_latency=0.2, batches=32,
+)
+
+
+def linear_response(relations: int, cardinality: int, per_join: int = 4) -> float:
+    names = paper_relation_names(relations)
+    catalog = Catalog.regular(names, cardinality)
+    tree = right_linear(names)
+    return simulate_strategy(
+        tree, catalog, "FP", per_join * (relations - 1), CONFIG
+    ).response_time
+
+
+def bushy_step_response(cardinality: int) -> float:
+    """One bushy join over two pair-joins: (A⋈B) ⋈ (C⋈D)."""
+    names = ["A", "B", "C", "D"]
+    catalog = Catalog.regular(names, cardinality)
+    tree = Join(Join(Leaf("A"), Leaf("B")), Join(Leaf("C"), Leaf("D")))
+    return simulate_strategy(tree, catalog, "FP", 12, CONFIG).response_time
+
+
+def test_linear_pipeline_delay_constant_per_step(benchmark, results_dir):
+    """Adding a pipeline step adds a roughly constant delay."""
+    cardinality = 4000
+    lines = ["steps  response  delta"]
+    deltas = []
+    previous = None
+    for relations in (3, 5, 7, 9, 11):
+        response = linear_response(relations, cardinality)
+        delta = response - previous if previous is not None else float("nan")
+        if previous is not None:
+            deltas.append(delta / 2)  # two extra joins per step here
+        lines.append(f"{relations - 1:>5}  {response:8.2f}  {delta:8.2f}")
+        previous = response
+    (results_dir / "ablation_pipeline_linear.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    # Per-step deltas cluster: max/min within a factor 3 (constant-ish,
+    # not growing with chain position).
+    assert max(deltas) < 3 * min(deltas) + 1e-9
+    benchmark(linear_response, 3, 4000)
+
+
+def test_bushy_step_delay_proportional_to_operand_size(benchmark, results_dir):
+    """The bushy step's extra delay grows with operand cardinality.
+
+    The ramp-up of the pipelining join makes the top join's completion
+    lag; doubling the data should scale that lag roughly linearly —
+    distinctly faster than the constant linear-step delay."""
+    lines = ["cardinality  response  response/cardinality"]
+    responses = {}
+    for cardinality in (2000, 4000, 8000, 16000):
+        responses[cardinality] = bushy_step_response(cardinality)
+        lines.append(
+            f"{cardinality:>11}  {responses[cardinality]:8.2f}  "
+            f"{responses[cardinality] / cardinality * 1000:.3f} ms/tuple"
+        )
+    (results_dir / "ablation_pipeline_bushy.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    # Linear growth: doubling size roughly doubles the bushy response
+    # (compute itself is linear, and so is the ramp-induced delay).
+    ratio = responses[16000] / responses[2000]
+    assert 6.0 < ratio < 10.0
+
+    benchmark(bushy_step_response, 2000)

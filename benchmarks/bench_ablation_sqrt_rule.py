@@ -1,0 +1,58 @@
+"""Ablation A5 — optimal parallelism ∝ √(operand size) (Section 2.3.1).
+
+[WFA92] on PRISMA/DB: "The optimal number of processors to be used
+appears to be proportional to the square root of the size of the
+operands.  As a consequence, larger problems allow a larger degree of
+parallelism."  In the model this emerges because per-processor compute
+falls as W/p while startup and coordination overhead grow linearly in
+p — the optimum is at p* ∝ √W.
+
+Checked by sweeping processors for single-join queries of growing size
+and fitting the scaling exponent of the argmin.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Catalog
+from repro.core.trees import Join, Leaf
+from repro.engine import simulate_strategy
+from repro.sim import MachineConfig
+
+CONFIG = MachineConfig.paper()
+
+
+def optimal_processors(cardinality: int, max_processors: int = 120) -> int:
+    catalog = Catalog.regular(["A", "B"], cardinality)
+    tree = Join(Leaf("A"), Leaf("B"))
+    best = None
+    best_procs = None
+    for processors in range(1, max_processors + 1):
+        response = simulate_strategy(
+            tree, catalog, "SP", processors, CONFIG
+        ).response_time
+        if best is None or response < best:
+            best = response
+            best_procs = processors
+    return best_procs
+
+
+def test_ablation_sqrt_rule(benchmark, results_dir):
+    sizes = [2_000, 8_000, 32_000, 128_000]
+    optima = {size: optimal_processors(size) for size in sizes}
+    lines = ["cardinality  optimal processors  procs/sqrt(card)"]
+    for size in sizes:
+        lines.append(
+            f"{size:>11}  {optima[size]:>18}  "
+            f"{optima[size] / math.sqrt(size):.3f}"
+        )
+    (results_dir / "ablation_sqrt_rule.txt").write_text("\n".join(lines) + "\n")
+
+    # Larger problems allow more parallelism...
+    assert optima[2_000] < optima[8_000] < optima[32_000] <= optima[128_000]
+    # ...with a scaling exponent near 1/2 (fit over the 64x size range).
+    exponent = math.log(optima[128_000] / optima[2_000]) / math.log(64)
+    assert 0.3 < exponent < 0.7, f"scaling exponent {exponent:.2f} not ~0.5"
+
+    benchmark(optimal_processors, 2_000, 40)

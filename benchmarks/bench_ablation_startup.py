@@ -1,0 +1,59 @@
+"""Ablation A1 — startup overhead (Section 3.5, "startup").
+
+The paper: "The SP strategy uses many operation processes: the number
+of operation processes used is equal to the product of the number of
+operations in the join tree and the number of processors used.  The FP
+strategy only uses one operation process per processor.  So, the
+startup overhead is large for SP and small for FP, and SE and RD are
+in the middle."
+
+This bench sweeps the per-process startup cost and measures each
+strategy's sensitivity (seconds of response per second of startup
+cost); the ordering SP > {SE, RD} > FP must hold.
+"""
+
+import pytest
+
+from repro.core import Catalog, make_shape, paper_relation_names
+from repro.engine import simulate_strategy
+from repro.sim import MachineConfig
+
+NAMES = paper_relation_names(10)
+CATALOG = Catalog.regular(NAMES, 5000)
+TREE = make_shape("wide_bushy", NAMES)
+PROCESSORS = 60
+
+
+def startup_sensitivity(strategy: str) -> float:
+    """Marginal response time per second of per-process startup cost,
+    measured in the startup-dominated regime (0.3 s per process, where
+    serial initialization is the critical path — the paper's 80-
+    processor SP situation, exaggerated so the asymptote is visible)."""
+    base = MachineConfig.paper().scaled(process_startup=0.0)
+    heavy = base.scaled(process_startup=0.3)
+    low = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, base)
+    high = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, heavy)
+    return (high.response_time - low.response_time) / 0.3
+
+
+def test_ablation_startup(benchmark, results_dir):
+    sensitivity = {name: startup_sensitivity(name) for name in ("SP", "SE", "RD", "FP")}
+    lines = ["strategy  d(response)/d(startup)  [#processes]"]
+    from repro.core import get_strategy
+
+    for name, value in sensitivity.items():
+        processes = get_strategy(name).schedule(TREE, CATALOG, PROCESSORS)
+        lines.append(
+            f"{name:>8}  {value:20.1f}  [{processes.operation_processes()}]"
+        )
+    (results_dir / "ablation_startup.txt").write_text("\n".join(lines) + "\n")
+
+    assert sensitivity["SP"] > sensitivity["SE"] > sensitivity["FP"]
+    assert sensitivity["SP"] > sensitivity["RD"] > sensitivity["FP"]
+    # SP starts #joins × #processors processes; when startup dominates,
+    # its sensitivity approaches that count (the scheduler serializes
+    # initialization).
+    assert sensitivity["SP"] == pytest.approx(9 * PROCESSORS, rel=0.25)
+    assert sensitivity["FP"] <= 2 * PROCESSORS
+
+    benchmark(startup_sensitivity, "FP")

@@ -1,0 +1,65 @@
+"""Ablation A2 — coordination overhead of n×m tuple streams (§3.5, §4.3).
+
+The paper: a redistribution from n producer to m consumer processes
+opens n×m streams, each needing a sender-receiver handshake; at 80
+processors one SP refragmentation opens 6400 streams.  "Because SP
+uses the most processors per operation, SP suffers most from
+coordination overhead.  FP suffers least."
+
+This bench (a) verifies the stream-count arithmetic of the plans and
+(b) sweeps the per-stream handshake cost, checking the response-time
+sensitivity ordering SP > {SE, RD} > FP.
+"""
+
+import pytest
+
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.engine import simulate_strategy
+from repro.sim import MachineConfig
+
+NAMES = paper_relation_names(10)
+CATALOG = Catalog.regular(NAMES, 5000)
+TREE = make_shape("wide_bushy", NAMES)
+PROCESSORS = 80
+
+
+def handshake_sensitivity(strategy: str) -> float:
+    base = MachineConfig.paper().scaled(handshake=0.0)
+    heavy = base.scaled(handshake=0.01)
+    low = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, base)
+    high = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, heavy)
+    return (high.response_time - low.response_time) / 0.01
+
+
+def test_stream_counts(benchmark, results_dir):
+    lines = ["strategy  total network streams"]
+    counts = {}
+    for name in ("SP", "SE", "RD", "FP"):
+        schedule = get_strategy(name).schedule(TREE, CATALOG, PROCESSORS)
+        counts[name] = schedule.stream_count()
+        lines.append(f"{name:>8}  {counts[name]:>12}")
+    (results_dir / "ablation_streams_counts.txt").write_text("\n".join(lines) + "\n")
+
+    # SP refragments 8 intermediate operands over 80×80 streams each.
+    benchmark(
+        lambda: get_strategy("SP").schedule(TREE, CATALOG, PROCESSORS).stream_count()
+    )
+    assert counts["SP"] == 8 * 6400
+    assert counts["FP"] < counts["SP"] / 20
+    assert counts["FP"] < counts["SE"] < counts["SP"]
+    assert counts["FP"] < counts["RD"] < counts["SP"]
+
+
+def test_ablation_handshake_cost(benchmark, results_dir):
+    sensitivity = {
+        name: handshake_sensitivity(name) for name in ("SP", "SE", "RD", "FP")
+    }
+    lines = ["strategy  d(response)/d(handshake)"]
+    for name, value in sensitivity.items():
+        lines.append(f"{name:>8}  {value:20.1f}")
+    (results_dir / "ablation_streams_cost.txt").write_text("\n".join(lines) + "\n")
+
+    assert sensitivity["SP"] > sensitivity["SE"] > sensitivity["FP"]
+    assert sensitivity["SP"] > sensitivity["RD"] > sensitivity["FP"]
+
+    benchmark(handshake_sensitivity, "FP")

@@ -1,0 +1,62 @@
+"""Extension E2 — analytic model versus simulation ([WiG93] style).
+
+The paper's explanations rest on an analytical model of pipelined
+execution (Section 2.3.3, [WiA93, WiG93]).  This bench validates our
+analytic counterpart the way [WiG93] validated theirs against
+PRISMA/DB: predict every (shape × strategy × processors × size) cell
+of the paper grid in closed form and compare with the discrete-event
+simulation.  The fit must be tight on the barrier-structured
+strategies and reasonable on the pipelined ones.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import Catalog, SHAPE_NAMES, make_shape, paper_relation_names
+from repro.engine import simulate_strategy
+from repro.model import predict, relative_error
+
+NAMES = paper_relation_names(10)
+
+
+def grid_errors():
+    errors = {}
+    for cardinality in (5_000, 40_000):
+        catalog = Catalog.regular(NAMES, cardinality)
+        for shape in SHAPE_NAMES:
+            tree = make_shape(shape, NAMES)
+            for processors in (30, 80):
+                for strategy in ("SP", "SE", "RD", "FP"):
+                    predicted = predict(tree, catalog, strategy, processors)
+                    simulated = simulate_strategy(
+                        tree, catalog, strategy, processors
+                    )
+                    errors[(cardinality, shape, strategy, processors)] = (
+                        relative_error(
+                            predicted.response_time, simulated.response_time
+                        )
+                    )
+    return errors
+
+
+def test_extension_model_validation(benchmark, results_dir):
+    errors = grid_errors()
+    values = list(errors.values())
+    lines = ["cell (cardinality, shape, strategy, procs)  relative error"]
+    for key, err in sorted(errors.items(), key=lambda kv: -kv[1])[:10]:
+        lines.append(f"worst: {key}  {err:.3f}")
+    lines.append(f"mean |err| = {statistics.mean(values):.3f}")
+    lines.append(f"max  |err| = {max(values):.3f}")
+    (results_dir / "extension_model.txt").write_text("\n".join(lines) + "\n")
+
+    assert statistics.mean(values) < 0.10, "model drifted from the simulator"
+    assert max(values) < 0.35
+
+    # Barrier-structured strategies are modelled almost exactly.
+    sp_errors = [err for key, err in errors.items() if key[2] == "SP"]
+    assert max(sp_errors) < 0.10
+
+    catalog = Catalog.regular(NAMES, 5_000)
+    tree = make_shape("wide_bushy", NAMES)
+    benchmark(predict, tree, catalog, "FP", 80)

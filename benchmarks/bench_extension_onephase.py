@@ -1,0 +1,71 @@
+"""Extension E3 — testing the two-phase optimization assumption.
+
+Section 1.2: the paper adopts two-phase optimization (cheapest tree
+first, parallelize second) noting that "not all researchers agree on
+this assumption [SrE93]" and defending it with [KBZ86]'s "missing the
+very best execution plan is not a big problem as long as you can
+assure that you will not come up with a very bad one".
+
+This bench searches the *joint* tree × strategy space exhaustively
+(small queries, simulated response as the objective) and measures the
+gap: how much response time does two-phase leave on the table, and how
+bad is a bad plan?  Expected per the paper's argument: the two-phase
+choice lands within a small factor of the joint optimum and far from
+the worst candidate.
+"""
+
+import pytest
+
+from repro.optimizer import QueryGraph
+from repro.optimizer.onephase import two_phase_gap
+from repro.sim import MachineConfig
+
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.1, batches=8,
+)
+
+
+def gap_for(graph: QueryGraph, processors: int):
+    return two_phase_gap(graph, processors, config=FAST)
+
+
+def test_extension_two_phase_assumption(benchmark, results_dir):
+    # (graph, processors, how much worse the worst joint candidate must
+    # be than the optimum — small for the regular query, whose trees
+    # all cost the same by construction).
+    cases = {
+        "regular 6-way (paper-style)": (
+            QueryGraph.regular([f"R{i}" for i in range(6)], 2000), 12, 1.3,
+        ),
+        "skewed chain 5-way": (
+            QueryGraph.chain(
+                ["A", "B", "C", "D", "E"],
+                [4000, 200, 8000, 500, 3000],
+                [0.004, 0.002, 0.001, 0.003],
+            ),
+            12, 1.5,
+        ),
+        "star 5-way": (
+            QueryGraph.star("F", ["D1", "D2", "D3", "D4"],
+                            [8000, 100, 150, 80, 120], 0.01),
+            12, 1.5,
+        ),
+    }
+    lines = ["case                          1-phase  2-phase    gap   worst/best"]
+    for name, (graph, processors, worst_factor) in cases.items():
+        stats = gap_for(graph, processors)
+        lines.append(
+            f"{name:<28}  {stats['one_phase']:7.2f}  {stats['two_phase']:7.2f}"
+            f"  {stats['gap']:5.1%}  {stats['worst_candidate'] / stats['one_phase']:8.1f}x"
+        )
+        # The paper's argument: two-phase never picks a very bad plan.
+        assert stats["gap"] < 0.5, f"{name}: two-phase missed by {stats['gap']:.0%}"
+        # ...while the space does contain clearly worse plans.
+        assert stats["worst_candidate"] > worst_factor * stats["one_phase"]
+        # Two-phase also clearly beats the median candidate.
+        assert stats["two_phase"] <= stats["median_candidate"]
+    (results_dir / "extension_onephase.txt").write_text("\n".join(lines) + "\n")
+
+    graph, processors, _ = cases["star 5-way"]
+    benchmark(gap_for, graph, processors)

@@ -1,0 +1,60 @@
+"""Extension E1 — scaling beyond the paper's 80 processors.
+
+Section 5's closing prediction: "FP is mainly prohibited by pipeline
+delay.  For bushy trees this overhead decreases with an increasing
+number of processors.  SP, and to a lesser extent RD and SE, are
+prohibited by startup and coordination overhead, which increases with
+an increasing number of processors.  Therefore, FP is expected to
+eventually yield the best performance on bushy trees if more
+processors are added... we expect FP to do the best job in scaling up
+to even larger numbers of processors than used in this paper."
+
+PRISMA had 100 nodes; the simulation extrapolates the 40K wide-bushy
+experiment to 320 processors and checks the prediction: FP overtakes
+every other strategy and keeps the flattest curve.
+"""
+
+import pytest
+
+from repro.bench.runner import sweep as cached_sweep
+from repro.bench.workloads import Experiment
+from repro.core import Catalog, make_shape, paper_relation_names
+from repro.engine import simulate_strategy
+
+EXPERIMENT = Experiment("wide_bushy", 40_000, (80, 120, 160, 240, 320))
+
+
+def test_extension_scaleup(benchmark, results_dir):
+    sweep = cached_sweep(EXPERIMENT)
+    (results_dir / "extension_scaleup.txt").write_text(sweep.table() + "\n")
+
+    at_320 = {name: series.at(320) for name, series in sweep.series.items()}
+    at_80 = {name: series.at(80) for name, series in sweep.series.items()}
+
+    # FP is the best strategy at the largest machine.
+    assert at_320["FP"] == min(at_320.values())
+
+    # FP keeps improving past 80 processors; SP has turned around.
+    assert at_320["FP"] < at_80["FP"]
+    assert at_320["SP"] > min(sweep.series["SP"].response_times)
+
+    # FP's winning margin grows with machine size (the "best job in
+    # scaling up" claim): compare against the best non-FP strategy.
+    def margin(processors: int) -> float:
+        others = min(
+            series.at(processors)
+            for name, series in sweep.series.items()
+            if name != "FP"
+        )
+        return others / sweep.series["FP"].at(processors)
+
+    assert margin(320) > margin(80)
+
+    names = paper_relation_names(10)
+    benchmark(
+        simulate_strategy,
+        make_shape("wide_bushy", names),
+        Catalog.regular(names, 40_000),
+        "FP",
+        120,
+    )

@@ -1,0 +1,68 @@
+"""Figures 2-7 — the example tree and its idealized utilization diagrams.
+
+Regenerates the Section 3 explanation figures: the 5-way example join
+tree of Figure 2 (joins labelled with relative work 1/5/3/4) executed
+on an idealized 10-processor machine under each strategy, rendered as
+the paper's processor-utilization diagrams (Figure 3: SP, Figure 4: SE,
+Figure 6: RD, Figure 7: FP).  The structural features each figure
+illustrates are asserted.
+"""
+
+import pytest
+
+from repro.core import example_tree
+from repro.engine import busy_fractions, ideal_diagram, ideal_simulation
+
+FIGURE_OF_STRATEGY = {"SP": 3, "SE": 4, "RD": 6, "FP": 7}
+
+
+@pytest.fixture(scope="module")
+def ideal_runs():
+    return {
+        name: ideal_simulation(example_tree(), name, 10)
+        for name in FIGURE_OF_STRATEGY
+    }
+
+
+def test_figures_3_4_6_7_utilization_diagrams(benchmark, ideal_runs, results_dir):
+    diagrams = []
+    for name, figure in FIGURE_OF_STRATEGY.items():
+        diagrams.append(f"Figure {figure} — {name}")
+        diagrams.append(ideal_diagram(name, 10))
+        diagrams.append("")
+    (results_dir / "fig03_04_06_07_utilization.txt").write_text(
+        "\n".join(diagrams) + "\n"
+    )
+
+    sp, se, rd, fp = (ideal_runs[n] for n in ("SP", "SE", "RD", "FP"))
+
+    # Figure 3: SP's idealized load balancing is perfect.
+    assert sp.utilization() > 0.999
+
+    # Figure 4: SE cannot balance joins 3 and 4 perfectly on 10
+    # processors (the discretization hole).
+    assert se.utilization() < 0.995
+
+    # Figure 6: RD runs join 4 on the whole machine first; the pipeline
+    # wave starts only after it completes.
+    rd_timings = {t.label: t for t in rd.task_timings}
+    assert rd_timings["4"].released == 0.0
+    for label in ("1", "5", "3"):
+        assert rd_timings[label].released == pytest.approx(
+            rd_timings["4"].completion
+        )
+
+    # Figure 7: all FP joins start at once; the top join (1 unit of
+    # work on one processor) is far from fully utilized — it waits for
+    # its right operand.
+    assert all(t.released == 0.0 for t in fp.task_timings)
+    fp_fractions = busy_fractions(fp)
+    top_processor = max(fp_fractions)  # FP assigns the last range to join 1
+    assert fp_fractions[top_processor] == min(fp_fractions.values())
+    assert fp_fractions[top_processor] < 0.7
+
+    # Total work equals the Figure 2 labels (1+5+3+4) in all diagrams.
+    for result in (sp, se, rd, fp):
+        assert result.busy_time() == pytest.approx(13.0, rel=1e-6)
+
+    benchmark(ideal_simulation, example_tree(), "FP", 10)

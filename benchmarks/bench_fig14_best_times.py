@@ -1,0 +1,68 @@
+"""Figure 14 — best response times for all query trees.
+
+Regenerates the paper's summary table: the minimal response time per
+(shape, size) cell together with the strategy and processor count that
+achieved it, side by side with the paper's printed values.  Also checks
+the cross-figure claims of Section 4.4: bushy trees beat linear trees,
+the wide bushy tree is best overall, and the paper's winner is always
+at least competitive in our cells.
+"""
+
+from repro.bench import PAPER_FIGURE_14, all_sweeps, figure14_table
+from repro.core import Catalog, make_shape, paper_relation_names
+from repro.engine import simulate_strategy
+
+
+def test_figure14_best_times(benchmark, results_dir):
+    sweeps = all_sweeps()
+    table = figure14_table(sweeps)
+    (results_dir / "fig14_best_times.txt").write_text(table + "\n")
+
+    best = {key: sweep.best_cell() for key, sweep in sweeps.items()}
+
+    # Bushy shapes beat linear shapes, per size (Section 4.4).
+    for size in ("5K", "40K"):
+        bushy_best = min(
+            best[(shape, size)][0]
+            for shape in ("left_bushy", "wide_bushy", "right_bushy")
+        )
+        linear_best = min(
+            best[(shape, size)][0] for shape in ("left_linear", "right_linear")
+        )
+        assert bushy_best <= linear_best, (
+            f"{size}: linear trees must not beat bushy trees "
+            f"({linear_best:.2f} < {bushy_best:.2f})"
+        )
+
+    # The wide bushy tree gives the best minimal response time overall.
+    for size in ("5K", "40K"):
+        wide = best[("wide_bushy", size)][0]
+        others = min(
+            best[(shape, size)][0]
+            for shape in best_shapes()
+            if shape != "wide_bushy"
+        )
+        assert wide <= others * 1.02
+
+    # In every cell, the paper's winning strategy is within 15% of our
+    # best strategy (winners can swap only in near-ties).
+    for key, (paper_seconds, paper_strategy, _procs) in PAPER_FIGURE_14.items():
+        sweep = sweeps[key]
+        our_best = sweep.best_cell()[0]
+        paper_winner_here = sweep.series[paper_strategy].best()[0]
+        assert paper_winner_here <= our_best * 1.15, (
+            f"{key}: paper winner {paper_strategy} at {paper_winner_here:.2f}s "
+            f"is not competitive with our best {our_best:.2f}s"
+        )
+
+    # Benchmark the overall-best configuration (wide bushy, 5K).
+    seconds, strategy, processors = best[("wide_bushy", "5K")]
+    names = paper_relation_names(10)
+    tree = make_shape("wide_bushy", names)
+    catalog = Catalog.regular(names, 5000)
+    result = benchmark(simulate_strategy, tree, catalog, strategy, processors)
+    assert result.response_time > 0
+
+
+def best_shapes():
+    return ("left_linear", "left_bushy", "wide_bushy", "right_bushy", "right_linear")

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Each figure benchmark computes its sweeps through the memoized runner
+(so Figure 14 reuses Figures 9-13 within one pytest session), writes
+its data table to ``results/``, asserts the paper's Section 4.4 claims,
+and registers one representative simulation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def figure_bench():
+    """Run one figure's sweeps, check claims, return report pieces."""
+    from repro.bench import evaluate_claims, figure_report, figure_sweeps
+
+    def run(shape: str):
+        small, large = figure_sweeps(shape)
+        report = figure_report([small, large])
+        failures = [
+            outcome.claim.description
+            for sweep in (small, large)
+            for outcome in evaluate_claims(sweep)
+            if not outcome.holds
+        ]
+        return small, large, report, failures
+
+    return run

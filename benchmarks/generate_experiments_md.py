@@ -1,0 +1,198 @@
+"""Regenerate EXPERIMENTS.md from fresh sweeps.
+
+Runs the complete evaluation (all figures, the Figure 14 table, and
+the idealized diagrams) with the frozen paper configuration and writes
+EXPERIMENTS.md at the repository root, recording paper-versus-measured
+for every table and figure.
+
+    python benchmarks/generate_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench import (
+    PAPER_FIGURE_14,
+    all_sweeps,
+    ascii_plot,
+    evaluate_claims,
+    figure14_table,
+    markdown_figure_section,
+)
+from repro.core import SHAPE_NAMES, example_tree
+from repro.engine import ideal_diagram
+from repro.sim import MachineConfig
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+HEADER = """# EXPERIMENTS — paper versus measured
+
+Every table and figure of the paper's evaluation (Section 4),
+regenerated on the simulated PRISMA/DB machine
+(`MachineConfig.paper()`; calibration documented in
+`benchmarks/calibrate.py`).  Absolute seconds are *not* expected to
+match a 1995 68020 cluster — the constants were fitted once against
+the ten Figure 14 anchors — but the paper's qualitative content (who
+wins, which strategies coincide, where crossovers fall) is asserted by
+`pytest benchmarks/ --benchmark-only` on every run, and its status is
+recorded per figure below.
+
+Regenerate this file:
+
+    python benchmarks/generate_experiments_md.py
+"""
+
+INTERPRETATION = """## Reading the results
+
+Where the reproduction matches the paper:
+
+* **All degenerations hold exactly.** SP ≡ SE ≡ RD on the left-linear
+  tree (identical curves, equation-level: the planners emit identical
+  schedules), RD ≡ FP on the right-linear tree, SP insensitive to
+  shape.
+* **All overhead orderings hold.** SP suffers most from startup
+  (#joins × #processors processes) and coordination (n×m streams —
+  51 200 streams at 80 processors, exactly the paper's 6 400 per
+  refragmented operand); FP suffers least; SE and RD in the middle
+  (see the ablation benches).
+* **Winners per cell.** SE wins wide-bushy/40K, RD wins
+  right-bushy/40K, FP wins the left-oriented and linear shapes at 80
+  processors, SP wins everywhere at 30 processors on the 40K problem;
+  bushy shapes beat linear shapes in the best-times table.
+* **Scaling laws.** SP's overhead-dominated minimum moves right with
+  problem size; the optimal single-join parallelism fits an exponent
+  of ~0.5 in operand size (ablation A5).
+
+Known deviations, and why they are acceptable:
+
+* Our FP curves keep falling gently through 80 processors on the 5K
+  experiment, where the paper's flatten after ~40–60 (its 5K winners
+  sit at 40 and 60 processors); the differences inside that flat
+  region are near-tie sized.
+* In three Figure 14 cells the winning *strategy* differs from the
+  paper inside a near-tie band the paper itself describes as "almost
+  as good": right-bushy/5K (FP edges RD by ~6%; the paper has RD ahead
+  of FP by a similar margin), right-linear/40K (FP edges RD by ~9%,
+  and the paper says RD and FP *coincide* on that shape), and the 5K
+  linear cells' winning processor count.  The bench suite asserts the
+  paper's winner is always within 15% of our best in every cell.
+"""
+
+
+def main() -> None:
+    sweeps = all_sweeps()
+    sections = [HEADER]
+
+    sections.append("## Figure 14 — best response times (the headline table)\n")
+    sections.append("```")
+    sections.append(figure14_table(sweeps))
+    sections.append("```")
+
+    claims_total = 0
+    claims_pass = 0
+    for shape in SHAPE_NAMES:
+        for size in ("5K", "40K"):
+            sweep = sweeps[(shape, size)]
+            for outcome in evaluate_claims(sweep):
+                claims_total += 1
+                claims_pass += outcome.holds
+    sections.append(
+        f"\nSection 4.4 qualitative claims: **{claims_pass}/{claims_total} pass**.\n"
+    )
+
+    sections.append("## Figures 3, 4, 6, 7 — idealized utilization diagrams\n")
+    sections.append(
+        "The Figure 2 example tree (work labels 1/5/3/4) on an idealized "
+        "10-processor machine; compare with the paper's diagrams: SP's "
+        "perfect sequential blocks, SE's 4/6 split with the discretization "
+        "hole, RD's probe pipeline that join 3 cannot saturate, FP's top "
+        "join waiting for its right operand.\n"
+    )
+    for strategy, figure in (("SP", 3), ("SE", 4), ("RD", 6), ("FP", 7)):
+        sections.append(f"### Figure {figure} ({strategy})\n")
+        sections.append("```")
+        sections.append(ideal_diagram(strategy, 10, width=64))
+        sections.append("```")
+
+    sections.append("\n## Figures 9–13 — response-time sweeps\n")
+    for shape in SHAPE_NAMES:
+        for size in ("5K", "40K"):
+            sweep = sweeps[(shape, size)]
+            sections.append(markdown_figure_section(sweep))
+            sections.append("```")
+            sections.append(ascii_plot(sweep, width=60, height=16))
+            sections.append("```\n")
+
+    sections.append("\n## Extensions\n")
+    from repro.bench.scaling import scaling_report
+    from repro.bench.workloads import Experiment, run_sweep
+
+    scale_sweep = run_sweep(Experiment("wide_bushy", 40_000, (80, 160, 320)))
+    sections.append(
+        "### E1 — scaling past the paper's 80 processors\n\n"
+        "Section 5 predicts FP 'to do the best job in scaling up'; the\n"
+        "simulated machine extrapolated to 320 nodes:\n"
+    )
+    sections.append("```")
+    sections.append(scale_sweep.table())
+    sections.append("")
+    sections.append(scaling_report(scale_sweep))
+    sections.append("```\n")
+
+    from repro.core import Catalog, make_shape, paper_relation_names
+    from repro.engine import simulate_strategy
+    from repro.model import predict, relative_error
+
+    names = paper_relation_names(10)
+    errors = []
+    for size in (5_000, 40_000):
+        catalog = Catalog.regular(names, size)
+        for shape in SHAPE_NAMES:
+            tree = make_shape(shape, names)
+            for strategy in ("SP", "SE", "RD", "FP"):
+                for procs in (30, 80):
+                    predicted = predict(tree, catalog, strategy, procs)
+                    simulated = simulate_strategy(tree, catalog, strategy, procs)
+                    errors.append(
+                        relative_error(
+                            predicted.response_time, simulated.response_time
+                        )
+                    )
+    import statistics
+
+    sections.append(
+        "### E2 — analytic model versus simulation ([WiG93]-style)\n\n"
+        f"Closed-form predictions over the full paper grid "
+        f"({len(errors)} cells): mean |relative error| "
+        f"**{statistics.mean(errors):.1%}**, max "
+        f"**{max(errors):.1%}**.\n"
+    )
+
+    sections.append(INTERPRETATION)
+
+    sections.append("## Ablations (design tradeoffs of Section 3.5)\n")
+    sections.append(
+        "Run `pytest benchmarks/ --benchmark-only`; data tables land in "
+        "`benchmarks/results/`.\n\n"
+        "| id | mechanism | bench | asserted outcome |\n"
+        "|---|---|---|---|\n"
+        "| A1 | startup | `bench_ablation_startup.py` | response sensitivity to per-process startup cost: SP > SE,RD > FP; SP ≈ #joins×#procs |\n"
+        "| A2 | coordination | `bench_ablation_streams.py` | stream counts (SP: 51 200 at 80p) and handshake-cost sensitivity: SP > SE,RD > FP |\n"
+        "| A3 | discretization | `bench_ablation_discretization.py` | allocation imbalance falls from >1.2 (12p/9 joins) to <1.05 (≥90p); SP hits the fluid bound, FP cannot |\n"
+        "| A4 | pipeline delay | `bench_ablation_pipeline_delay.py` | linear steps: constant delay per step; bushy step: delay scales with operand size |\n"
+        "| A5 | √size rule | `bench_ablation_sqrt_rule.py` | optimal single-join parallelism scales with exponent ≈ 0.5 in cardinality |\n"
+        "| A6 | mirroring | `bench_ablation_mirroring.py` | mirroring the left-bushy tree is free and makes RD match its right-bushy performance |\n"
+        "| A7 | skew (extension) | `bench_ablation_skew.py` | Zipf fragment shares slow every strategy monotonically; SP's perfect-balance advantage is an artifact of uniformity |\n"
+        "| A8 | network (extension) | `bench_ablation_network.py` | response flat until the shared link nears ~10^4 tuples/s for the 5K query, then transfer-bound |\n"
+        "| E1 | scale-up (extension) | `bench_extension_scaleup.py` | FP overtakes everything past ~120 processors and keeps improving to 320 |\n"
+        "| E2 | analytic model (extension) | `bench_extension_model.py` | closed-form predictions within ~10% mean of the DES over the paper grid |\n"
+    )
+
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(sections) + "\n")
+    print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+    print(f"claims: {claims_pass}/{claims_total}")
+
+
+if __name__ == "__main__":
+    main()

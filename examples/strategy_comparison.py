@@ -1,0 +1,34 @@
+"""Strategy comparison across query shapes — a miniature of Figures 9-13.
+
+Sweeps processor counts for every query shape at the 5K problem size
+and prints one response-time table per shape, plus the winner per
+shape (the corresponding Figure 14 cell).
+
+Run:  python examples/strategy_comparison.py [cardinality]
+"""
+
+import sys
+
+from repro.bench import Experiment, run_sweep
+from repro.core import SHAPE_NAMES
+from repro.core.shapes import SHAPE_TITLES
+
+
+def main(cardinality: int = 5000) -> None:
+    processors = (20, 40, 60, 80)
+    print(f"Wisconsin 10-relation query, {cardinality} tuples per relation\n")
+    for shape in SHAPE_NAMES:
+        sweep = run_sweep(Experiment(shape, cardinality, processors))
+        print(sweep.table())
+        seconds, strategy, procs = sweep.best_cell()
+        print(f"--> best: {seconds:.2f}s with {strategy} on {procs} processors")
+        print()
+    print("Reading guide (Section 5 of the paper):")
+    print(" * few processors   -> SP (no cost function needed)")
+    print(" * wide bushy tree  -> SE")
+    print(" * right-oriented   -> RD (mirror left-oriented trees first)")
+    print(" * many processors  -> FP, best overall")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5000)

@@ -1,0 +1,31 @@
+"""The paper's Section 3 processor-utilization diagrams (Figs. 3/4/6/7).
+
+Runs the Figure 2 example tree (joins labelled with relative work
+1/5/3/4) on an idealized 10-processor machine under each strategy and
+renders the processor-utilization diagrams the paper uses to explain
+the strategies' tradeoffs: SP's perfect blocks, SE's discretization
+hole, RD's pipeline that cannot be saturated, FP's waiting top join.
+
+Run:  python examples/utilization_diagrams.py [processors]
+"""
+
+import sys
+
+from repro.core import example_tree, render
+from repro.engine import ideal_diagram
+
+FIGURES = {"SP": 3, "SE": 4, "RD": 6, "FP": 7}
+
+
+def main(processors: int = 10) -> None:
+    print("The example join tree (Figure 2; labels = relative work):\n")
+    print(render(example_tree()))
+    print()
+    for strategy, figure in FIGURES.items():
+        print(f"--- Figure {figure} ---")
+        print(ideal_diagram(strategy, processors, width=64))
+        print()
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)

@@ -1,0 +1,103 @@
+"""ASCII line plots of response-time sweeps.
+
+The paper's Figures 9-13 are line charts (response time versus number
+of processors, one curve per strategy).  This module renders the same
+charts as terminal-friendly ASCII, used by EXPERIMENTS.md and the
+examples so the reproduction's output is visually comparable to the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .workloads import Series, SweepResult
+
+#: Plot glyph per strategy, mirroring the figures' point markers.
+MARKERS = {"SP": "*", "SE": "o", "RD": "+", "FP": "#"}
+
+
+def ascii_plot(
+    sweep: SweepResult,
+    width: int = 64,
+    height: int = 18,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one sweep as an ASCII chart.
+
+    The x-axis spans the experiment's processor counts; the y-axis
+    spans 0 to ``y_max`` (default: 1.05x the slowest observation).
+    Later-drawn strategies overwrite earlier ones on collisions, in
+    the paper's SP, SE, RD, FP order, so FP's curve is always visible.
+    """
+    experiment = sweep.experiment
+    procs = experiment.processor_counts
+    if y_max is None:
+        y_max = 1.05 * max(
+            max(series.response_times) for series in sweep.series.values()
+        )
+    if y_max <= 0:
+        raise ValueError("y_max must be positive")
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_of(processors: int) -> int:
+        span = max(procs[-1] - procs[0], 1)
+        return round((processors - procs[0]) / span * (width - 1))
+
+    def y_of(seconds: float) -> int:
+        row = round(seconds / y_max * (height - 1))
+        return (height - 1) - min(max(row, 0), height - 1)
+
+    for name in ("SP", "SE", "RD", "FP"):
+        series = sweep.series.get(name)
+        if series is None:
+            continue
+        marker = MARKERS.get(name, name[0])
+        points = [
+            (x_of(p), y_of(t))
+            for p, t in zip(procs, series.response_times)
+        ]
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            for x, y in _line(x0, y0, x1, y1):
+                grid[y][x] = marker
+        for x, y in points:
+            grid[y][x] = marker
+
+    lines = [f"{sweep.experiment.title}   (y: 0..{y_max:.0f}s)"]
+    for r, row in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = f"{y_max:6.1f}s"
+        elif r == height - 1:
+            label = f"{0.0:6.1f}s"
+        lines.append(f"{label:>8}|{''.join(row)}|")
+    axis_labels = f"{procs[0]}" + " " * (width - len(str(procs[0])) - len(str(procs[-1]))) + f"{procs[-1]}"
+    lines.append(" " * 8 + "+" + "-" * width + "+")
+    lines.append(" " * 9 + axis_labels + "  processors")
+    lines.append(
+        " " * 9
+        + "legend: "
+        + "  ".join(f"{MARKERS[s]}={s}" for s in ("SP", "SE", "RD", "FP"))
+    )
+    return "\n".join(lines)
+
+
+def _line(x0: int, y0: int, x1: int, y1: int):
+    """Integer points of a Bresenham segment."""
+    dx = abs(x1 - x0)
+    dy = -abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx + dy
+    x, y = x0, y0
+    while True:
+        yield x, y
+        if x == x1 and y == y1:
+            return
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x += sx
+        if e2 <= dx:
+            err += dx
+            y += sy

@@ -1,0 +1,107 @@
+"""Report generation: paper-versus-measured comparisons.
+
+Produces the per-figure markdown sections of EXPERIMENTS.md and the
+Figure 14 comparison table.  Absolute seconds are not expected to
+match PRISMA hardware; the report therefore prints both the absolute
+numbers and the *shape* checks (Section 4.4 claims) for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .paperdata import PAPER_FIGURE_14, Claim, claims_for_figure
+from .workloads import Experiment, SweepResult
+
+
+@dataclass
+class ClaimOutcome:
+    claim: Claim
+    holds: bool
+
+    def line(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        return f"  [{mark}] {self.claim.description}"
+
+
+def evaluate_claims(sweep: SweepResult) -> List[ClaimOutcome]:
+    """Check every Section 4.4 claim recorded for the sweep's figure."""
+    return [
+        ClaimOutcome(claim, claim.holds(sweep))
+        for claim in claims_for_figure(sweep.experiment.figure)
+    ]
+
+
+def figure_report(sweeps: Sequence[SweepResult]) -> str:
+    """Text report for one figure (its 5K and 40K sweeps)."""
+    lines: List[str] = []
+    for sweep in sweeps:
+        lines.append(sweep.table())
+        best_seconds, best_strategy, best_procs = sweep.best_cell()
+        lines.append(
+            f"best: {best_seconds:.2f}s ({best_strategy}{best_procs})"
+        )
+        key = (sweep.experiment.shape, sweep.experiment.size_label)
+        if key in PAPER_FIGURE_14:
+            seconds, strategy, procs = PAPER_FIGURE_14[key]
+            lines.append(f"paper: {seconds:.1f}s ({strategy}{procs})")
+        for outcome in evaluate_claims(sweep):
+            lines.append(outcome.line())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure14_table(
+    sweeps: Dict[Tuple[str, str], SweepResult]
+) -> str:
+    """Our Figure 14: best response times per shape × size, with the
+    paper's printed values alongside."""
+    lines = [
+        "shape          size   measured            paper",
+        "-" * 58,
+    ]
+    for (shape, size), paper_cell in PAPER_FIGURE_14.items():
+        sweep = sweeps.get((shape, size))
+        if sweep is None:
+            continue
+        seconds, strategy, procs = sweep.best_cell()
+        p_seconds, p_strategy, p_procs = paper_cell
+        lines.append(
+            f"{shape:<14} {size:<5} "
+            f"{seconds:6.2f}s ({strategy}{procs:<3})   "
+            f"{p_seconds:5.1f}s ({p_strategy}{p_procs})"
+        )
+    return "\n".join(lines)
+
+
+def markdown_figure_section(sweep: SweepResult) -> str:
+    """EXPERIMENTS.md section for one sweep."""
+    exp = sweep.experiment
+    lines = [
+        f"### {exp.title}",
+        "",
+        "| procs | " + " | ".join(sweep.series) + " |",
+        "|" + "---|" * (len(sweep.series) + 1),
+    ]
+    for i, procs in enumerate(exp.processor_counts):
+        row = " | ".join(
+            f"{sweep.series[s].response_times[i]:.2f}" for s in sweep.series
+        )
+        lines.append(f"| {procs} | {row} |")
+    lines.append("")
+    best_seconds, best_strategy, best_procs = sweep.best_cell()
+    lines.append(
+        f"Best: **{best_seconds:.2f}s ({best_strategy}@{best_procs})**."
+    )
+    key = (exp.shape, exp.size_label)
+    if key in PAPER_FIGURE_14:
+        seconds, strategy, procs = PAPER_FIGURE_14[key]
+        lines.append(f"Paper: {seconds:.1f}s ({strategy}@{procs}).")
+    lines.append("")
+    lines.append("Section 4.4 claims:")
+    for outcome in evaluate_claims(sweep):
+        mark = "x" if outcome.holds else " "
+        lines.append(f"- [{mark}] {outcome.claim.description}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Sweep runner with in-process caching.
+
+The figure benchmarks share sweeps (Figure 14 needs all of Figures
+9–13), so results are memoized per (experiment, config) within the
+process.  Use :func:`clear_cache` between calibration iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.cost import CostModel
+from ..sim.machine import MachineConfig
+from .workloads import (
+    Experiment,
+    SweepResult,
+    all_paper_experiments,
+    paper_experiments,
+    run_sweep,
+)
+
+_CACHE: Dict[Tuple, SweepResult] = {}
+
+
+def _key(experiment: Experiment, config: MachineConfig, strategies) -> Tuple:
+    return (
+        experiment,
+        config,
+        tuple(strategies) if strategies else None,
+    )
+
+
+def sweep(
+    experiment: Experiment,
+    config: Optional[MachineConfig] = None,
+    strategies: Optional[Sequence[str]] = None,
+) -> SweepResult:
+    """Memoized :func:`~repro.bench.workloads.run_sweep`."""
+    if config is None:
+        config = MachineConfig.paper()
+    key = _key(experiment, config, strategies)
+    if key not in _CACHE:
+        _CACHE[key] = run_sweep(experiment, strategies, config)
+    return _CACHE[key]
+
+
+def figure_sweeps(
+    shape: str, config: Optional[MachineConfig] = None
+) -> Tuple[SweepResult, SweepResult]:
+    """The (5K, 40K) sweeps of one figure."""
+    small, large = paper_experiments(shape)
+    return sweep(small, config), sweep(large, config)
+
+
+def all_sweeps(
+    config: Optional[MachineConfig] = None,
+) -> Dict[Tuple[str, str], SweepResult]:
+    """Every sweep of the evaluation, keyed (shape, size label)."""
+    out: Dict[Tuple[str, str], SweepResult] = {}
+    for experiment in all_paper_experiments():
+        result = sweep(experiment, config)
+        out[(experiment.shape, experiment.size_label)] = result
+    return out
+
+
+def clear_cache() -> None:
+    """Drop memoized sweeps (used by calibration loops)."""
+    _CACHE.clear()

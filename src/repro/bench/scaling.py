@@ -1,0 +1,96 @@
+"""Speedup and efficiency analysis of the sweeps.
+
+The paper reports raw response times; the parallel-databases canon it
+cites ([DeG92] "Parallel database systems: the future of high
+performance database systems") frames such results as *speedup* and
+*efficiency*.  This module derives both from any sweep, plus the
+knee of each curve (the processor count past which adding nodes stops
+paying — the quantity behind the §2.3.1 √size rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .workloads import Series, SweepResult
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """Speedup/efficiency of one strategy across a sweep."""
+
+    strategy: str
+    processor_counts: Tuple[int, ...]
+    response_times: Tuple[float, ...]
+    #: Speedup relative to the smallest machine in the sweep,
+    #: normalized by the processor ratio.
+    speedups: Tuple[float, ...]
+    efficiencies: Tuple[float, ...]
+
+    def knee(self, threshold: float = 0.5) -> int:
+        """Largest processor count whose marginal efficiency is still
+        at least ``threshold``: adding the last block of processors
+        bought at least ``threshold`` times the ideal gain."""
+        best = self.processor_counts[0]
+        for i in range(1, len(self.processor_counts)):
+            p_prev, p_now = self.processor_counts[i - 1], self.processor_counts[i]
+            t_prev, t_now = self.response_times[i - 1], self.response_times[i]
+            if t_now >= t_prev:
+                break
+            # Marginal speedup vs ideal marginal speedup.
+            actual = t_prev / t_now
+            ideal = p_now / p_prev
+            if (actual - 1) / (ideal - 1) < threshold:
+                break
+            best = p_now
+        return best
+
+
+def scaling_curve(series: Series) -> ScalingCurve:
+    """Derive the scaling curve of one strategy's series."""
+    base_procs = series.processor_counts[0]
+    base_time = series.response_times[0]
+    speedups = tuple(
+        base_time / t if t > 0 else float("inf") for t in series.response_times
+    )
+    efficiencies = tuple(
+        s * base_procs / p
+        for s, p in zip(speedups, series.processor_counts)
+    )
+    return ScalingCurve(
+        series.strategy,
+        series.processor_counts,
+        series.response_times,
+        speedups,
+        efficiencies,
+    )
+
+
+def scaling_report(sweep: SweepResult) -> str:
+    """Text table of speedup and efficiency for all strategies."""
+    curves = {name: scaling_curve(s) for name, s in sweep.series.items()}
+    lines = [f"{sweep.experiment.title} — scaling relative to "
+             f"{sweep.experiment.processor_counts[0]} processors"]
+    header = "procs  " + "  ".join(
+        f"{name + ' S':>8}{name + ' E':>8}" for name in curves
+    )
+    lines.append(header)
+    for i, procs in enumerate(sweep.experiment.processor_counts):
+        cells = "  ".join(
+            f"{curves[name].speedups[i]:8.2f}{curves[name].efficiencies[i]:8.2f}"
+            for name in curves
+        )
+        lines.append(f"{procs:5d}  {cells}")
+    lines.append(
+        "knees: "
+        + ", ".join(f"{name}@{curve.knee()}" for name, curve in curves.items())
+    )
+    return "\n".join(lines)
+
+
+def best_scaling_strategy(sweep: SweepResult) -> str:
+    """The strategy with the highest speedup at the largest machine —
+    the paper's 'best job in scaling up' criterion."""
+    curves = {name: scaling_curve(s) for name, s in sweep.series.items()}
+    return max(curves, key=lambda name: curves[name].speedups[-1])

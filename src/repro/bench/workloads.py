@@ -1,0 +1,163 @@
+"""The paper's experimental workloads (Section 4.1–4.2).
+
+One multi-join query over ten Wisconsin relations; varied are the
+parallelization strategy (SP/SE/RD/FP), the number of processors
+(20–80 for the 5K experiment, 30–80 for 40K — the 40K query was too
+large for fewer than 30 of PRISMA's 16 MB nodes), the query shape
+(the five Figure 8 trees), and the problem size (5 000 or 40 000
+tuples per relation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cost import Catalog, CostModel
+from ..core.shapes import SHAPE_NAMES, SHAPE_TITLES, make_shape, paper_relation_names
+from ..core.strategies import get_strategy, strategy_names
+from ..core.trees import Node
+from ..sim.machine import MachineConfig
+from ..sim.run import simulate
+
+#: Relations in the paper's query.
+RELATION_COUNT = 10
+
+#: Tuples per relation in the small ("5K") and large ("40K") experiments.
+SMALL_CARDINALITY = 5_000
+LARGE_CARDINALITY = 40_000
+
+#: Processor sweeps (the 40K query does not fit under 30 nodes).
+SMALL_PROCESSORS: Tuple[int, ...] = (20, 30, 40, 50, 60, 70, 80)
+LARGE_PROCESSORS: Tuple[int, ...] = (30, 40, 50, 60, 70, 80)
+
+#: Experiment size labels as the paper prints them.
+SIZE_LABELS = {SMALL_CARDINALITY: "5K", LARGE_CARDINALITY: "40K"}
+
+#: Paper figure number per query shape (Figures 9–13).
+FIGURE_OF_SHAPE = {
+    "left_linear": 9,
+    "left_bushy": 10,
+    "wide_bushy": 11,
+    "right_bushy": 12,
+    "right_linear": 13,
+}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One response-time sweep: a shape at a size over processor counts."""
+
+    shape: str
+    cardinality: int
+    processor_counts: Tuple[int, ...]
+
+    @property
+    def size_label(self) -> str:
+        return SIZE_LABELS.get(self.cardinality, str(self.cardinality))
+
+    @property
+    def figure(self) -> int:
+        return FIGURE_OF_SHAPE[self.shape]
+
+    @property
+    def title(self) -> str:
+        return f"Figure {self.figure} ({SHAPE_TITLES[self.shape]}, {self.size_label})"
+
+    def tree(self) -> Node:
+        return make_shape(self.shape, paper_relation_names(RELATION_COUNT))
+
+    def catalog(self) -> Catalog:
+        return Catalog.regular(paper_relation_names(RELATION_COUNT), self.cardinality)
+
+
+def paper_experiments(shape: str) -> Tuple[Experiment, Experiment]:
+    """The (5K, 40K) experiment pair of one figure."""
+    if shape not in SHAPE_NAMES:
+        raise ValueError(f"unknown shape {shape!r}")
+    return (
+        Experiment(shape, SMALL_CARDINALITY, SMALL_PROCESSORS),
+        Experiment(shape, LARGE_CARDINALITY, LARGE_PROCESSORS),
+    )
+
+
+def all_paper_experiments() -> List[Experiment]:
+    """All ten sweeps of the evaluation (5 shapes × 2 sizes)."""
+    out: List[Experiment] = []
+    for shape in SHAPE_NAMES:
+        out.extend(paper_experiments(shape))
+    return out
+
+
+@dataclass
+class Series:
+    """Response times of one strategy across a processor sweep."""
+
+    strategy: str
+    processor_counts: Tuple[int, ...]
+    response_times: Tuple[float, ...]
+
+    def at(self, processors: int) -> float:
+        return self.response_times[self.processor_counts.index(processors)]
+
+    def best(self) -> Tuple[float, int]:
+        """(best response time, processor count achieving it)."""
+        idx = min(
+            range(len(self.response_times)), key=lambda i: self.response_times[i]
+        )
+        return self.response_times[idx], self.processor_counts[idx]
+
+
+@dataclass
+class SweepResult:
+    """All four strategies' series for one experiment."""
+
+    experiment: Experiment
+    series: Dict[str, Series]
+
+    def best_cell(self) -> Tuple[float, str, int]:
+        """(best seconds, strategy, processors) — one Figure 14 cell."""
+        best: Optional[Tuple[float, str, int]] = None
+        for name, series in self.series.items():
+            seconds, procs = series.best()
+            if best is None or seconds < best[0]:
+                best = (seconds, name, procs)
+        assert best is not None
+        return best
+
+    def table(self) -> str:
+        """Plain-text data table of the figure."""
+        strategies = list(self.series)
+        header = "procs  " + "  ".join(f"{s:>8}" for s in strategies)
+        lines = [self.experiment.title, header]
+        for i, procs in enumerate(self.experiment.processor_counts):
+            cells = "  ".join(
+                f"{self.series[s].response_times[i]:8.2f}" for s in strategies
+            )
+            lines.append(f"{procs:5d}  {cells}")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    experiment: Experiment,
+    strategies: Optional[Sequence[str]] = None,
+    config: Optional[MachineConfig] = None,
+    cost_model: CostModel = CostModel(),
+) -> SweepResult:
+    """Run one experiment: all strategies over its processor counts."""
+    if strategies is None:
+        strategies = strategy_names()
+    if config is None:
+        config = MachineConfig.paper()
+    tree = experiment.tree()
+    catalog = experiment.catalog()
+    series: Dict[str, Series] = {}
+    for name in strategies:
+        strategy = get_strategy(name)
+        times = []
+        for processors in experiment.processor_counts:
+            schedule = strategy.schedule(tree, catalog, processors, cost_model)
+            result = simulate(schedule, catalog, config, cost_model)
+            times.append(result.response_time)
+        series[name] = Series(name, experiment.processor_counts, tuple(times))
+    return SweepResult(experiment, series)

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Every major capability of the reproduction behind one entry point::
+
+    python -m repro simulate --shape wide_bushy --cardinality 5000 \\
+                             --strategy FP --processors 40
+    python -m repro plan     --shape right_bushy --strategy RD --processors 20
+    python -m repro sweep    --shape wide_bushy --cardinality 5000
+    python -m repro diagram  --strategy SE --processors 10
+    python -m repro advise   --shape left_bushy --cardinality 40000 --processors 80
+    python -m repro memory   --shape wide_bushy --cardinality 40000 \\
+                             --strategy FP --processors 30
+    python -m repro optimize --relations 10 --cardinality 5000 --processors 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Catalog, get_strategy, make_shape, paper_relation_names
+from .core.shapes import SHAPE_NAMES
+from .sim import MachineConfig
+
+
+def _add_common(parser: argparse.ArgumentParser, strategy: bool = True) -> None:
+    parser.add_argument(
+        "--shape", choices=SHAPE_NAMES, default="wide_bushy",
+        help="query tree shape (Figure 8)",
+    )
+    parser.add_argument(
+        "--relations", type=int, default=10, help="number of base relations"
+    )
+    parser.add_argument(
+        "--cardinality", type=int, default=5000,
+        help="tuples per relation (5000 and 40000 are the paper's sizes)",
+    )
+    parser.add_argument(
+        "--processors", type=int, default=40, help="machine size"
+    )
+    if strategy:
+        parser.add_argument(
+            "--strategy", choices=["SP", "SE", "RD", "FP"], default="FP",
+            help="parallel execution strategy (Section 3)",
+        )
+
+
+def _context(args):
+    names = paper_relation_names(args.relations)
+    tree = make_shape(args.shape, names)
+    catalog = Catalog.regular(names, args.cardinality)
+    return names, tree, catalog
+
+
+def _cmd_simulate(args) -> int:
+    from .sim.run import simulate
+
+    _names, tree, catalog = _context(args)
+    schedule = get_strategy(args.strategy).schedule(tree, catalog, args.processors)
+    result = simulate(
+        schedule, catalog, MachineConfig.paper(), skew_theta=args.skew
+    )
+    print(result.summary())
+    breakdown = result.busy_by_kind()
+    print(
+        f"  work {breakdown['work']:.1f}s CPU, "
+        f"handshakes {breakdown['handshake']:.1f}s CPU, "
+        f"startup span {result.startup_time():.2f}s, "
+        f"{result.events} events"
+    )
+    if args.diagram:
+        from .engine import utilization_diagram
+
+        print(utilization_diagram(result, width=args.width))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .xra import generate_plan_text
+
+    _names, tree, catalog = _context(args)
+    print(generate_plan_text(tree, catalog, args.strategy, args.processors))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .bench import Experiment, evaluate_claims, run_sweep
+    from .bench.plot import ascii_plot
+
+    processors = tuple(
+        range(args.min_processors, args.processors + 1, args.step)
+    )
+    experiment = Experiment(args.shape, args.cardinality, processors)
+    sweep = run_sweep(experiment)
+    print(sweep.table())
+    print()
+    print(ascii_plot(sweep, width=args.width))
+    seconds, strategy, procs = sweep.best_cell()
+    print(f"\nbest: {seconds:.2f}s ({strategy}@{procs})")
+    if args.claims:
+        for outcome in evaluate_claims(sweep):
+            print(outcome.line())
+    return 0
+
+
+def _cmd_diagram(args) -> int:
+    from .engine import ideal_diagram
+
+    print(ideal_diagram(args.strategy, args.processors, width=args.width))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from .optimizer import advise_strategy
+
+    _names, tree, catalog = _context(args)
+    advice = advise_strategy(
+        tree, catalog, args.processors,
+        memory_holds_one_join=not args.disk_bound,
+    )
+    print(advice)
+    if advice.runner_up:
+        print(f"runner-up: {advice.runner_up}")
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from .core.memory import memory_report, minimum_processors
+
+    _names, tree, catalog = _context(args)
+    strategy = get_strategy(args.strategy)
+    schedule = strategy.schedule(tree, catalog, args.processors)
+    print(memory_report(schedule, catalog))
+    floor = minimum_processors(strategy, tree, catalog)
+    if floor is None:
+        print("does not fit at any machine size up to 512 nodes")
+    else:
+        print(f"smallest machine that fits this plan: {floor} nodes")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from .optimizer import QueryGraph, two_phase_optimize
+    from .core import render
+
+    names = paper_relation_names(args.relations)
+    graph = QueryGraph.regular(names, args.cardinality)
+    plan = two_phase_optimize(
+        graph, args.processors, mode="guidelines" if args.guidelines else "simulate"
+    )
+    print(render(plan.tree))
+    print(plan.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Parallel evaluation of multi-join "
+        "queries' (SIGMOD 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="simulate one strategy on one tree")
+    _add_common(p)
+    p.add_argument("--skew", type=float, default=0.0,
+                   help="Zipf partitioning skew (0 = the paper's assumption)")
+    p.add_argument("--diagram", action="store_true",
+                   help="also print the processor-utilization diagram")
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("plan", help="print the XRA execution plan")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser("sweep", help="one figure: all strategies × processors")
+    _add_common(p, strategy=False)
+    p.add_argument("--min-processors", type=int, default=20)
+    p.add_argument("--step", type=int, default=10)
+    p.add_argument("--claims", action="store_true",
+                   help="also check the Section 4.4 claims")
+    p.add_argument("--width", type=int, default=64)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("diagram", help="idealized Figure 3/4/6/7 diagram")
+    p.add_argument("--strategy", choices=["SP", "SE", "RD", "FP"], default="SP")
+    p.add_argument("--processors", type=int, default=10)
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(fn=_cmd_diagram)
+
+    p = sub.add_parser("advise", help="Section 5 strategy guideline")
+    _add_common(p, strategy=False)
+    p.add_argument("--disk-bound", action="store_true",
+                   help="memory cannot hold one join entirely (Section 4.4)")
+    p.set_defaults(fn=_cmd_advise)
+
+    p = sub.add_parser("memory", help="per-node memory analysis")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_memory)
+
+    p = sub.add_parser("optimize", help="two-phase optimization")
+    p.add_argument("--relations", type=int, default=10)
+    p.add_argument("--cardinality", type=int, default=5000)
+    p.add_argument("--processors", type=int, default=40)
+    p.add_argument("--guidelines", action="store_true",
+                   help="use the Section 5 rules instead of simulation")
+    p.set_defaults(fn=_cmd_optimize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

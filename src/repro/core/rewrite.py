@@ -1,0 +1,67 @@
+"""Cost-free tree rewrites (Section 5).
+
+"RD does not work too well for trees that contain left-deep segments.
+However, it is possible without cost penalty to mirror (parts of) a
+query to make it more right-oriented, so that in practice RD is
+expected to work quite well."
+
+Join is commutative and the paper's cost formula is symmetric in its
+operands' *kinds* (base operands cost 1, intermediates 2, regardless
+of side), so swapping the children of any join changes neither the
+total cost nor the result — only the shape the parallelizer sees.
+:func:`right_orient` applies the rewrite everywhere it lengthens the
+right-deep segments; :func:`left_orient` is its mirror image.
+"""
+
+from __future__ import annotations
+
+from .trees import Join, Leaf, Node, height, mirror
+
+
+def right_orient(node: Node) -> Node:
+    """Swap join operands, bottom-up, so deeper subtrees hang right.
+
+    The result has maximal right-deep segments for its shape: a
+    left-linear tree becomes right-linear, the left-oriented bushy tree
+    becomes the right-oriented one, and already right-oriented trees
+    are returned unchanged (structurally).  Leaves, labels and work
+    annotations are preserved; only operand order changes.
+    """
+    if isinstance(node, Leaf):
+        return node
+    left = right_orient(node.left)
+    right = right_orient(node.right)
+    if _segment_depth(left) > _segment_depth(right):
+        left, right = right, left
+    return Join(left, right, label=node.label, work=node.work)
+
+
+def left_orient(node: Node) -> Node:
+    """The mirror-image rewrite: deeper subtrees hang left."""
+    return mirror(right_orient(node))
+
+
+def _segment_depth(node: Node) -> int:
+    """Length of the right-deep chain starting at ``node``.
+
+    Swapping by chain length (rather than raw height) is what actually
+    lengthens the probe pipelines RD exploits.
+    """
+    depth = 0
+    while isinstance(node, Join):
+        depth += 1
+        node = node.right
+    return depth
+
+
+def orientation_gain(node: Node) -> int:
+    """How many joins :func:`right_orient` would swap (0 = already
+    right-oriented)."""
+    if isinstance(node, Leaf):
+        return 0
+    gain = orientation_gain(node.left) + orientation_gain(node.right)
+    if _segment_depth(right_orient(node.left)) > _segment_depth(
+        right_orient(node.right)
+    ):
+        gain += 1
+    return gain

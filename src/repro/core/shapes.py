@@ -1,0 +1,164 @@
+"""The query-tree shapes of the paper.
+
+Figure 8 shows the five ten-relation shapes used in the experiments —
+left-linear, left-oriented (long) bushy, wide bushy, right-oriented
+(long) bushy, and right-linear — and Figure 2 shows the 5-way example
+tree (with relative-work labels) used to explain the strategies.
+Constructors here generalize the five shapes to any relation count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .trees import Join, Leaf, Node
+
+#: Names of the five experimental shapes, in the paper's figure order.
+SHAPE_NAMES = (
+    "left_linear",
+    "left_bushy",
+    "wide_bushy",
+    "right_bushy",
+    "right_linear",
+)
+
+#: Human-readable shape titles as the paper prints them.
+SHAPE_TITLES: Dict[str, str] = {
+    "left_linear": "left linear",
+    "left_bushy": "left-oriented bushy",
+    "wide_bushy": "wide bushy",
+    "right_bushy": "right-oriented bushy",
+    "right_linear": "right linear",
+}
+
+
+def _leaves(names: Sequence[str]) -> List[Node]:
+    if len(names) < 2:
+        raise ValueError("a join tree needs at least two relations")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate relation names: {names}")
+    return [Leaf(n) for n in names]
+
+
+def left_linear(names: Sequence[str]) -> Node:
+    """``(((R0 ⋈ R1) ⋈ R2) ⋈ ...)`` — every join's right child a leaf."""
+    nodes = _leaves(names)
+    tree = nodes[0]
+    for leaf in nodes[1:]:
+        tree = Join(tree, leaf)
+    return tree
+
+
+def right_linear(names: Sequence[str]) -> Node:
+    """``(... ⋈ (R8 ⋈ R9))`` — every join's left child a leaf."""
+    nodes = _leaves(names)
+    tree = nodes[-1]
+    for leaf in reversed(nodes[:-1]):
+        tree = Join(leaf, tree)
+    return tree
+
+
+def left_bushy(names: Sequence[str]) -> Node:
+    """Left-oriented *long* bushy tree.
+
+    A long spine following left children whose right operands alternate
+    between a single base relation and a join of two base relations::
+
+        ((((((R0 ⋈ R1) ⋈ R2) ⋈ (R3 ⋈ R4)) ⋈ R5) ⋈ (R6 ⋈ R7)) ⋈ R8) ⋈ R9
+
+    This matches the paper's description of the shape's behaviour: the
+    pipeline is only slightly shorter than the linear tree's (7 steps
+    against 9 for ten relations), the spine contains bushy steps
+    (intermediate ⋈ intermediate — the steps whose pipeline delay is
+    proportional to operand size, Section 2.3.3), SE finds only "very
+    small" independent subtrees (the two-leaf pairs), and RD's
+    right-deep segments are very short.
+    """
+    nodes = _leaves(names)
+    tree = Join(nodes[0], nodes[1])
+    i = 2
+    next_is_pair = False
+    while i < len(nodes):
+        if next_is_pair and i + 2 < len(nodes):
+            tree = Join(tree, Join(nodes[i], nodes[i + 1]))
+            i += 2
+        else:
+            tree = Join(tree, nodes[i])
+            i += 1
+        next_is_pair = not next_is_pair
+    return tree
+
+
+def right_bushy(names: Sequence[str]) -> Node:
+    """Right-oriented long bushy tree: the mirror image of
+    :func:`left_bushy`.
+
+    The long spine now follows right children, so RD forms one fairly
+    long probe pipeline whose left (build) operands — the two-leaf
+    pairs — are processed independently in parallel on disjoint
+    processors first, exactly the situation Section 4.4 reports RD
+    winning on.  Mirroring is the paper's own observation that a tree
+    can be made right-oriented without cost penalty (Section 5).
+    """
+    from .trees import mirror
+
+    return mirror(left_bushy(list(reversed(list(names)))))
+
+
+def wide_bushy(names: Sequence[str]) -> Node:
+    """Balanced (wide) bushy tree.
+
+    Recursively splits the relations in half, giving the maximal number
+    of independent subtrees — the shape SE is built for.
+    """
+    nodes = _leaves(names)
+
+    def build(lo: int, hi: int) -> Node:
+        if hi - lo == 1:
+            return nodes[lo]
+        mid = (lo + hi + 1) // 2
+        return Join(build(lo, mid), build(mid, hi))
+
+    return build(0, len(nodes))
+
+
+_SHAPES: Dict[str, Callable[[Sequence[str]], Node]] = {
+    "left_linear": left_linear,
+    "left_bushy": left_bushy,
+    "wide_bushy": wide_bushy,
+    "right_bushy": right_bushy,
+    "right_linear": right_linear,
+}
+
+
+def make_shape(shape: str, names: Sequence[str]) -> Node:
+    """Build the named shape over ``names``; see :data:`SHAPE_NAMES`."""
+    try:
+        builder = _SHAPES[shape]
+    except KeyError:
+        raise ValueError(f"unknown shape {shape!r}; choose from {SHAPE_NAMES}") from None
+    return builder(names)
+
+
+def paper_relation_names(count: int = 10) -> List[str]:
+    """The experiment's relation names: ``R0 .. R{count-1}``."""
+    return [f"R{i}" for i in range(count)]
+
+
+def example_tree() -> Node:
+    """The 5-way example tree of Figure 2.
+
+    Reconstructed from the processor-utilization discussion in
+    Sections 3.1–3.4: joins labelled 3 (B⋈C) and 4 (D⋈E) have only
+    base-relation operands; join 5 joins their two results (the bushy
+    step whose operands "start producing output" in Figure 7); the top
+    join, labelled 1, joins base relation A with join 5's result.  The
+    labels give the joins' relative amounts of work, so RD's first
+    segment is join 4 alone and its second segment is the right-deep
+    chain 1–5–3.
+    """
+    a, b, c, d, e = (Leaf(n) for n in "ABCDE")
+    j3 = Join(b, c, label="3", work=3.0)
+    j4 = Join(d, e, label="4", work=4.0)
+    j5 = Join(j4, j3, label="5", work=5.0)
+    return Join(a, j5, label="1", work=1.0)

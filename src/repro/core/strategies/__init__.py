@@ -1,0 +1,21 @@
+"""The four parallel execution strategies of the paper (Section 3)."""
+
+from .base import Strategy, get_strategy, strategy_names
+from .fp import FullParallel
+from .rd import SegmentedRightDeep
+from .se import SynchronousExecution
+from .segments import Segment, decompose, waves
+from .sp import SequentialParallel
+
+__all__ = [
+    "FullParallel",
+    "Segment",
+    "SegmentedRightDeep",
+    "SequentialParallel",
+    "Strategy",
+    "SynchronousExecution",
+    "decompose",
+    "get_strategy",
+    "strategy_names",
+    "waves",
+]

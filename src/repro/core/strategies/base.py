@@ -1,0 +1,96 @@
+"""Strategy interface and registry.
+
+A strategy is phase two of the paper's two-phase approach: it takes a
+join tree (already chosen for minimal total cost), the catalog, and a
+processor count, and produces a validated
+:class:`~repro.core.schedule.ParallelSchedule`.  All four paper
+strategies register themselves here; :func:`get_strategy` resolves the
+short names used throughout the benchmarks ("SP", "SE", "RD", "FP").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Tuple, Type
+
+from ..cost import Catalog, CostModel, JoinCost
+from ..schedule import ParallelSchedule
+from ..trees import Join, Node, joins_postorder, num_joins
+
+
+class Strategy(abc.ABC):
+    """Base class of the four parallel execution strategies."""
+
+    #: Short name as the paper uses it ("SP", "SE", "RD", "FP").
+    name: str = "?"
+    #: Long descriptive name.
+    title: str = "?"
+    #: Hash-join variant the strategy runs ("simple" or "pipelining").
+    algorithm: str = "simple"
+    #: Whether the strategy needs a cost function (SP famously does not).
+    needs_cost_function: bool = True
+
+    def schedule(
+        self,
+        tree: Node,
+        catalog: Catalog,
+        processors: int,
+        cost_model: CostModel = CostModel(),
+    ) -> ParallelSchedule:
+        """Plan ``tree`` on ``processors`` processors; validated."""
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        if num_joins(tree) == 0:
+            raise ValueError("tree has no joins to schedule")
+        from ..trees import leaf_names
+
+        for name in leaf_names(tree):
+            catalog.cardinality_of(name)  # fail fast on unknown relations
+        plan = self._plan(tree, catalog, processors, cost_model)
+        return plan.validate()
+
+    @abc.abstractmethod
+    def _plan(
+        self,
+        tree: Node,
+        catalog: Catalog,
+        processors: int,
+        cost_model: CostModel,
+    ) -> ParallelSchedule:
+        """Strategy-specific planning; subclasses implement this."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+#: Registry of strategy short name → class, filled by the submodules.
+_REGISTRY: Dict[str, Type[Strategy]] = {}
+
+
+def register(cls: Type[Strategy]) -> Type[Strategy]:
+    """Class decorator adding a strategy to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_strategy(name: str) -> Strategy:
+    """Instantiate the strategy registered under ``name`` (e.g. "FP")."""
+    try:
+        return _REGISTRY[name.upper()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def strategy_names() -> List[str]:
+    """Registered short names in the paper's presentation order."""
+    order = ["SP", "SE", "RD", "FP"]
+    return [n for n in order if n in _REGISTRY] + sorted(
+        n for n in _REGISTRY if n not in order
+    )
+
+
+def postorder_index(tree: Node) -> Dict[int, int]:
+    """Map ``id(join)`` → postorder index (tasks are keyed this way)."""
+    return {id(j): i for i, j in enumerate(joins_postorder(tree))}

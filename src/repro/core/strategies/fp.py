@@ -1,0 +1,64 @@
+"""Full Parallel execution (FP, Section 3.4, [WiA91, WAF91]).
+
+Every join gets a private set of processors sized proportionally to
+its estimated work, and *all* joins run concurrently from the start.
+The pipelining hash-join allows dataflow along both operands, so the
+whole tree executes as one dataflow network: independent subtrees give
+inter-operator parallelism, producer-consumer edges give pipelining.
+Only one operation process per processor is started (the smallest
+startup overhead of the four strategies), but the processors are
+spread over all operations, so FP is most exposed to discretization
+error, and deep trees expose it to pipeline delay.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..allocation import allocate_ranges
+from ..cost import Catalog, CostModel
+from ..schedule import InputSpec, JoinTask, ParallelSchedule
+from ..trees import Join, Leaf, Node, joins_postorder
+from .base import Strategy, postorder_index, register
+
+
+@register
+class FullParallel(Strategy):
+    """All joins at once: pipelining plus independent parallelism."""
+
+    name = "FP"
+    title = "Full Parallel"
+    algorithm = "pipelining"
+
+    def _plan(
+        self,
+        tree: Node,
+        catalog: Catalog,
+        processors: int,
+        cost_model: CostModel,
+    ) -> ParallelSchedule:
+        index = postorder_index(tree)
+        annotation = cost_model.annotate(tree, catalog)
+        joins = joins_postorder(tree)
+        weights = [annotation[j].cost for j in joins]
+        ranges = allocate_ranges(weights, tuple(range(processors)))
+
+        tasks: List[JoinTask] = []
+        for i, (join, procs) in enumerate(zip(joins, ranges)):
+            tasks.append(
+                JoinTask(
+                    index=i,
+                    join=join,
+                    processors=procs,
+                    algorithm="pipelining",
+                    left_input=_pipelined(join.left, index),
+                    right_input=_pipelined(join.right, index),
+                )
+            )
+        return ParallelSchedule("FP", tree, processors, tasks)
+
+
+def _pipelined(child: Node, index) -> InputSpec:
+    if isinstance(child, Leaf):
+        return InputSpec("base", child.name)
+    return InputSpec("pipelined", index[id(child)])

@@ -1,0 +1,124 @@
+"""Segmented Right-Deep execution (RD, Section 3.3, [CLY92]).
+
+The bushy tree is decomposed into right-deep segments (Figure 5).
+Within a segment every join is assigned processors proportionally to
+its estimated work; all hash tables are built in parallel from the
+joins' left operands, and the bottom base relation is then probed
+through the segment in one pipeline (simple hash-join, pipelining
+along the probe operand only).  Segments in a producer-consumer
+relationship run sequentially; independent segments run in parallel on
+disjoint processor subsets sized proportionally to segment work.
+
+Degenerations the paper points out and the tests pin down: on a
+left-linear tree every segment is a single join, so RD collapses to
+SP; on a right-linear tree the whole query is one segment, so RD
+coincides with FP (modulo the join algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..allocation import allocate_ranges
+from ..cost import Catalog, CostModel
+from ..schedule import InputSpec, JoinTask, ParallelSchedule
+from ..trees import Join, Leaf, Node, joins_postorder
+from .base import Strategy, postorder_index, register
+from .segments import Segment, decompose, waves
+
+
+@register
+class SegmentedRightDeep(Strategy):
+    """Right-deep segments, pipelined inside, sequenced between."""
+
+    name = "RD"
+    title = "Segmented Right-Deep"
+    algorithm = "simple"
+
+    def _plan(
+        self,
+        tree: Node,
+        catalog: Catalog,
+        processors: int,
+        cost_model: CostModel,
+    ) -> ParallelSchedule:
+        index = postorder_index(tree)
+        annotation = cost_model.annotate(tree, catalog)
+        segments = decompose(tree)
+        plan_waves = waves(segments)
+
+        assignment: Dict[int, Tuple[int, ...]] = {}
+        barriers: Dict[int, Tuple[int, ...]] = {}
+        #: Joins whose in-segment probe edge had to be sequentialized
+        #: (materialized) because the segment got fewer processors than
+        #: it has joins.
+        sequential_right: set = set()
+        previous_wave_tasks: Tuple[int, ...] = ()
+        all_procs = tuple(range(processors))
+
+        for wave in plan_waves:
+            # A wave can hold more segments than there are processors
+            # (tiny machines): run it in sequential groups of at most
+            # ``processors`` segments.
+            for at in range(0, len(wave), processors):
+                group = wave[at:at + processors]
+                weights = [segment.work(annotation) for segment in group]
+                ranges = allocate_ranges(weights, all_procs)
+                group_tasks: List[int] = []
+                for segment, procs in zip(group, ranges):
+                    if len(segment) <= len(procs):
+                        join_weights = [annotation[j].cost for j in segment.joins]
+                        join_ranges = allocate_ranges(join_weights, procs)
+                        for join, join_procs in zip(segment.joins, join_ranges):
+                            i = index[id(join)]
+                            assignment[i] = join_procs
+                            barriers[i] = previous_wave_tasks
+                            group_tasks.append(i)
+                    else:
+                        # Fewer processors than joins: the segment
+                        # cannot pipeline; its joins run one after
+                        # another on the whole subset (local SP).
+                        chain = list(reversed(segment.joins))  # bottom-up
+                        previous: Tuple[int, ...] = previous_wave_tasks
+                        for join in chain:
+                            i = index[id(join)]
+                            assignment[i] = procs
+                            barriers[i] = previous
+                            sequential_right.add(i)
+                            group_tasks.append(i)
+                            previous = (i,)
+                previous_wave_tasks = tuple(sorted(group_tasks))
+
+        tasks: List[JoinTask] = []
+        for i, join in enumerate(joins_postorder(tree)):
+            left = join.left
+            right = join.right
+            if isinstance(left, Leaf):
+                left_input = InputSpec("base", left.name)
+            else:
+                # Left operands always come from an earlier wave's
+                # segment: materialized.
+                left_input = InputSpec("materialized", index[id(left)])
+            if isinstance(right, Leaf):
+                right_input = InputSpec("base", right.name)
+            elif i in sequential_right:
+                # Degenerate (undersized) segment: probe operand is
+                # stored and consumed after its producer finishes.
+                right_input = InputSpec("materialized", index[id(right)])
+            else:
+                # Right join children are, by construction of the
+                # segmentation, in the same segment: pipelined probes.
+                right_input = InputSpec("pipelined", index[id(right)])
+            tasks.append(
+                JoinTask(
+                    index=i,
+                    join=join,
+                    processors=assignment[i],
+                    algorithm="simple",
+                    left_input=left_input,
+                    right_input=right_input,
+                    start_after=barriers[i],
+                    build_side="left",
+                )
+            )
+        return ParallelSchedule("RD", tree, processors, tasks)

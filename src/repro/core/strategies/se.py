@@ -1,0 +1,98 @@
+"""Synchronous Execution (SE, Section 3.2, [CYW92]).
+
+Inter-operator parallelism between *independent subtrees* of a bushy
+tree, on top of intra-operator parallelism.  A join starts only after
+both operands are complete (no pipelining, simple hash-join).  When
+both children of a join are themselves joins, the available processors
+are split over the two subtrees proportionally to the total amount of
+work in each subtree, aiming for both operands to become ready at the
+same moment; the join itself then runs on the union of the subtree
+processors.  On linear trees there are no independent subtrees, so SE
+degenerates to SP — exactly what Figures 9 and 13 show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..allocation import allocate_ranges
+from ..cost import Catalog, CostModel
+from ..schedule import InputSpec, JoinTask, ParallelSchedule
+from ..trees import Join, Leaf, Node, joins_postorder
+from .base import Strategy, postorder_index, register
+
+
+@register
+class SynchronousExecution(Strategy):
+    """Independent subtrees in parallel; dependent joins synchronous."""
+
+    name = "SE"
+    title = "Synchronous Execution"
+    algorithm = "simple"
+
+    def _plan(
+        self,
+        tree: Node,
+        catalog: Catalog,
+        processors: int,
+        cost_model: CostModel,
+    ) -> ParallelSchedule:
+        index = postorder_index(tree)
+        subtree_cost = cost_model.subtree_costs(tree, catalog)
+        assignment: Dict[int, Tuple[int, ...]] = {}
+        dependencies: Dict[int, Tuple[int, ...]] = {}
+
+        def allocate(
+            join: Join, procs: Tuple[int, ...], after: Tuple[int, ...] = ()
+        ) -> int:
+            """Assign ``procs`` to the subtree rooted at ``join``;
+            returns the root task index of the subtree.  ``after``
+            barriers the subtree's earliest tasks (used when sibling
+            subtrees must share processors sequentially)."""
+            left, right = join.left, join.right
+            deps: List[int] = []
+            if isinstance(left, Join) and isinstance(right, Join):
+                if len(procs) >= 2:
+                    weights = [subtree_cost[left], subtree_cost[right]]
+                    left_procs, right_procs = allocate_ranges(weights, procs)
+                    deps.append(allocate(left, left_procs, after))
+                    deps.append(allocate(right, right_procs, after))
+                else:
+                    # Too few processors to run the subtrees in
+                    # parallel: evaluate them one after the other on
+                    # the whole (single-processor) set — SE degrades
+                    # gracefully toward SP.
+                    left_root = allocate(left, procs, after)
+                    deps.append(left_root)
+                    deps.append(allocate(right, procs, (left_root,)))
+            elif isinstance(left, Join):
+                deps.append(allocate(left, procs, after))
+            elif isinstance(right, Join):
+                deps.append(allocate(right, procs, after))
+            i = index[id(join)]
+            assignment[i] = procs
+            dependencies[i] = tuple(deps) if deps else after
+            return i
+
+        allocate(tree, tuple(range(processors)))
+
+        tasks: List[JoinTask] = []
+        for i, join in enumerate(joins_postorder(tree)):
+            tasks.append(
+                JoinTask(
+                    index=i,
+                    join=join,
+                    processors=assignment[i],
+                    algorithm="simple",
+                    left_input=_input(join.left, index),
+                    right_input=_input(join.right, index),
+                    start_after=dependencies[i],
+                )
+            )
+        return ParallelSchedule("SE", tree, processors, tasks)
+
+
+def _input(child: Node, index) -> InputSpec:
+    if isinstance(child, Leaf):
+        return InputSpec("base", child.name)
+    return InputSpec("materialized", index[id(child)])

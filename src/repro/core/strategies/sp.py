@@ -1,0 +1,61 @@
+"""Sequential Parallel execution (SP, Section 3.1).
+
+The simplest parallelization: no inter-operator parallelism at all.
+The joins run one after another in postorder, each using *all*
+available processors with the simple hash-join.  Idealized load
+balancing is perfect and no cost function is needed, but the strategy
+pays for it in overhead: #joins × #processors operation processes must
+be started (800 at 80 processors for the ten-way query) and every
+intermediate result is refragmented over the full machine, generating
+n×m tuple streams per operand (6400 at 80 processors).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cost import Catalog, CostModel
+from ..schedule import InputSpec, JoinTask, ParallelSchedule
+from ..trees import Join, Leaf, Node, joins_postorder
+from .base import Strategy, postorder_index, register
+
+
+@register
+class SequentialParallel(Strategy):
+    """Joins in sequence, each on the whole machine."""
+
+    name = "SP"
+    title = "Sequential Parallel"
+    algorithm = "simple"
+    needs_cost_function = False
+
+    def _plan(
+        self,
+        tree: Node,
+        catalog: Catalog,
+        processors: int,
+        cost_model: CostModel,
+    ) -> ParallelSchedule:
+        index = postorder_index(tree)
+        all_procs = tuple(range(processors))
+        tasks: List[JoinTask] = []
+        for i, join in enumerate(joins_postorder(tree)):
+            tasks.append(
+                JoinTask(
+                    index=i,
+                    join=join,
+                    processors=all_procs,
+                    algorithm="simple",
+                    left_input=_materialized(join.left, index),
+                    right_input=_materialized(join.right, index),
+                    start_after=(i - 1,) if i > 0 else (),
+                    phase=i,
+                )
+            )
+        return ParallelSchedule("SP", tree, processors, tasks)
+
+
+def _materialized(child: Node, index) -> InputSpec:
+    if isinstance(child, Leaf):
+        return InputSpec("base", child.name)
+    return InputSpec("materialized", index[id(child)])

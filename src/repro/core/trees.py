@@ -1,0 +1,211 @@
+"""Join trees.
+
+The unit the whole paper operates on: a binary tree whose leaves are
+base relations and whose internal nodes are joins.  Phase one of
+two-phase optimization picks such a tree; the four strategies of the
+paper (phase two) parallelize it.  This module is the tree ADT plus
+the structural predicates the paper's discussion relies on (linear,
+left/right-deep, orientation, segments are in
+:mod:`repro.core.strategies.segments`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A base-relation operand, referenced by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Join:
+    """An internal join node.
+
+    ``label`` is an optional display/work label (the Figure 2 example
+    tree labels its joins with relative work amounts); ``work`` is an
+    optional explicit relative work override used by the idealized
+    utilization diagrams.  Identity (not structure) keys allocation
+    maps, so two structurally equal nodes are distinct operations.
+    """
+
+    __slots__ = ("left", "right", "label", "work")
+
+    def __init__(
+        self,
+        left: "Node",
+        right: "Node",
+        label: Optional[str] = None,
+        work: Optional[float] = None,
+    ):
+        if not isinstance(left, (Leaf, Join)) or not isinstance(right, (Leaf, Join)):
+            raise TypeError("Join operands must be Leaf or Join nodes")
+        self.left = left
+        self.right = right
+        self.label = label
+        self.work = work
+
+    def __str__(self) -> str:
+        tag = self.label or "⋈"
+        return f"({self.left} {tag} {self.right})"
+
+    def __repr__(self) -> str:
+        return f"Join({self.left!r}, {self.right!r}, label={self.label!r})"
+
+
+Node = Union[Leaf, Join]
+
+
+def leaves(node: Node) -> List[Leaf]:
+    """Leaves of the tree in left-to-right order."""
+    if isinstance(node, Leaf):
+        return [node]
+    return leaves(node.left) + leaves(node.right)
+
+
+def leaf_names(node: Node) -> List[str]:
+    """Base-relation names in left-to-right order."""
+    return [leaf.name for leaf in leaves(node)]
+
+
+def joins_postorder(node: Node) -> List[Join]:
+    """Join nodes in postorder (children before parents).
+
+    This is the canonical execution order: a postorder prefix is always
+    a valid sequential schedule, which is exactly what the Sequential
+    Parallel strategy runs.
+    """
+    out: List[Join] = []
+
+    def walk(n: Node) -> None:
+        if isinstance(n, Join):
+            walk(n.left)
+            walk(n.right)
+            out.append(n)
+
+    walk(node)
+    return out
+
+
+def num_joins(node: Node) -> int:
+    """Number of join operations (``len(leaves) - 1`` for any tree)."""
+    return len(joins_postorder(node))
+
+
+def height(node: Node) -> int:
+    """Height of the tree; a leaf has height 0."""
+    if isinstance(node, Leaf):
+        return 0
+    return 1 + max(height(node.left), height(node.right))
+
+
+def parent_map(root: Node) -> dict:
+    """Map from each join node to its parent join (root maps to None)."""
+    parents = {}
+
+    def walk(n: Node, parent: Optional[Join]) -> None:
+        if isinstance(n, Join):
+            parents[n] = parent
+            walk(n.left, n)
+            walk(n.right, n)
+
+    walk(root, None)
+    return parents
+
+
+def is_linear(root: Node) -> bool:
+    """True when every join has at most one join child (a linear tree)."""
+    return all(
+        isinstance(j.left, Leaf) or isinstance(j.right, Leaf)
+        for j in joins_postorder(root)
+    )
+
+
+def is_left_linear(root: Node) -> bool:
+    """True for left-linear trees: every join's right child is a leaf."""
+    return all(isinstance(j.right, Leaf) for j in joins_postorder(root))
+
+
+def is_right_linear(root: Node) -> bool:
+    """True for right-linear trees: every join's left child is a leaf."""
+    return all(isinstance(j.left, Leaf) for j in joins_postorder(root))
+
+
+def is_bushy(root: Node) -> bool:
+    """True when some join has two join children (a bushy tree)."""
+    return any(
+        isinstance(j.left, Join) and isinstance(j.right, Join)
+        for j in joins_postorder(root)
+    )
+
+
+def orientation(root: Node) -> float:
+    """Right-orientation score in ``[-1, 1]``.
+
+    +1 for a right-linear tree, -1 for a left-linear tree, 0 for a
+    perfectly balanced one: the mean over joins with exactly one join
+    child of +1 (join child on the right) or -1 (on the left).
+    """
+    scores = []
+    for j in joins_postorder(root):
+        left_join = isinstance(j.left, Join)
+        right_join = isinstance(j.right, Join)
+        if left_join and not right_join:
+            scores.append(-1.0)
+        elif right_join and not left_join:
+            scores.append(1.0)
+    if not scores:
+        return 0.0
+    return sum(scores) / len(scores)
+
+
+def mirror(node: Node) -> Node:
+    """The left-right mirrored tree.
+
+    Section 5 notes mirroring is free (join is commutative) and can
+    make a tree right-oriented so that RD performs well on it.
+    """
+    if isinstance(node, Leaf):
+        return node
+    return Join(mirror(node.right), mirror(node.left), label=node.label, work=node.work)
+
+
+def map_labels(root: Node, fn: Callable[[Join, int], Optional[str]]) -> Node:
+    """Rebuild the tree assigning ``label = fn(join, postorder_index)``."""
+    order = {j: i for i, j in enumerate(joins_postorder(root))}
+
+    def walk(n: Node) -> Node:
+        if isinstance(n, Leaf):
+            return n
+        return Join(walk(n.left), walk(n.right), label=fn(n, order[n]), work=n.work)
+
+    return walk(root)
+
+
+def structurally_equal(a: Node, b: Node) -> bool:
+    """Structural equality (shape and leaf names; labels ignored)."""
+    if isinstance(a, Leaf) or isinstance(b, Leaf):
+        return isinstance(a, Leaf) and isinstance(b, Leaf) and a.name == b.name
+    return structurally_equal(a.left, b.left) and structurally_equal(a.right, b.right)
+
+
+def render(root: Node, indent: str = "  ") -> str:
+    """Multi-line, top-down rendering of the tree for debugging."""
+    lines: List[str] = []
+
+    def walk(n: Node, depth: int) -> None:
+        if isinstance(n, Leaf):
+            lines.append(f"{indent * depth}{n.name}")
+        else:
+            lines.append(f"{indent * depth}⋈ {n.label or ''}".rstrip())
+            walk(n.left, depth + 1)
+            walk(n.right, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Execution engines: real local execution and machine simulation."""
+
+from ..sim.machine import MachineConfig
+from ..sim.metrics import SimulationResult
+from .ideal import ideal_diagram, ideal_simulation, label_map_for
+from .local import (
+    ExecutionResult,
+    TaskExecution,
+    execute_schedule,
+    reference_result,
+)
+from .natural import execute_natural_schedule, natural_reference
+from .simulate import simulate_schedule, simulate_strategy
+from .threaded import ThreadedExecutor, execute_threaded
+from .trace import critical_path, spans_of, task_marks, to_json
+from .utilization import busy_fractions, utilization_diagram
+
+__all__ = [
+    "ExecutionResult",
+    "MachineConfig",
+    "SimulationResult",
+    "TaskExecution",
+    "busy_fractions",
+    "critical_path",
+    "spans_of",
+    "task_marks",
+    "to_json",
+    "ThreadedExecutor",
+    "execute_natural_schedule",
+    "execute_schedule",
+    "execute_threaded",
+    "natural_reference",
+    "ideal_diagram",
+    "ideal_simulation",
+    "label_map_for",
+    "reference_result",
+    "simulate_schedule",
+    "simulate_strategy",
+    "utilization_diagram",
+]

@@ -1,0 +1,83 @@
+"""Idealized executions (the Section 3 explanation figures).
+
+Figures 3, 4, 6 and 7 show *idealized* processor-utilization diagrams
+for the four strategies on the Figure 2 example tree: overhead from
+parallel execution is not taken into account, only work amounts,
+allocation and dataflow dependencies.  We reproduce them by running
+the real simulator with :meth:`MachineConfig.ideal` (zero startup,
+handshake and latency costs) and the example tree's explicit relative
+work labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.cost import Catalog, CostModel
+from ..core.shapes import example_tree
+from ..core.strategies import Strategy, get_strategy
+from ..core.trees import Node, joins_postorder
+from ..sim.machine import MachineConfig
+from ..sim.metrics import SimulationResult
+from ..sim.run import simulate
+from .utilization import utilization_diagram
+
+
+def ideal_simulation(
+    tree: Node,
+    strategy: Union[str, Strategy],
+    processors: int,
+    leaf_cardinality: int = 1000,
+    batches: int = 64,
+) -> SimulationResult:
+    """Zero-overhead run of ``strategy`` on ``tree``.
+
+    ``leaf_cardinality`` only sets the fluid flow granularity; with the
+    ideal machine config the response time is in units of work (a join
+    labelled ``work=5`` occupies five work-units of processor time in
+    total).
+    """
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    names = [leaf.name for leaf in _leaves(tree)]
+    catalog = Catalog.regular(names, leaf_cardinality)
+    schedule = strategy.schedule(tree, catalog, processors)
+    # With the ideal config, a join carrying an explicit ``work``
+    # label occupies exactly that many machine-seconds of CPU in
+    # total (the work_scale mechanism of the simulator), so the
+    # diagram's time axis is in the figure's relative work units.
+    config = MachineConfig.ideal(batches=batches)
+    return simulate(schedule, catalog, config)
+
+
+def label_map_for(tree: Node) -> Dict[str, str]:
+    """Map internal task labels (J0, J1, ...) to the tree's join labels."""
+    out: Dict[str, str] = {}
+    for index, join in enumerate(joins_postorder(tree)):
+        if join.label:
+            out[f"J{index}"] = join.label
+    return out
+
+
+def ideal_diagram(
+    strategy: Union[str, Strategy],
+    processors: int = 10,
+    tree: Optional[Node] = None,
+    width: int = 72,
+) -> str:
+    """One of the paper's idealized diagrams.
+
+    With the defaults this renders the strategy's Section 3 figure:
+    the Figure 2 example tree on a 10-processor system (Figure 3 for
+    SP, 4 for SE, 6 for RD, 7 for FP).
+    """
+    if tree is None:
+        tree = example_tree()
+    result = ideal_simulation(tree, strategy, processors)
+    return utilization_diagram(result, width=width, label_map=label_map_for(tree))
+
+
+def _leaves(tree: Node):
+    from ..core.trees import leaves
+
+    return leaves(tree)

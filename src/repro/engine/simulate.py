@@ -1,0 +1,40 @@
+"""Friendly front-ends over the machine simulation."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.cost import Catalog, CostModel
+from ..core.schedule import ParallelSchedule
+from ..core.strategies import Strategy, get_strategy
+from ..core.trees import Node
+from ..sim.machine import MachineConfig
+from ..sim.metrics import SimulationResult
+from ..sim.run import simulate
+
+
+def simulate_schedule(
+    schedule: ParallelSchedule,
+    catalog: Catalog,
+    config: Optional[MachineConfig] = None,
+    cost_model: CostModel = CostModel(),
+) -> SimulationResult:
+    """Run one schedule on the simulated machine."""
+    return simulate(schedule, catalog, config, cost_model)
+
+
+def simulate_strategy(
+    tree: Node,
+    catalog: Catalog,
+    strategy: Union[str, Strategy],
+    processors: int,
+    config: Optional[MachineConfig] = None,
+    cost_model: CostModel = CostModel(),
+) -> SimulationResult:
+    """Plan ``tree`` with ``strategy`` and simulate it in one call —
+    the paper's basic experimental step (strategy × tree × processors
+    → response time)."""
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    schedule = strategy.schedule(tree, catalog, processors, cost_model)
+    return simulate(schedule, catalog, config, cost_model)

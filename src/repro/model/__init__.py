@@ -1,0 +1,5 @@
+"""Analytic response-time model ([WiA93, WiG93] lineage)."""
+
+from .analytic import Prediction, predict, predict_schedule, relative_error
+
+__all__ = ["Prediction", "predict", "predict_schedule", "relative_error"]

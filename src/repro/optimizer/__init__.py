@@ -1,0 +1,41 @@
+"""Two-phase optimization: tree enumeration, guidelines, strategy choice."""
+
+from .enumerate import (
+    PlanEntry,
+    all_trees,
+    catalog_for,
+    optimal_bushy_tree,
+    tree_total_cost,
+)
+from .graph import QueryGraph
+from .guidelines import (
+    Advice,
+    advise_strategy,
+    apply_advice,
+    sp_processor_threshold,
+    wide_bushiness,
+)
+from .linear import optimal_left_deep_tree, optimal_right_deep_tree
+from .onephase import JointPlan, one_phase_optimize, two_phase_gap
+from .twophase import OptimizedPlan, two_phase_optimize
+
+__all__ = [
+    "Advice",
+    "JointPlan",
+    "one_phase_optimize",
+    "two_phase_gap",
+    "OptimizedPlan",
+    "PlanEntry",
+    "QueryGraph",
+    "advise_strategy",
+    "all_trees",
+    "apply_advice",
+    "catalog_for",
+    "optimal_bushy_tree",
+    "optimal_left_deep_tree",
+    "optimal_right_deep_tree",
+    "sp_processor_threshold",
+    "tree_total_cost",
+    "two_phase_optimize",
+    "wide_bushiness",
+]

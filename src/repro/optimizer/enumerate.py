@@ -1,0 +1,180 @@
+"""Phase one: join-tree enumeration with minimal total cost.
+
+Dynamic programming over connected subsets of the query graph
+(bushy trees, cartesian products excluded) — the full space whose size
+[LVZ93] worries about, affordable here because the paper's queries
+have ten relations.  The objective is the paper's total-cost formula
+(Section 4.3): intermediate operands cost twice what base operands do
+and results cost two units per tuple.
+
+For the regular Wisconsin query every tree without cartesian products
+has the same total cost (Section 4.1) — the tests pin that property —
+so phase one's tie-breaking prefers bushy trees, which Section 5
+recommends: "if it is possible to choose between a linear and a bushy
+tree with (almost) equal processing costs, the bushy one should be
+chosen".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.cost import Catalog, CostModel
+from ..core.trees import Join, Leaf, Node, height, is_bushy, num_joins
+from .graph import QueryGraph
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """Best plan found for one relation subset."""
+
+    tree: Node
+    total_cost: float
+    cardinality: float
+    height: int
+
+
+def optimal_bushy_tree(
+    graph: QueryGraph,
+    cost_model: CostModel = CostModel(),
+    prefer_bushy: bool = True,
+) -> PlanEntry:
+    """The minimum-total-cost join tree over all bushy shapes.
+
+    Ties (equal cost within a relative tolerance) are broken toward
+    lower tree height when ``prefer_bushy`` is set, implementing the
+    paper's advice to pick the bushy variant of equally priced trees.
+    """
+    names = graph.relations
+    if len(names) < 2:
+        raise ValueError("need at least two relations")
+    best: Dict[FrozenSet[str], PlanEntry] = {}
+    for name in names:
+        subset = frozenset((name,))
+        best[subset] = PlanEntry(
+            Leaf(name), 0.0, float(graph.cardinalities[name]), 0
+        )
+
+    full = frozenset(names)
+    for size in range(2, len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            subset = frozenset(combo)
+            if not graph.connected(subset):
+                continue
+            entry = _best_split(subset, best, graph, cost_model, prefer_bushy)
+            if entry is not None:
+                best[subset] = entry
+    if full not in best:
+        raise ValueError("query graph is disconnected; no cartesian-free tree")
+    return best[full]
+
+
+def _best_split(
+    subset: FrozenSet[str],
+    best: Dict[FrozenSet[str], PlanEntry],
+    graph: QueryGraph,
+    cost_model: CostModel,
+    prefer_bushy: bool,
+) -> Optional[PlanEntry]:
+    members = sorted(subset)
+    anchor = members[0]
+    chosen: Optional[PlanEntry] = None
+    result_card = graph.subset_cardinality(subset)
+    # Enumerate splits once (anchor always on the left half);
+    # mask 0 puts the anchor alone, the all-ones mask (everything on
+    # the left) is excluded.
+    for mask in range(0, (1 << (len(members) - 1)) - 1):
+        left = frozenset(
+            [anchor]
+            + [members[i + 1] for i in range(len(members) - 1) if mask >> i & 1]
+        )
+        right = subset - left
+        left_entry = best.get(left)
+        right_entry = best.get(right)
+        if left_entry is None or right_entry is None:
+            continue
+        if not graph.joinable(left, right):
+            continue
+        for lhs, rhs in ((left_entry, right_entry), (right_entry, left_entry)):
+            join_cost = cost_model.join_cost(
+                lhs.cardinality,
+                rhs.cardinality,
+                result_card,
+                isinstance(lhs.tree, Leaf),
+                isinstance(rhs.tree, Leaf),
+            )
+            total = lhs.total_cost + rhs.total_cost + join_cost
+            entry = PlanEntry(
+                Join(lhs.tree, rhs.tree),
+                total,
+                result_card,
+                1 + max(lhs.height, rhs.height),
+            )
+            if chosen is None or _better(entry, chosen, prefer_bushy):
+                chosen = entry
+    return chosen
+
+
+def _better(candidate: PlanEntry, incumbent: PlanEntry, prefer_bushy: bool) -> bool:
+    scale = max(abs(incumbent.total_cost), 1.0)
+    if candidate.total_cost < incumbent.total_cost - 1e-9 * scale:
+        return True
+    if candidate.total_cost > incumbent.total_cost + 1e-9 * scale:
+        return False
+    if prefer_bushy:
+        return candidate.height < incumbent.height
+    return False
+
+
+def tree_total_cost(
+    graph: QueryGraph, tree: Node, cost_model: CostModel = CostModel()
+) -> float:
+    """Total cost of an arbitrary tree under the graph's estimates."""
+    catalog = catalog_for(graph)
+    return cost_model.total_cost(tree, catalog)
+
+
+def catalog_for(graph: QueryGraph) -> Catalog:
+    """A :class:`Catalog` whose cardinality estimates come from the
+    query graph (subset-aware, so shared with the strategies)."""
+    return Catalog(
+        cardinalities=dict(graph.cardinalities),
+        subset_estimator=graph.subset_cardinality,
+    )
+
+
+def all_trees(graph: QueryGraph) -> Iterable[Node]:
+    """Every cartesian-product-free join tree (small queries only).
+
+    Exponential; used by tests to verify the DP optimum and the
+    regular query's equal-cost property.
+    """
+    names = graph.relations
+    if len(names) > 8:
+        raise ValueError("all_trees is for small queries (≤ 8 relations)")
+
+    def trees_for(subset: FrozenSet[str]) -> List[Node]:
+        if len(subset) == 1:
+            return [Leaf(next(iter(subset)))]
+        out: List[Node] = []
+        members = sorted(subset)
+        anchor = members[0]
+        for mask in range(0, (1 << (len(members) - 1)) - 1):
+            left = frozenset(
+                [anchor]
+                + [members[i + 1] for i in range(len(members) - 1) if mask >> i & 1]
+            )
+            right = subset - left
+            if not (graph.connected(left) and graph.connected(right)):
+                continue
+            if not graph.joinable(left, right):
+                continue
+            for l_tree in trees_for(left):
+                for r_tree in trees_for(right):
+                    out.append(Join(l_tree, r_tree))
+                    out.append(Join(r_tree, l_tree))
+        return out
+
+    return trees_for(frozenset(names))

@@ -1,0 +1,159 @@
+"""Query graphs for the optimizer's phase one.
+
+Phase one of two-phase optimization (Section 1.2, [HoS91]) picks the
+join tree with minimal *total* cost.  Enumerating trees needs to know
+which relation pairs have join predicates (to avoid cartesian
+products, as System R does) and how selective they are (to estimate
+intermediate cardinalities).  A :class:`QueryGraph` carries both.
+
+The paper's regular Wisconsin query corresponds to a chain graph whose
+every edge has selectivity ``1/cardinality``: any connected subset
+then has cardinality exactly ``cardinality``, making all join trees
+equal in total cost — the property Section 4.1 engineers on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """Relations, join predicates, and selectivities."""
+
+    cardinalities: Mapping[str, int]
+    #: frozenset({a, b}) → selectivity of the predicate between a and b.
+    selectivities: Mapping[FrozenSet[str], float]
+
+    def __post_init__(self) -> None:
+        for edge, selectivity in self.selectivities.items():
+            if len(edge) != 2:
+                raise ValueError(f"edges join exactly two relations: {set(edge)}")
+            for name in edge:
+                if name not in self.cardinalities:
+                    raise ValueError(f"edge references unknown relation {name!r}")
+            if selectivity < 0:
+                raise ValueError("selectivities must be non-negative")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def chain(
+        cls, names: Sequence[str], cardinalities, selectivity
+    ) -> "QueryGraph":
+        """A chain query: predicates between consecutive relations.
+
+        ``cardinalities`` and ``selectivity`` may be scalars or
+        sequences (one per relation / per edge).
+        """
+        cards = _per_item(cardinalities, names)
+        sels = _per_edge(selectivity, len(names) - 1)
+        edges = {
+            frozenset((names[i], names[i + 1])): sels[i]
+            for i in range(len(names) - 1)
+        }
+        return cls(dict(zip(names, cards)), edges)
+
+    @classmethod
+    def star(
+        cls, center: str, satellites: Sequence[str], cardinalities, selectivity
+    ) -> "QueryGraph":
+        """A star query: every satellite joins the center relation."""
+        names = [center] + list(satellites)
+        cards = _per_item(cardinalities, names)
+        sels = _per_edge(selectivity, len(satellites))
+        edges = {
+            frozenset((center, sat)): sels[i] for i, sat in enumerate(satellites)
+        }
+        return cls(dict(zip(names, cards)), edges)
+
+    @classmethod
+    def clique(cls, names: Sequence[str], cardinalities, selectivity) -> "QueryGraph":
+        """A clique query: predicates between all pairs."""
+        cards = _per_item(cardinalities, names)
+        pairs = [
+            frozenset((a, b)) for i, a in enumerate(names) for b in names[i + 1:]
+        ]
+        sels = _per_edge(selectivity, len(pairs))
+        return cls(dict(zip(names, cards)), dict(zip(pairs, sels)))
+
+    @classmethod
+    def regular(cls, names: Sequence[str], cardinality: int) -> "QueryGraph":
+        """The paper's regular query (Section 4.1): equal cardinalities
+        and one-to-one joins, so every connected subset has cardinality
+        ``cardinality`` and all join trees cost the same."""
+        if cardinality <= 0:
+            raise ValueError("cardinality must be positive")
+        return cls.chain(names, cardinality, 1.0 / cardinality)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        return tuple(self.cardinalities)
+
+    def edges_between(
+        self, left: FrozenSet[str], right: FrozenSet[str]
+    ) -> List[FrozenSet[str]]:
+        """Predicates connecting two disjoint relation sets."""
+        return [
+            edge
+            for edge in self.selectivities
+            if len(edge & left) == 1 and len(edge & right) == 1
+        ]
+
+    def joinable(self, left: FrozenSet[str], right: FrozenSet[str]) -> bool:
+        """Whether joining the two sets avoids a cartesian product."""
+        return bool(self.edges_between(left, right))
+
+    def connected(self, subset: FrozenSet[str]) -> bool:
+        """Whether ``subset`` induces a connected subgraph."""
+        subset = frozenset(subset)
+        if not subset:
+            return False
+        seen = {next(iter(subset))}
+        frontier = list(seen)
+        while frontier:
+            node = frontier.pop()
+            for edge in self.selectivities:
+                if node in edge:
+                    (other,) = edge - {node}
+                    if other in subset and other not in seen:
+                        seen.add(other)
+                        frontier.append(other)
+        return seen == set(subset)
+
+    def subset_cardinality(self, subset: FrozenSet[str]) -> float:
+        """Estimated cardinality of joining ``subset`` (independence
+        assumption: product of cardinalities times the selectivities of
+        all predicates inside the subset)."""
+        card = 1.0
+        for name in subset:
+            card *= self.cardinalities[name]
+        for edge, selectivity in self.selectivities.items():
+            if edge <= subset:
+                card *= selectivity
+        return card
+
+    def join_cardinality(self, left: FrozenSet[str], right: FrozenSet[str]) -> float:
+        """Estimated result cardinality of joining two disjoint sets."""
+        return self.subset_cardinality(left | right)
+
+
+def _per_item(value, names) -> List[int]:
+    if isinstance(value, (int, float)):
+        return [int(value)] * len(names)
+    out = [int(v) for v in value]
+    if len(out) != len(names):
+        raise ValueError("one cardinality per relation required")
+    return out
+
+
+def _per_edge(value, count: int) -> List[float]:
+    if isinstance(value, (int, float)):
+        return [float(value)] * count
+    out = [float(v) for v in value]
+    if len(out) != count:
+        raise ValueError("one selectivity per edge required")
+    return out

@@ -1,0 +1,156 @@
+"""The paper's strategy-selection guidelines (Section 5).
+
+The concluding section distills the experiments into rules:
+
+* For a *small* number of processors, SP is the easiest and best
+  (no cost function needed; startup/coordination overhead only grows
+  with processors, and the threshold grows with problem size).
+* SE works very well for wide bushy trees, degenerates toward SP on
+  linear ones.
+* RD works well for right-oriented trees; for left-linear it
+  degenerates to SP, for right-linear to FP; trees can be *mirrored*
+  for free to become right-oriented.
+* FP gives the best overall performance for large processor counts
+  over the whole range of shapes.
+* Disk-based systems whose memory cannot hold one join entirely
+  should always use SP (Section 4.4's discussion).
+
+:func:`advise_strategy` encodes these rules; the ``sp_threshold``
+scaling follows the √(problem size) law of Section 2.3.1 — the
+optimal degree of parallelism grows with the square root of the
+operand sizes, so the processor count below which SP wins scales the
+same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import List, Optional
+
+from ..core.cost import Catalog, CostModel
+from ..core.trees import (
+    Node,
+    is_bushy,
+    is_left_linear,
+    is_linear,
+    is_right_linear,
+    joins_postorder,
+    mirror,
+    num_joins,
+    orientation,
+)
+
+#: Calibrated on the reproduction's own sweeps: SP stops winning once
+#: processors exceed roughly this multiple of √(total work units).
+SP_THRESHOLD_COEFFICIENT = 0.035
+
+
+@dataclass(frozen=True)
+class Advice:
+    """A strategy recommendation with its §5 rationale."""
+
+    strategy: str
+    rationale: str
+    mirrored: bool = False
+    runner_up: Optional[str] = None
+
+    def __str__(self) -> str:
+        extra = " (after mirroring the tree)" if self.mirrored else ""
+        return f"{self.strategy}{extra}: {self.rationale}"
+
+
+def sp_processor_threshold(
+    tree: Node, catalog: Catalog, cost_model: CostModel = CostModel()
+) -> float:
+    """Processor count below which SP is expected to win.
+
+    Proportional to √(total work), per the [WFA92] observation that
+    the optimal degree of parallelism scales with the square root of
+    the problem size (Section 2.3.1).
+    """
+    total = cost_model.total_cost(tree, catalog)
+    return SP_THRESHOLD_COEFFICIENT * sqrt(max(total, 0.0))
+
+
+def wide_bushiness(tree: Node) -> float:
+    """Fraction of joins with two join children — SE's opportunity.
+
+    A wide bushy tree over n relations approaches ~0.5; long bushy
+    trees stay low; linear trees are exactly 0.
+    """
+    joins = joins_postorder(tree)
+    if not joins:
+        return 0.0
+    from ..core.trees import Join as JoinNode
+
+    both = sum(
+        1
+        for j in joins
+        if isinstance(j.left, JoinNode) and isinstance(j.right, JoinNode)
+    )
+    return both / len(joins)
+
+
+def advise_strategy(
+    tree: Node,
+    catalog: Catalog,
+    processors: int,
+    cost_model: CostModel = CostModel(),
+    memory_holds_one_join: bool = True,
+    allow_mirroring: bool = True,
+) -> Advice:
+    """Choose a strategy for ``tree`` on ``processors`` per Section 5."""
+    if not memory_holds_one_join:
+        return Advice(
+            "SP",
+            "memory too small to host a single join entirely: inter-join "
+            "parallelism would only increase disk traffic (Section 4.4)",
+        )
+    threshold = sp_processor_threshold(tree, catalog, cost_model)
+    if processors <= threshold:
+        return Advice(
+            "SP",
+            f"small machine ({processors} ≤ ~{threshold:.0f} processors for "
+            "this problem size): SP avoids a cost function and its overhead "
+            "has not yet started to dominate",
+            runner_up="FP",
+        )
+    bushiness = wide_bushiness(tree)
+    orient = orientation(tree)
+    if bushiness >= 0.3:
+        return Advice(
+            "SE",
+            f"wide bushy tree ({bushiness:.0%} of joins have two join "
+            "children): independent subtrees give SE synchronous "
+            "inter-operator parallelism",
+            runner_up="FP",
+        )
+    if orient >= 0.5:
+        return Advice(
+            "RD",
+            "right-oriented tree: long probe pipelines with independently "
+            "computable build operands suit segmented right-deep execution "
+            "(and RD needs only one hash table per join — less memory than FP)",
+            runner_up="FP",
+        )
+    if orient <= -0.5 and allow_mirroring and not is_linear(tree):
+        return Advice(
+            "RD",
+            "left-oriented tree mirrored right without cost penalty "
+            "(join commutes), then executed segmented right-deep",
+            mirrored=True,
+            runner_up="FP",
+        )
+    return Advice(
+        "FP",
+        "large processor count: FP's overhead is smallest and shrinks with "
+        "added processors, giving the best overall performance across "
+        "query shapes",
+        runner_up="RD" if orient > 0 else "SE",
+    )
+
+
+def apply_advice(tree: Node, advice: Advice) -> Node:
+    """The tree the advised strategy should run on (mirrored if advised)."""
+    return mirror(tree) if advice.mirrored else tree

@@ -1,0 +1,87 @@
+"""System-R style linear-tree optimization (Section 1.2 context).
+
+System R [SAC79] restricted join trees to linear ones and picked the
+cheapest left-deep tree without cartesian products; [KBZ86] then noted
+the restriction may be poor for parallel systems.  This module
+implements the linear-tree DP so the reproduction can quantify that
+remark: the benchmarks compare the best linear tree against the best
+bushy tree under the four parallel strategies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from ..core.cost import CostModel
+from ..core.trees import Join, Leaf, Node
+from .enumerate import PlanEntry
+from .graph import QueryGraph
+
+
+def optimal_left_deep_tree(
+    graph: QueryGraph, cost_model: CostModel = CostModel()
+) -> PlanEntry:
+    """The minimum-total-cost *left-deep* tree (joins extend on the left
+    spine, every right operand a base relation), cartesian-free."""
+    names = graph.relations
+    if len(names) < 2:
+        raise ValueError("need at least two relations")
+    best: Dict[FrozenSet[str], PlanEntry] = {}
+    for name in names:
+        subset = frozenset((name,))
+        best[subset] = PlanEntry(
+            Leaf(name), 0.0, float(graph.cardinalities[name]), 0
+        )
+
+    for size in range(2, len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            subset = frozenset(combo)
+            if not graph.connected(subset):
+                continue
+            chosen: Optional[PlanEntry] = None
+            result_card = graph.subset_cardinality(subset)
+            for last in subset:
+                rest = subset - {last}
+                rest_entry = best.get(rest)
+                if rest_entry is None:
+                    continue
+                if not graph.joinable(rest, frozenset((last,))):
+                    continue
+                join_cost = cost_model.join_cost(
+                    rest_entry.cardinality,
+                    float(graph.cardinalities[last]),
+                    result_card,
+                    isinstance(rest_entry.tree, Leaf),
+                    True,
+                )
+                total = rest_entry.total_cost + join_cost
+                entry = PlanEntry(
+                    Join(rest_entry.tree, Leaf(last)),
+                    total,
+                    result_card,
+                    rest_entry.height + 1,
+                )
+                if chosen is None or entry.total_cost < chosen.total_cost:
+                    chosen = entry
+            if chosen is not None:
+                best[subset] = chosen
+    full = frozenset(names)
+    if full not in best:
+        raise ValueError("query graph is disconnected; no cartesian-free tree")
+    return best[full]
+
+
+def optimal_right_deep_tree(
+    graph: QueryGraph, cost_model: CostModel = CostModel()
+) -> PlanEntry:
+    """The cheapest *right-deep* tree: the mirror of the left-deep
+    optimum (join commutes, so the cost is identical — the mirroring
+    trick of Section 5 that makes RD applicable)."""
+    from ..core.trees import mirror
+
+    entry = optimal_left_deep_tree(graph, cost_model)
+    return PlanEntry(
+        mirror(entry.tree), entry.total_cost, entry.cardinality, entry.height
+    )

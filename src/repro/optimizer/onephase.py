@@ -1,0 +1,129 @@
+"""One-phase (joint) optimization — testing the two-phase assumption.
+
+Section 1.2: the paper adopts two-phase optimization ([HoS91]) while
+noting "not all researchers agree on this assumption [SrE93]", and
+argues that "missing the very best execution plan is not a big problem
+as long as you can assure that you will not come up with a very bad
+one" [KBZ86].
+
+This module makes that argument checkable: it searches the *joint*
+space — every cartesian-free join tree × every strategy — by
+simulating each candidate plan, i.e. optimizing response time directly
+instead of total cost first.  The space is "gigantic" (the paper's
+word) so this is only feasible for small queries; the extension bench
+compares the one-phase optimum against the two-phase choice and
+reports the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cost import Catalog, CostModel
+from ..core.schedule import ParallelSchedule
+from ..core.strategies import get_strategy, strategy_names
+from ..core.trees import Node
+from ..sim.machine import MachineConfig
+from ..sim.run import simulate
+from .enumerate import all_trees, catalog_for
+from .graph import QueryGraph
+
+
+@dataclass
+class JointPlan:
+    """The outcome of a joint (tree × strategy) search."""
+
+    tree: Node
+    strategy: str
+    schedule: ParallelSchedule
+    response_time: float
+    candidates_tried: int
+    #: Response time distribution over all candidates (min/median/max).
+    spread: Tuple[float, float, float]
+
+
+def one_phase_optimize(
+    graph: QueryGraph,
+    processors: int,
+    config: Optional[MachineConfig] = None,
+    strategies: Optional[Sequence[str]] = None,
+    cost_model: CostModel = CostModel(),
+    max_relations: int = 7,
+) -> JointPlan:
+    """Exhaustively search trees × strategies for minimal response time.
+
+    Operand order is part of the plan (it decides build sides and
+    right-deep segments), so every tree ``all_trees`` yields is a
+    distinct candidate.  Guarded by ``max_relations`` — the joint
+    space explodes.
+    """
+    if len(graph.relations) > max_relations:
+        raise ValueError(
+            f"one-phase search over {len(graph.relations)} relations is "
+            f"not feasible (limit {max_relations}); use two_phase_optimize"
+        )
+    if config is None:
+        config = MachineConfig.paper()
+    if strategies is None:
+        strategies = strategy_names()
+    catalog = catalog_for(graph)
+
+    best: Optional[JointPlan] = None
+    times: List[float] = []
+    tried = 0
+    for tree in all_trees(graph):
+        for name in strategies:
+            try:
+                schedule = get_strategy(name).schedule(
+                    tree, catalog, processors, cost_model
+                )
+            except ValueError:
+                continue
+            result = simulate(schedule, catalog, config, cost_model)
+            tried += 1
+            times.append(result.response_time)
+            if best is None or result.response_time < best.response_time:
+                best = JointPlan(
+                    tree=tree,
+                    strategy=name,
+                    schedule=schedule,
+                    response_time=result.response_time,
+                    candidates_tried=0,
+                    spread=(0.0, 0.0, 0.0),
+                )
+    if best is None:
+        raise ValueError("no executable candidate plan found")
+    times.sort()
+    best.candidates_tried = tried
+    best.spread = (times[0], times[len(times) // 2], times[-1])
+    return best
+
+
+def two_phase_gap(
+    graph: QueryGraph,
+    processors: int,
+    config: Optional[MachineConfig] = None,
+    cost_model: CostModel = CostModel(),
+) -> Dict[str, float]:
+    """Compare two-phase against the one-phase optimum.
+
+    Returns the response times and the relative gap — the number the
+    paper's two-phase argument stands on (small gap = assumption holds
+    for this workload).
+    """
+    from .twophase import two_phase_optimize
+
+    joint = one_phase_optimize(graph, processors, config, cost_model=cost_model)
+    staged = two_phase_optimize(
+        graph, processors, mode="simulate", config=config, cost_model=cost_model
+    )
+    staged_time = staged.candidates[staged.strategy]
+    return {
+        "one_phase": joint.response_time,
+        "two_phase": staged_time,
+        "gap": staged_time / joint.response_time - 1.0,
+        "median_candidate": joint.spread[1],
+        "worst_candidate": joint.spread[2],
+        "candidates": float(joint.candidates_tried),
+    }

@@ -1,0 +1,114 @@
+"""Two-phase optimization (Section 1.2, [HoS91]).
+
+Phase one picks the join tree with minimal total cost (standard query
+optimization — here the bushy DP of :mod:`repro.optimizer.enumerate`).
+Phase two finds a suitable parallelization for that tree — the
+subject of the paper.  Two phase-two modes are provided:
+
+* ``"guidelines"`` — apply the Section 5 rules (fast, no simulation);
+* ``"simulate"`` — generate a plan per candidate strategy, run each on
+  the simulated machine, and keep the best response time (what the
+  paper's experiments do by hand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.cost import Catalog, CostModel
+from ..core.schedule import ParallelSchedule
+from ..core.strategies import get_strategy, strategy_names
+from ..core.trees import Node
+from ..sim.machine import MachineConfig
+from ..sim.metrics import SimulationResult
+from ..sim.run import simulate
+from .enumerate import catalog_for, optimal_bushy_tree
+from .graph import QueryGraph
+from .guidelines import Advice, advise_strategy, apply_advice
+
+
+@dataclass
+class OptimizedPlan:
+    """The outcome of two-phase optimization."""
+
+    tree: Node
+    catalog: Catalog
+    strategy: str
+    schedule: ParallelSchedule
+    total_cost: float
+    advice: Optional[Advice] = None
+    #: Response times per candidate strategy (simulate mode only).
+    candidates: Optional[Dict[str, float]] = None
+    #: Simulation of the chosen plan (simulate mode only).
+    simulation: Optional[SimulationResult] = None
+
+    def summary(self) -> str:
+        lines = [
+            f"phase 1: tree with total cost {self.total_cost:,.0f} units",
+            f"phase 2: {self.strategy} on {self.schedule.processors} processors",
+        ]
+        if self.advice is not None:
+            lines.append(f"  rationale: {self.advice.rationale}")
+        if self.candidates:
+            ranked = sorted(self.candidates.items(), key=lambda kv: kv[1])
+            lines.append(
+                "  candidates: "
+                + ", ".join(f"{name}={rt:.2f}s" for name, rt in ranked)
+            )
+        return "\n".join(lines)
+
+
+def two_phase_optimize(
+    graph: QueryGraph,
+    processors: int,
+    mode: str = "simulate",
+    config: Optional[MachineConfig] = None,
+    strategies: Optional[Sequence[str]] = None,
+    cost_model: CostModel = CostModel(),
+) -> OptimizedPlan:
+    """Optimize a multi-join query end to end."""
+    if mode not in ("simulate", "guidelines"):
+        raise ValueError(f"unknown phase-two mode {mode!r}")
+    entry = optimal_bushy_tree(graph, cost_model)
+    catalog = catalog_for(graph)
+    if mode == "guidelines":
+        advice = advise_strategy(entry.tree, catalog, processors, cost_model)
+        tree = apply_advice(entry.tree, advice)
+        schedule = get_strategy(advice.strategy).schedule(
+            tree, catalog, processors, cost_model
+        )
+        return OptimizedPlan(
+            tree=tree,
+            catalog=catalog,
+            strategy=advice.strategy,
+            schedule=schedule,
+            total_cost=entry.total_cost,
+            advice=advice,
+        )
+
+    candidates = list(strategies) if strategies else strategy_names()
+    results: Dict[str, float] = {}
+    best_name: Optional[str] = None
+    best_schedule: Optional[ParallelSchedule] = None
+    best_result: Optional[SimulationResult] = None
+    for name in candidates:
+        schedule = get_strategy(name).schedule(
+            entry.tree, catalog, processors, cost_model
+        )
+        result = simulate(schedule, catalog, config, cost_model)
+        results[name] = result.response_time
+        if best_result is None or result.response_time < best_result.response_time:
+            best_name = name
+            best_schedule = schedule
+            best_result = result
+    assert best_name is not None and best_schedule is not None
+    return OptimizedPlan(
+        tree=entry.tree,
+        catalog=catalog,
+        strategy=best_name,
+        schedule=best_schedule,
+        total_cost=entry.total_cost,
+        candidates=results,
+        simulation=best_result,
+    )

@@ -1,0 +1,68 @@
+"""Relational substrate: schemas, relations, Wisconsin data, hash joins.
+
+This package is the data layer under the reproduction: real, executable
+relational algebra that the local execution engine runs to validate
+that every parallel strategy computes the same answer.
+"""
+
+from .hashjoin import (
+    PipeliningHashJoin,
+    SimpleHashJoin,
+    concat_rows,
+    first_result_position,
+    pipelining_hash_join,
+    simple_hash_join,
+)
+from .operators import project, scan, split, union, wisconsin_combine
+from .partition import bucket, fragment_sizes, hash_partition, skew
+from .query import (
+    JoinKeyError,
+    JoinResolution,
+    natural_join,
+    natural_join_key,
+    natural_resolution,
+    wisconsin_resolution,
+)
+from .relation import Relation
+from .schema import Attribute, Schema
+from .wisconsin import (
+    WISCONSIN_SCHEMA,
+    WISCONSIN_TUPLE_BYTES,
+    expected_join_cardinality,
+    make_query_relations,
+    make_wisconsin,
+    wisconsin_join_project,
+)
+
+__all__ = [
+    "Attribute",
+    "PipeliningHashJoin",
+    "Relation",
+    "Schema",
+    "SimpleHashJoin",
+    "WISCONSIN_SCHEMA",
+    "WISCONSIN_TUPLE_BYTES",
+    "JoinKeyError",
+    "JoinResolution",
+    "bucket",
+    "natural_join",
+    "natural_join_key",
+    "natural_resolution",
+    "wisconsin_resolution",
+    "concat_rows",
+    "expected_join_cardinality",
+    "first_result_position",
+    "fragment_sizes",
+    "hash_partition",
+    "make_query_relations",
+    "make_wisconsin",
+    "pipelining_hash_join",
+    "project",
+    "scan",
+    "simple_hash_join",
+    "skew",
+    "split",
+    "union",
+    "wisconsin_combine",
+    "wisconsin_join_project",
+]

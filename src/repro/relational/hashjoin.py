@@ -1,0 +1,245 @@
+"""The two hash-join algorithms of the paper (Section 2.3.2, Figure 1).
+
+* :class:`SimpleHashJoin` — the classic two-phase build/probe join
+  [ScD89]: the build operand is fully hashed first, then the probe
+  operand streams through.  No result tuple appears before the build
+  phase is complete, so the only pipelining it allows is along the
+  probe operand.
+
+* :class:`PipeliningHashJoin` — the symmetric main-memory algorithm of
+  [WiA90, WiA91]: one phase, one hash table *per operand*.  As a tuple
+  arrives from either side it probes the part of the other operand's
+  hash table built so far, emits any matches, and is then inserted into
+  its own table.  Results appear as early as possible, enabling
+  pipelining along *both* operands, at the cost of a second hash table.
+
+Both classes are incremental so the execution engines can drive them
+tuple-at-a-time; convenience functions run them to completion on whole
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .relation import Relation, Row
+from .schema import Schema
+
+#: Builds one result row from a matching (left_row, right_row) pair.
+Combine = Callable[[Row, Row], Row]
+
+
+def concat_rows(left: Row, right: Row) -> Row:
+    """Default combiner: concatenation (the plain relational join)."""
+    return left + right
+
+
+class SimpleHashJoin:
+    """Two-phase build/probe hash join over integer keys.
+
+    Drive it with :meth:`build` for every build-operand tuple, then
+    :meth:`end_build`, then :meth:`probe` for every probe-operand
+    tuple.  ``probe`` returns the result tuples produced by that input
+    tuple.  Probing before the build phase ended is a protocol error —
+    this is exactly the constraint that makes left-deep pipelines
+    ineffective in Schneider's analysis [Sch90].
+    """
+
+    def __init__(
+        self,
+        build_key: int,
+        probe_key: int,
+        combine: Combine = concat_rows,
+    ):
+        self._build_key = build_key
+        self._probe_key = probe_key
+        self._combine = combine
+        self._table: Dict[object, List[Row]] = {}
+        self._built = False
+        self.build_count = 0
+        self.probe_count = 0
+        self.result_count = 0
+
+    def build(self, row: Row) -> None:
+        """Insert one build-operand tuple into the hash table."""
+        if self._built:
+            raise RuntimeError("build() after end_build()")
+        self._table.setdefault(row[self._build_key], []).append(row)
+        self.build_count += 1
+
+    def end_build(self) -> None:
+        """Mark the build phase complete; probing may start."""
+        self._built = True
+
+    def probe(self, row: Row) -> List[Row]:
+        """Probe with one tuple; returns the (possibly empty) matches."""
+        if not self._built:
+            raise RuntimeError("probe() before end_build(); "
+                               "the simple hash-join cannot pipeline its build operand")
+        self.probe_count += 1
+        matches = self._table.get(row[self._probe_key])
+        if not matches:
+            return []
+        out = [self._combine(build_row, row) for build_row in matches]
+        self.result_count += len(out)
+        return out
+
+    def hash_tables(self) -> int:
+        """Number of hash tables held (always 1 — the memory advantage)."""
+        return 1
+
+    def table_size(self) -> int:
+        """Tuples currently resident in the build table."""
+        return self.build_count
+
+
+class PipeliningHashJoin:
+    """Symmetric one-phase hash join with a hash table per operand.
+
+    Drive it with :meth:`insert_left` / :meth:`insert_right` in any
+    interleaving; each call returns the result tuples formed by
+    matching the new tuple against the *already arrived* part of the
+    other operand.  Every match is produced exactly once, when its
+    second constituent arrives.
+    """
+
+    def __init__(
+        self,
+        left_key: int,
+        right_key: int,
+        combine: Combine = concat_rows,
+    ):
+        self._left_key = left_key
+        self._right_key = right_key
+        self._combine = combine
+        self._left_table: Dict[object, List[Row]] = {}
+        self._right_table: Dict[object, List[Row]] = {}
+        self.left_count = 0
+        self.right_count = 0
+        self.result_count = 0
+
+    def insert_left(self, row: Row) -> List[Row]:
+        """Process one left-operand tuple: probe right table, then insert."""
+        self.left_count += 1
+        key = row[self._left_key]
+        matches = self._right_table.get(key)
+        out = [self._combine(row, right_row) for right_row in matches] if matches else []
+        self._left_table.setdefault(key, []).append(row)
+        self.result_count += len(out)
+        return out
+
+    def insert_right(self, row: Row) -> List[Row]:
+        """Process one right-operand tuple: probe left table, then insert."""
+        self.right_count += 1
+        key = row[self._right_key]
+        matches = self._left_table.get(key)
+        out = [self._combine(left_row, row) for left_row in matches] if matches else []
+        self._right_table.setdefault(key, []).append(row)
+        self.result_count += len(out)
+        return out
+
+    def hash_tables(self) -> int:
+        """Number of hash tables held (always 2 — the memory cost)."""
+        return 2
+
+    def table_sizes(self) -> Tuple[int, int]:
+        """Tuples resident in the (left, right) hash tables."""
+        return (self.left_count, self.right_count)
+
+
+def simple_hash_join(
+    build: Relation,
+    probe: Relation,
+    build_key: str,
+    probe_key: str,
+    combine: Combine = concat_rows,
+    schema: Optional[Schema] = None,
+) -> Relation:
+    """Run a complete :class:`SimpleHashJoin` over two relations."""
+    join = SimpleHashJoin(
+        build.schema.index_of(build_key), probe.schema.index_of(probe_key), combine
+    )
+    for row in build:
+        join.build(row)
+    join.end_build()
+    rows: List[Row] = []
+    for row in probe:
+        rows.extend(join.probe(row))
+    if schema is None:
+        schema = build.schema.concat(probe.schema, prefix="r_")
+    return Relation(schema, rows)
+
+
+def pipelining_hash_join(
+    left: Relation,
+    right: Relation,
+    left_key: str,
+    right_key: str,
+    combine: Combine = concat_rows,
+    schema: Optional[Schema] = None,
+    interleave: int = 1,
+) -> Relation:
+    """Run a complete :class:`PipeliningHashJoin` over two relations.
+
+    ``interleave`` controls how many tuples are taken from each operand
+    per round, mimicking two producers streaming concurrently; the
+    result bag is independent of the interleaving.
+    """
+    if interleave <= 0:
+        raise ValueError("interleave must be positive")
+    join = PipeliningHashJoin(
+        left.schema.index_of(left_key), right.schema.index_of(right_key), combine
+    )
+    rows: List[Row] = []
+    left_iter = iter(left)
+    right_iter = iter(right)
+    left_done = right_done = False
+    while not (left_done and right_done):
+        for _ in range(interleave):
+            row = next(left_iter, None)
+            if row is None:
+                left_done = True
+                break
+            rows.extend(join.insert_left(row))
+        for _ in range(interleave):
+            row = next(right_iter, None)
+            if row is None:
+                right_done = True
+                break
+            rows.extend(join.insert_right(row))
+    if schema is None:
+        schema = left.schema.concat(right.schema, prefix="r_")
+    return Relation(schema, rows)
+
+
+def first_result_position(
+    left: Relation,
+    right: Relation,
+    left_key: str,
+    right_key: str,
+) -> Optional[int]:
+    """Input index at which a strictly alternating pipelining join
+    emits its first result tuple, or ``None`` if the join is empty.
+
+    This quantifies Figure 1: the pipelining algorithm produces output
+    *during* input consumption, whereas the simple hash join cannot
+    emit anything before ``len(build)`` inputs have been consumed.
+    """
+    join = PipeliningHashJoin(
+        left.schema.index_of(left_key), right.schema.index_of(right_key)
+    )
+    consumed = 0
+    for l_row, r_row in zip(left, right):
+        consumed += 1
+        if join.insert_left(l_row):
+            return consumed
+        consumed += 1
+        if join.insert_right(r_row):
+            return consumed
+    # Drain whichever operand is longer.
+    longer, insert = (left, join.insert_left) if len(left) > len(right) else (right, join.insert_right)
+    for row in list(longer)[min(len(left), len(right)):]:
+        consumed += 1
+        if insert(row):
+            return consumed
+    return None

@@ -1,0 +1,56 @@
+"""Small relational operators used by the execution engines.
+
+These are the non-join pieces of the XRA fragment the paper exercises:
+scan, projection, split (redistribution) and union (collecting
+fragments), plus the Wisconsin-specific join combiner that keeps every
+intermediate result a Wisconsin relation (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .hashjoin import Combine
+from .partition import hash_partition
+from .relation import Relation, Row
+from .schema import Schema
+from .wisconsin import WISCONSIN_SCHEMA
+
+
+def wisconsin_combine(left: Row, right: Row) -> Row:
+    """Join combiner of the paper's regular query.
+
+    Matching Wisconsin tuples ``(u1, u2, filler)`` are combined into
+    ``(left.u2, right.u2, left.filler)`` so the result is again a
+    Wisconsin relation whose first attribute is a permutation and can
+    key the next join.
+    """
+    return (left[1], right[1], left[2])
+
+
+#: Result schema of a Wisconsin join step (identical to the operands').
+WISCONSIN_JOIN_SCHEMA: Schema = WISCONSIN_SCHEMA
+
+
+def scan(relation: Relation) -> Relation:
+    """Identity scan (exists so plans have an explicit leaf operator)."""
+    return relation
+
+
+def split(relation: Relation, key: str, fragments: int) -> List[Relation]:
+    """Redistribute a relation into ``fragments`` by hashing ``key``.
+
+    This is the XRA split primitive: the output of a join operator is
+    split and sent to the processors of the consumer operator.
+    """
+    return hash_partition(relation, key, fragments)
+
+
+def union(fragments: Sequence[Relation]) -> Relation:
+    """Collect fragments into one relation (bag union)."""
+    return Relation.union_all(list(fragments))
+
+
+def project(relation: Relation, names: Sequence[str]) -> Relation:
+    """Bag projection onto ``names``."""
+    return relation.project(names)

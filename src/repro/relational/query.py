@@ -1,0 +1,121 @@
+"""Natural-join queries over arbitrary schemas.
+
+The paper closes with: "The experiments reported in this paper are
+done using a regular query on a synthetic database.  It would be quite
+interesting to use the strategies presented here for real-life
+applications."  This module supplies the relational machinery for
+that: *natural* equi-joins — the join key is the single attribute name
+the two operand schemas share, the result drops the duplicate column —
+which is exactly how star/snowflake foreign-key queries compose.
+
+The generalized local executor (:func:`repro.engine.local.
+execute_natural_schedule`) uses these helpers to run any parallel
+schedule on any foreign-key-joinable set of relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .relation import Relation, Row
+from .schema import Schema
+
+
+class JoinKeyError(ValueError):
+    """Operand schemas do not determine a unique natural join key."""
+
+
+def natural_join_key(left: Schema, right: Schema) -> str:
+    """The single attribute name shared by both schemas.
+
+    Natural-join composition requires exactly one shared attribute —
+    zero means a cartesian product, several an ambiguous predicate;
+    both are rejected.
+    """
+    shared = [name for name in left.names() if name in right]
+    if not shared:
+        raise JoinKeyError(
+            f"no shared attribute between {left.names()} and {right.names()}"
+        )
+    if len(shared) > 1:
+        raise JoinKeyError(
+            f"ambiguous natural join: shared attributes {shared}"
+        )
+    return shared[0]
+
+
+def natural_result_schema(left: Schema, right: Schema) -> Schema:
+    """Result schema: left's columns, then right's minus the join key."""
+    key = natural_join_key(left, right)
+    kept = [name for name in right.names() if name != key]
+    return Schema(tuple(left.attributes) + tuple(right.project(kept).attributes))
+
+
+def natural_combiner(left: Schema, right: Schema):
+    """Row combiner matching :func:`natural_result_schema`."""
+    key = natural_join_key(left, right)
+    keep = [i for i, name in enumerate(right.names()) if name != key]
+
+    def combine(left_row: Row, right_row: Row) -> Row:
+        return left_row + tuple(right_row[i] for i in keep)
+
+    return combine
+
+
+@dataclass(frozen=True)
+class JoinResolution:
+    """Everything an executor needs to join two operand schemas."""
+
+    left_key: str
+    right_key: str
+    combine: "object"          # Combine callable (left_row, right_row) -> row
+    result_schema: Schema
+
+
+def natural_resolution(left: Schema, right: Schema) -> JoinResolution:
+    """Natural-join semantics: key = the single shared attribute."""
+    key = natural_join_key(left, right)
+    return JoinResolution(
+        left_key=key,
+        right_key=key,
+        combine=natural_combiner(left, right),
+        result_schema=natural_result_schema(left, right),
+    )
+
+
+def wisconsin_resolution(left: Schema, right: Schema) -> JoinResolution:
+    """The paper's regular-query semantics (Section 4.1): join on
+    ``unique1``, project to ``(left.unique2, right.unique2,
+    left.filler)`` so the result is again a Wisconsin relation."""
+    from .operators import wisconsin_combine
+    from .wisconsin import WISCONSIN_SCHEMA
+
+    for schema in (left, right):
+        if schema.names() != WISCONSIN_SCHEMA.names():
+            raise ValueError(
+                f"wisconsin_resolution needs Wisconsin operands, got "
+                f"{schema.names()}"
+            )
+    return JoinResolution(
+        left_key="unique1",
+        right_key="unique1",
+        combine=wisconsin_combine,
+        result_schema=WISCONSIN_SCHEMA,
+    )
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """Hash-based natural join (the sequential oracle)."""
+    key = natural_join_key(left.schema, right.schema)
+    left_idx = left.schema.index_of(key)
+    right_idx = right.schema.index_of(key)
+    combine = natural_combiner(left.schema, right.schema)
+    table: Dict[object, List[Row]] = {}
+    for row in left:
+        table.setdefault(row[left_idx], []).append(row)
+    rows: List[Row] = []
+    for row in right:
+        for match in table.get(row[right_idx], ()):
+            rows.append(combine(match, row))
+    return Relation(natural_result_schema(left.schema, right.schema), rows)

@@ -1,0 +1,108 @@
+"""In-memory relations.
+
+A :class:`Relation` is an immutable bag of tuples with a
+:class:`~repro.relational.schema.Schema`.  Tuples are plain Python
+tuples in schema order; this is the representation every operator and
+both hash-join algorithms work on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from .schema import Schema
+
+Row = Tuple
+
+
+class Relation:
+    """An immutable, ordered bag of tuples with a schema.
+
+    The order of rows is preserved (it is the insertion order of the
+    producing operator) but carries no semantic meaning; equality of
+    relations is bag equality via :meth:`same_bag`.
+    """
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
+        self.schema = schema
+        materialized: List[Row] = []
+        width = len(schema)
+        for row in rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row arity {len(row)} does not match schema arity {width}: {row!r}"
+                )
+            materialized.append(tuple(row))
+        self._rows = materialized
+
+    # -- basic container protocol -------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.names()}, {len(self)} rows)"
+
+    @property
+    def rows(self) -> Sequence[Row]:
+        """The rows as an immutable view (do not mutate)."""
+        return self._rows
+
+    def cardinality(self) -> int:
+        """Number of tuples."""
+        return len(self._rows)
+
+    def bytes(self) -> int:
+        """Approximate storage size: cardinality times tuple width."""
+        return len(self._rows) * self.schema.tuple_width()
+
+    # -- derivation helpers --------------------------------------------
+
+    def column(self, name: str) -> List:
+        """All values of attribute ``name`` in row order."""
+        idx = self.schema.index_of(name)
+        return [row[idx] for row in self._rows]
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Relation restricted to ``names`` (bag projection, keeps duplicates)."""
+        idxs = [self.schema.index_of(n) for n in names]
+        schema = self.schema.project(names)
+        return Relation(schema, (tuple(row[i] for i in idxs) for row in self._rows))
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Rows satisfying ``predicate``."""
+        return Relation(self.schema, (row for row in self._rows if predicate(row)))
+
+    def extend(self, rows: Iterable[Row]) -> "Relation":
+        """A new relation with ``rows`` appended."""
+        out = Relation(self.schema, self._rows)
+        for row in rows:
+            if len(row) != len(self.schema):
+                raise ValueError(f"row arity mismatch: {row!r}")
+            out._rows.append(tuple(row))
+        return out
+
+    def same_bag(self, other: "Relation") -> bool:
+        """Bag (multiset) equality of rows, ignoring order and schema names."""
+        if len(self) != len(other):
+            return False
+        return sorted(self._rows) == sorted(other._rows)
+
+    @staticmethod
+    def union_all(parts: Sequence["Relation"]) -> "Relation":
+        """Bag union of fragments sharing a schema (the XRA ``union``)."""
+        if not parts:
+            raise ValueError("union_all of no relations")
+        schema = parts[0].schema
+        for part in parts[1:]:
+            if part.schema.names() != schema.names():
+                raise ValueError("union_all over incompatible schemas")
+        rows: List[Row] = []
+        for part in parts:
+            rows.extend(part.rows)
+        return Relation(schema, rows)

@@ -1,0 +1,108 @@
+"""Relation schemas.
+
+PRISMA/DB is a relational main-memory system; this module provides the
+minimal schema machinery the reproduction needs: named, typed columns
+with a declared per-tuple byte width.  The byte width matters because
+the paper's Wisconsin tuples are 208 bytes wide and tuple width feeds
+the memory accounting of the hash-join algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named column.
+
+    ``width`` is the storage width in bytes used by memory accounting.
+    ``kind`` is a coarse type tag (``"int"`` or ``"str"``); the engine
+    only ever joins on ``int`` attributes, as the paper does.
+    """
+
+    name: str
+    kind: str = "int"
+    width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "str"):
+            raise ValueError(f"unsupported attribute kind: {self.kind!r}")
+        if self.width <= 0:
+            raise ValueError("attribute width must be positive")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Attribute`.
+
+    Schemas are immutable; operators derive new schemas with
+    :meth:`project` and :meth:`concat`.
+    """
+
+    attributes: Tuple[Attribute, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        object.__setattr__(self, "_index", {a.name: i for i, a in enumerate(self.attributes)})
+
+    @classmethod
+    def of(cls, *attributes: Attribute) -> "Schema":
+        """Build a schema from attribute objects."""
+        return cls(tuple(attributes))
+
+    @classmethod
+    def ints(cls, *names: str) -> "Schema":
+        """Build an all-integer schema from attribute names."""
+        return cls(tuple(Attribute(n) for n in names))
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names, in schema order."""
+        return tuple(a.name for a in self.attributes)
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute ``name``; raises ``KeyError`` if absent."""
+        return self._index[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def attribute(self, name: str) -> Attribute:
+        """The attribute object named ``name``."""
+        return self.attributes[self.index_of(name)]
+
+    def tuple_width(self) -> int:
+        """Total per-tuple storage width in bytes."""
+        return sum(a.width for a in self.attributes)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names``, in the given order."""
+        return Schema(tuple(self.attribute(n) for n in names))
+
+    def concat(self, other: "Schema", prefix: str = "") -> "Schema":
+        """Schema of this schema followed by ``other``.
+
+        Attributes of ``other`` whose names collide are renamed with
+        ``prefix`` (default raises on collision).
+        """
+        merged = list(self.attributes)
+        for attr in other.attributes:
+            name = attr.name
+            if name in self:
+                if not prefix:
+                    raise ValueError(f"attribute name collision: {name!r}")
+                name = prefix + name
+                if name in self:
+                    raise ValueError(f"attribute name collision after prefix: {name!r}")
+            merged.append(Attribute(name, attr.kind, attr.width))
+        return Schema(tuple(merged))

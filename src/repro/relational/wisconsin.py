@@ -1,0 +1,117 @@
+"""Wisconsin benchmark relations and the paper's regular join query.
+
+Section 4.1 of the paper: the test query joins ten relations of equal
+cardinality, each holding Wisconsin tuples [BDT83] of 208 bytes with
+two unique integer attributes.  Relations are joined one-by-one on
+their first integer attribute, and after each join the result is
+projected to the second integer attributes plus the filler of one
+operand, so that every intermediate result is again a Wisconsin
+relation of the same cardinality.  The PRISMA data generator took care
+that no correlation exists between the two unique attributes of one
+relation nor between unique attributes of different relations; we do
+the same with independently seeded shuffles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .relation import Relation
+from .schema import Attribute, Schema
+
+#: Total Wisconsin tuple width in bytes (two 4-byte ints + filler).
+WISCONSIN_TUPLE_BYTES = 208
+
+#: Width of the single filler attribute standing in for the Wisconsin
+#: string/padding columns.
+FILLER_BYTES = WISCONSIN_TUPLE_BYTES - 8
+
+#: Schema shared by every base and intermediate Wisconsin relation.
+WISCONSIN_SCHEMA = Schema.of(
+    Attribute("unique1", "int", 4),
+    Attribute("unique2", "int", 4),
+    Attribute("filler", "str", FILLER_BYTES),
+)
+
+
+def make_wisconsin(cardinality: int, seed: int = 0, name: str = "rel") -> Relation:
+    """Generate a Wisconsin relation of ``cardinality`` tuples.
+
+    ``unique1`` and ``unique2`` are independent uniform permutations of
+    ``0 .. cardinality-1`` (so every equi-join between any two such
+    attributes is one-to-one), and ``filler`` is a short tag standing in
+    for the 200 bytes of Wisconsin padding.  Different ``seed`` values
+    give decorrelated relations.
+    """
+    if cardinality < 0:
+        raise ValueError("cardinality must be non-negative")
+    rng1 = random.Random(f"{seed}/unique1")
+    rng2 = random.Random(f"{seed}/unique2")
+    unique1 = list(range(cardinality))
+    unique2 = list(range(cardinality))
+    rng1.shuffle(unique1)
+    rng2.shuffle(unique2)
+    rows = (
+        (unique1[i], unique2[i], f"{name}#{i}")
+        for i in range(cardinality)
+    )
+    return Relation(WISCONSIN_SCHEMA, rows)
+
+
+def make_query_relations(
+    count: int, cardinality: int, seed: int = 0, prefix: str = "R"
+) -> List[Relation]:
+    """The paper's base data: ``count`` decorrelated Wisconsin relations.
+
+    The 5K experiment is ``make_query_relations(10, 5000)`` and the 40K
+    experiment ``make_query_relations(10, 40000)``.
+    """
+    return [
+        make_wisconsin(cardinality, seed=seed * 1000 + i, name=f"{prefix}{i}")
+        for i in range(count)
+    ]
+
+
+def wisconsin_join_project(left: Relation, right: Relation) -> Relation:
+    """One step of the paper's regular query: join + Wisconsin projection.
+
+    Joins ``left`` and ``right`` on their first integer attribute
+    (``unique1``) and projects the result to ``(left.unique2,
+    right.unique2, left.filler)`` so that it is again a Wisconsin
+    relation: the new ``unique1`` is the old ``left.unique2`` — a
+    permutation — so the result can feed the next join unchanged.
+
+    This function is the *oracle* implementation (nested dictionaries on
+    real data); the execution engines must agree with it.
+    """
+    _check_wisconsin(left)
+    _check_wisconsin(right)
+    by_key = {}
+    for l_u1, l_u2, l_fill in left:
+        if l_u1 in by_key:
+            raise ValueError(f"left operand is not unique on unique1: {l_u1}")
+        by_key[l_u1] = (l_u2, l_fill)
+    rows = []
+    for r_u1, r_u2, _r_fill in right:
+        match = by_key.get(r_u1)
+        if match is not None:
+            l_u2, l_fill = match
+            rows.append((l_u2, r_u2, l_fill))
+    return Relation(WISCONSIN_SCHEMA, rows)
+
+
+def _check_wisconsin(relation: Relation) -> None:
+    if relation.schema.names() != WISCONSIN_SCHEMA.names():
+        raise ValueError(
+            f"expected a Wisconsin relation, got schema {relation.schema.names()}"
+        )
+
+
+def expected_join_cardinality(left: Relation, right: Relation) -> int:
+    """Cardinality of :func:`wisconsin_join_project` for generated data.
+
+    For permutation-keyed Wisconsin relations of equal cardinality the
+    join is one-to-one, so the result size equals the operand size.
+    """
+    return min(left.cardinality(), right.cardinality())

@@ -1,0 +1,16 @@
+"""Dependency-free SVG/HTML report generation."""
+
+from .html import claims_html, figure14_html, render_report, sweep_chart, utilization_gantt
+from .svg import GanttChart, LineChart, Series2D, color_for
+
+__all__ = [
+    "GanttChart",
+    "LineChart",
+    "Series2D",
+    "claims_html",
+    "color_for",
+    "figure14_html",
+    "render_report",
+    "sweep_chart",
+    "utilization_gantt",
+]

@@ -1,0 +1,127 @@
+"""Self-contained HTML report of the reproduction.
+
+Assembles the evaluation — Figure 14 table, Figures 9-13 as SVG line
+charts, Figures 3/4/6/7 as SVG Gantt charts, and the claim checklist —
+into one dependency-free HTML document a reviewer can open in any
+browser.  Regenerate with ``python benchmarks/generate_report_html.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+from xml.sax.saxutils import escape
+
+from ..bench.paperdata import PAPER_FIGURE_14
+from ..bench.report import evaluate_claims
+from ..bench.workloads import SweepResult
+from ..engine.trace import spans_of
+from ..sim.metrics import SimulationResult
+from .svg import GanttChart, LineChart
+
+_STYLE = """
+body { font-family: Georgia, serif; max-width: 960px; margin: 2em auto;
+       color: #222; line-height: 1.45; padding: 0 1em; }
+h1, h2, h3 { font-family: Helvetica, Arial, sans-serif; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #bbb; padding: 4px 10px; text-align: right; }
+th { background: #f0f0f0; }
+.pass { color: #2ca02c; } .fail { color: #d62728; }
+figure { margin: 1.5em 0; }
+figcaption { font-size: 0.9em; color: #555; }
+"""
+
+
+def sweep_chart(sweep: SweepResult) -> str:
+    """One Figure 9-13 panel as an SVG line chart."""
+    chart = LineChart(
+        sweep.experiment.title,
+        x_label="processors",
+        y_label="response time (s)",
+    )
+    for name, series in sweep.series.items():
+        chart.add_series(
+            name, list(zip(series.processor_counts, series.response_times))
+        )
+    return chart.to_svg()
+
+
+def utilization_gantt(result: SimulationResult, title: str) -> str:
+    """One Figure 3/4/6/7 panel as an SVG Gantt chart."""
+    chart = GanttChart(title)
+    for span in spans_of(result):
+        chart.add_span(span.processor, span.start, span.end, span.task)
+    return chart.to_svg()
+
+
+def figure14_html(sweeps: Dict[Tuple[str, str], SweepResult]) -> str:
+    rows = [
+        "<table><tr><th>shape</th><th>size</th>"
+        "<th>measured</th><th>paper</th></tr>"
+    ]
+    for (shape, size), paper_cell in PAPER_FIGURE_14.items():
+        sweep = sweeps.get((shape, size))
+        if sweep is None:
+            continue
+        seconds, strategy, procs = sweep.best_cell()
+        p_seconds, p_strategy, p_procs = paper_cell
+        rows.append(
+            f"<tr><td>{escape(shape)}</td><td>{escape(size)}</td>"
+            f"<td>{seconds:.2f}s ({strategy}@{procs})</td>"
+            f"<td>{p_seconds:.1f}s ({p_strategy}@{p_procs})</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def claims_html(sweep: SweepResult) -> str:
+    items = []
+    for outcome in evaluate_claims(sweep):
+        cls = "pass" if outcome.holds else "fail"
+        mark = "✓" if outcome.holds else "✗"
+        items.append(
+            f'<li class="{cls}">{mark} {escape(outcome.claim.description)}</li>'
+        )
+    return "<ul>" + "".join(items) + "</ul>"
+
+
+def render_report(
+    sweeps: Dict[Tuple[str, str], SweepResult],
+    diagrams: Optional[Dict[str, SimulationResult]] = None,
+) -> str:
+    """The full HTML document."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>Parallel evaluation of multi-join queries — reproduction</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>Parallel Evaluation of Multi-Join Queries</h1>",
+        "<p>Reproduction of Wilschut, Flokstra &amp; Apers, SIGMOD 1995, "
+        "on a simulated PRISMA/DB machine. Absolute seconds are "
+        "calibrated once against Figure 14; curve shapes, winners and "
+        "crossovers are the reproduced content.</p>",
+        "<h2>Figure 14 — best response times</h2>",
+        figure14_html(sweeps),
+    ]
+    if diagrams:
+        parts.append("<h2>Figures 3, 4, 6, 7 — utilization diagrams</h2>")
+        figure_of = {"SP": 3, "SE": 4, "RD": 6, "FP": 7}
+        for name, result in diagrams.items():
+            parts.append("<figure>")
+            parts.append(
+                utilization_gantt(
+                    result,
+                    f"Figure {figure_of.get(name, '?')} — {name} on "
+                    f"{result.processors} processors (idealized)",
+                )
+            )
+            parts.append("</figure>")
+    parts.append("<h2>Figures 9–13 — response-time sweeps</h2>")
+    for (shape, size), sweep in sorted(sweeps.items()):
+        parts.append("<figure>")
+        parts.append(sweep_chart(sweep))
+        parts.append(
+            f"<figcaption>Section 4.4 claims for this panel:</figcaption>"
+        )
+        parts.append(claims_html(sweep))
+        parts.append("</figure>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

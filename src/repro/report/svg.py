@@ -1,0 +1,228 @@
+"""Minimal SVG chart primitives (no dependencies).
+
+Two chart types cover the repository's needs: line charts for the
+response-time figures (the paper's Figures 9-13) and Gantt charts for
+execution traces (the utilization diagrams, Figures 3/4/6/7, in their
+richer per-interval form).  Output is plain SVG 1.1 markup, parseable
+by any XML tool — the tests round-trip it through ElementTree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+#: Stroke colors per strategy, consistent across every chart.
+STRATEGY_COLORS = {
+    "SP": "#888888",
+    "SE": "#1f77b4",
+    "RD": "#2ca02c",
+    "FP": "#d62728",
+}
+
+_FALLBACK_COLORS = ("#9467bd", "#8c564b", "#e377c2", "#17becf")
+
+
+def color_for(name: str, index: int = 0) -> str:
+    return STRATEGY_COLORS.get(name, _FALLBACK_COLORS[index % len(_FALLBACK_COLORS)])
+
+
+@dataclass
+class Series2D:
+    """One polyline: a named sequence of (x, y) points."""
+
+    name: str
+    points: Sequence[Tuple[float, float]]
+
+
+class LineChart:
+    """A titled line chart with axes, ticks, and a legend."""
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str = "",
+        y_label: str = "",
+        width: int = 560,
+        height: int = 360,
+    ):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self.series: List[Series2D] = []
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise ValueError("series needs at least one point")
+        self.series.append(Series2D(name, list(points)))
+
+    # -- rendering -------------------------------------------------------
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for s in self.series for x, _ in s.points]
+        ys = [y for s in self.series for _, y in s.points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_hi = max(ys) * 1.08
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi <= 0:
+            y_hi = 1.0
+        return x_lo, x_hi, 0.0, y_hi
+
+    def to_svg(self) -> str:
+        if not self.series:
+            raise ValueError("chart has no series")
+        margin_left, margin_right = 58, 120
+        margin_top, margin_bottom = 36, 46
+        plot_w = self.width - margin_left - margin_right
+        plot_h = self.height - margin_top - margin_bottom
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+
+        def sx(x: float) -> float:
+            return margin_left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def sy(y: float) -> float:
+            return margin_top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<text x="{self.width / 2:.0f}" y="18" text-anchor="middle" '
+            f'font-size="13">{escape(self.title)}</text>',
+            # Axes.
+            f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+            f'y2="{margin_top + plot_h}" stroke="#333"/>',
+            f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+            f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" stroke="#333"/>',
+        ]
+        # Ticks: 5 on each axis.
+        for i in range(6):
+            y_val = y_lo + (y_hi - y_lo) * i / 5
+            y_pix = sy(y_val)
+            parts.append(
+                f'<line x1="{margin_left - 4}" y1="{y_pix:.1f}" '
+                f'x2="{margin_left}" y2="{y_pix:.1f}" stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left - 8}" y="{y_pix + 4:.1f}" '
+                f'text-anchor="end">{y_val:.0f}</text>'
+            )
+            parts.append(
+                f'<line x1="{margin_left}" y1="{y_pix:.1f}" '
+                f'x2="{margin_left + plot_w}" y2="{y_pix:.1f}" '
+                f'stroke="#ddd" stroke-dasharray="3,3"/>'
+            )
+            x_val = x_lo + (x_hi - x_lo) * i / 5
+            x_pix = sx(x_val)
+            parts.append(
+                f'<text x="{x_pix:.1f}" y="{margin_top + plot_h + 16}" '
+                f'text-anchor="middle">{x_val:.0f}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{margin_left + plot_w / 2:.0f}" '
+                f'y="{self.height - 8}" text-anchor="middle">'
+                f"{escape(self.x_label)}</text>"
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="14" y="{margin_top + plot_h / 2:.0f}" '
+                f'text-anchor="middle" transform="rotate(-90 14 '
+                f'{margin_top + plot_h / 2:.0f})">{escape(self.y_label)}</text>'
+            )
+        # Series.
+        for i, series in enumerate(self.series):
+            color = color_for(series.name, i)
+            coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in series.points)
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                f'stroke-width="2"/>'
+            )
+            for x, y in series.points:
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                    f'fill="{color}"/>'
+                )
+            legend_y = margin_top + 16 * i
+            legend_x = margin_left + plot_w + 12
+            parts.append(
+                f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 18}" '
+                f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 24}" y="{legend_y + 4}">'
+                f"{escape(series.name)}</text>"
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+class GanttChart:
+    """Processor-utilization Gantt: one lane per processor."""
+
+    def __init__(self, title: str, width: int = 720, lane_height: int = 14):
+        self.title = title
+        self.width = width
+        self.lane_height = lane_height
+        #: (lane, start, end, label) spans; lanes are processor ids.
+        self.spans: List[Tuple[int, float, float, str]] = []
+
+    def add_span(self, lane: int, start: float, end: float, label: str) -> None:
+        if end < start:
+            raise ValueError("span ends before it starts")
+        self.spans.append((lane, start, end, label))
+
+    def to_svg(self, palette: Optional[Dict[str, str]] = None) -> str:
+        if not self.spans:
+            raise ValueError("chart has no spans")
+        lanes = sorted({lane for lane, *_ in self.spans}, reverse=True)
+        t_end = max(end for _, _, end, _ in self.spans)
+        if t_end <= 0:
+            t_end = 1.0
+        margin_left, margin_right, margin_top = 46, 16, 32
+        plot_w = self.width - margin_left - margin_right
+        height = margin_top + len(lanes) * self.lane_height + 30
+        labels = sorted({label for *_, label in self.spans})
+        if palette is None:
+            palette = {
+                label: color_for(label, i) for i, label in enumerate(labels)
+            }
+        lane_y = {lane: margin_top + i * self.lane_height for i, lane in enumerate(lanes)}
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{height}" viewBox="0 0 {self.width} {height}" '
+            f'font-family="sans-serif" font-size="10">',
+            f'<text x="{self.width / 2:.0f}" y="16" text-anchor="middle" '
+            f'font-size="12">{escape(self.title)}</text>',
+        ]
+        for lane in lanes:
+            y = lane_y[lane]
+            parts.append(
+                f'<text x="{margin_left - 6}" y="{y + self.lane_height - 4}" '
+                f'text-anchor="end">{lane}</text>'
+            )
+        for lane, start, end, label in self.spans:
+            x = margin_left + start / t_end * plot_w
+            w = max((end - start) / t_end * plot_w, 0.5)
+            y = lane_y[lane] + 1
+            color = palette.get(label, "#999")
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{self.lane_height - 2}" fill="{color}">'
+                f"<title>{escape(label)}: {start:.2f}-{end:.2f}s</title></rect>"
+            )
+        axis_y = margin_top + len(lanes) * self.lane_height + 12
+        parts.append(
+            f'<text x="{margin_left}" y="{axis_y}">0s</text>'
+        )
+        parts.append(
+            f'<text x="{margin_left + plot_w}" y="{axis_y}" '
+            f'text-anchor="end">{t_end:.2f}s</text>'
+        )
+        parts.append("</svg>")
+        return "\n".join(parts)

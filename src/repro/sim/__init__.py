@@ -1,0 +1,27 @@
+"""Discrete-event simulation of the PRISMA/DB shared-nothing machine."""
+
+from .events import SimulationClock
+from .machine import MachineConfig, Processor
+from .metrics import SimulationResult, TaskTiming
+from .process import (
+    OperationProcess,
+    PipeliningHashJoinProcess,
+    SimpleHashJoinProcess,
+)
+from .run import ScheduleSimulation, simulate
+from .streams import ConsumerGroup, Port
+
+__all__ = [
+    "ConsumerGroup",
+    "MachineConfig",
+    "OperationProcess",
+    "PipeliningHashJoinProcess",
+    "Port",
+    "Processor",
+    "ScheduleSimulation",
+    "SimpleHashJoinProcess",
+    "SimulationClock",
+    "SimulationResult",
+    "TaskTiming",
+    "simulate",
+]

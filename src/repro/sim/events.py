@@ -1,0 +1,66 @@
+"""Discrete-event core.
+
+A tiny, deterministic event loop: events are ``(time, seq, fn, args)``
+entries in a heap; ``seq`` makes simultaneous events fire in schedule
+order so runs are exactly reproducible.  Everything in the machine
+simulation — scheduler initialization, batch deliveries, CPU chunk
+completions — is an event here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationClock:
+    """The event queue and clock of one simulation run."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self.events_dispatched = 0
+
+    def at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute ``time`` (≥ now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
+        heapq.heappush(self._queue, (time, self._seq, fn, args))
+        self._seq += 1
+
+    def after(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.at(self.now + delay, fn, *args)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Dispatch events until the queue drains (or ``until``/limit).
+
+        Returns the final clock value.  ``max_events`` is a runaway
+        guard: a correct simulation of this model always terminates.
+        """
+        dispatched = 0
+        while self._queue:
+            time, _seq, fn, args = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            fn(*args)
+            dispatched += 1
+            if dispatched > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a wiring bug (cyclic deliveries)"
+                )
+        self.events_dispatched += dispatched
+        if until is not None and self.now < until:
+            # Advance to the horizon; any remaining events lie beyond it.
+            self.now = until
+        return self.now
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

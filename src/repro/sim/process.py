@@ -1,0 +1,258 @@
+"""Operation-process state machines.
+
+PRISMA/DB executes a query as a set of *operation processes*: one
+relational operation on one processor, coordinating among themselves
+(Section 2.2).  This module models one such process for each of the
+paper's two join algorithms.  A process:
+
+1. becomes *ready* when the (serial) scheduler has initialized it;
+2. is *released* when its strategy barriers (``start_after``) resolve;
+3. at start, pays the stream handshakes of its network input ports
+   (consumer side: one per producer process) and, for a pipelined
+   output, of its output streams (producer side: one per consumer);
+4. consumes operand tuples in CPU chunks, paying §4.3 unit costs, and
+   emits result tuples (pipelined: forwarded per chunk; materialized:
+   accumulated for delivery at task completion);
+5. when both operands are drained, pays the send-setup handshakes of a
+   materialized output and reports completion.
+
+The two subclasses encode exactly what distinguishes the algorithms:
+the simple hash-join refuses to touch probe tuples before its build
+operand is complete, while the pipelining hash-join consumes both
+sides symmetrically and produces matches proportional to the product
+of arrived fractions — the source of the bushy-pipeline ramp-up delay
+of Section 2.3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .events import SimulationClock
+from .machine import MachineConfig, Processor
+from .streams import ConsumerGroup, EPSILON, Port
+
+
+class OperationProcess:
+    """Base class: lifecycle, CPU chunking, and output bookkeeping."""
+
+    #: Subclasses set this to the paper's algorithm name.
+    algorithm = "?"
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        processor: Processor,
+        clock: SimulationClock,
+        config: MachineConfig,
+        left: Port,
+        right: Port,
+        result_local: float,
+        result_coeff: float,
+        output: Optional[ConsumerGroup],
+        output_pipelined: bool,
+        on_done: Callable[["OperationProcess"], None],
+        work_scale: float = 1.0,
+    ):
+        self.name = name
+        self.processor = processor
+        self.clock = clock
+        self.config = config
+        self.left = left
+        self.right = right
+        left.process = self
+        right.process = self
+        self.result_local = result_local
+        self.result_coeff = result_coeff
+        self.output = output
+        self.output_pipelined = output_pipelined
+        self.on_done = on_done
+        # Scales tuple-work durations so a join with an explicit
+        # ``work`` override (the Figure 2 example tree) spends exactly
+        # that much relative CPU time, preserving the flow shape.
+        self.work_scale = work_scale
+
+        self.ready = False
+        self.released = False
+        self.started = False
+        self.cpu_busy = False
+        self.closing = False
+        self.done = False
+        self.done_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.out_total = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def init_ready(self) -> None:
+        """The scheduler finished initializing this process."""
+        self.ready = True
+        self._maybe_start()
+
+    def release(self) -> None:
+        """All strategy barriers of this process's task completed."""
+        self.released = True
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self.started or not (self.ready and self.released):
+            return
+        self.started = True
+        self.start_time = self.clock.now
+        # Hold the CPU through startup: injecting a base port fires
+        # kick() re-entrantly, and work must not begin before both
+        # ports are populated and the handshakes are paid.
+        self.cpu_busy = True
+        for port in (self.left, self.right):
+            if port.mode == "base" and port.local_total > 0:
+                port.inject(port.local_total, self.clock.now)
+        handshakes = self._startup_handshakes()
+        duration = handshakes * self.config.handshake
+        if duration > 0:
+            end = self.processor.acquire(self.clock.now, duration, f"{self.name}:hs")
+            self.clock.at(end, self._handshake_done)
+        else:
+            self.cpu_busy = False
+            self.kick()
+
+    def _startup_handshakes(self) -> int:
+        """Stream handshakes paid at start: consumer side of each
+        network input port, plus producer side of a pipelined output."""
+        count = 0
+        for port in (self.left, self.right):
+            if port.mode != "base":
+                count += port.expected_producers
+        if self.output is not None and self.output_pipelined:
+            count += len(self.output.ports)
+        return count
+
+    def _handshake_done(self) -> None:
+        self.cpu_busy = False
+        self.kick()
+
+    # -- work loop ------------------------------------------------------
+
+    def kick(self) -> None:
+        """Try to make progress; called on every arrival and completion."""
+        if not self.started or self.cpu_busy or self.done:
+            return
+        selection = self._select_chunk()
+        if selection is None:
+            self._maybe_finish()
+            return
+        port, chunk = selection
+        out = self._output_for_chunk(port, chunk)
+        duration = (
+            (chunk * port.coefficient + out * self.result_coeff)
+            * self.config.tuple_unit
+            * self.work_scale
+        )
+        self.cpu_busy = True
+        end = self.processor.acquire(self.clock.now, duration, self.name)
+        self.clock.at(end, self._chunk_done, port, chunk, out)
+
+    def _chunk_done(self, port: Port, chunk: float, out: float) -> None:
+        port.processed += chunk
+        self.cpu_busy = False
+        if out > 0:
+            self.out_total += out
+            if self.output is not None and self.output_pipelined:
+                self.output.deliver(self.clock, out)
+        self.kick()
+
+    # -- completion -------------------------------------------------------
+
+    def _maybe_finish(self) -> None:
+        if self.done or self.cpu_busy:
+            return
+        if not (self.left.drained and self.right.drained):
+            return
+        if not self.closing:
+            self.closing = True
+            # Send setup for a stored (materialized) output: the
+            # producer must open its n×m streams before it can ship the
+            # stored fragments; paid before completion so a dependent
+            # task's barrier sees it.
+            if self.output is not None and not self.output_pipelined:
+                duration = len(self.output.ports) * self.config.handshake
+                if duration > 0:
+                    self.cpu_busy = True
+                    end = self.processor.acquire(
+                        self.clock.now, duration, f"{self.name}:hs"
+                    )
+                    self.clock.at(end, self._handshake_done)
+                    return
+        self.done = True
+        self.done_time = self.clock.now
+        if self.output is not None and self.output_pipelined:
+            self.output.deliver_eos(self.clock)
+        self.on_done(self)
+
+    # -- algorithm hooks ---------------------------------------------------
+
+    def _select_chunk(self) -> Optional[Tuple[Port, float]]:
+        """Pick the next (port, tuple count) to process, or ``None``."""
+        raise NotImplementedError
+
+    def _output_for_chunk(self, port: Port, chunk: float) -> float:
+        """Result tuples produced by processing ``chunk`` from ``port``."""
+        raise NotImplementedError
+
+
+class SimpleHashJoinProcess(OperationProcess):
+    """Two-phase build/probe join: probing blocked until build drained."""
+
+    algorithm = "simple"
+
+    def __init__(self, *, build_side: str = "left", **kwargs):
+        super().__init__(**kwargs)
+        if build_side not in ("left", "right"):
+            raise ValueError("build_side must be 'left' or 'right'")
+        self.build = self.left if build_side == "left" else self.right
+        self.probe = self.right if build_side == "left" else self.left
+
+    def _select_chunk(self) -> Optional[Tuple[Port, float]]:
+        if not self.build.drained:
+            chunk = self.build.take(self.build.chunk_cap(self.config.batches))
+            return (self.build, chunk) if chunk > 0 else None
+        chunk = self.probe.take(self.probe.chunk_cap(self.config.batches))
+        return (self.probe, chunk) if chunk > 0 else None
+
+    def _output_for_chunk(self, port: Port, chunk: float) -> float:
+        if port is self.build or self.probe.local_total <= 0:
+            return 0.0
+        # Probing a complete hash table: results proportional to probe
+        # progress (exactly the simple hash-join's output timing).
+        return chunk * self.result_local / self.probe.local_total
+
+
+class PipeliningHashJoinProcess(OperationProcess):
+    """Symmetric one-phase join: consumes both sides as they arrive."""
+
+    algorithm = "pipelining"
+
+    def _select_chunk(self) -> Optional[Tuple[Port, float]]:
+        candidates = [p for p in (self.left, self.right) if p.pending > EPSILON]
+        if not candidates:
+            return None
+        # Favour the operand that is furthest behind, mimicking the
+        # symmetric algorithm's fair consumption of both inputs.
+        def progress(port: Port) -> float:
+            if port.local_total <= 0:
+                return 1.0
+            return port.processed / port.local_total
+
+        port = min(candidates, key=progress)
+        return (port, port.take(port.chunk_cap(self.config.batches)))
+
+    def _output_for_chunk(self, port: Port, chunk: float) -> float:
+        other = self.right if port is self.left else self.left
+        if self.left.local_total <= 0 or self.right.local_total <= 0:
+            return 0.0
+        # A new tuple matches the part of the other operand's hash
+        # table built so far; every match is produced exactly once, by
+        # whichever side is processed later.  Summed over the run this
+        # yields exactly result_local tuples.
+        density = self.result_local / (self.left.local_total * self.right.local_total)
+        return chunk * other.processed * density

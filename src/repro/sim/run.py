@@ -1,0 +1,284 @@
+"""Wiring a :class:`~repro.core.schedule.ParallelSchedule` onto the
+simulated machine and running it.
+
+This is the simulated counterpart of PRISMA's query execution engine
+(Section 2.2): a single scheduler process serially initializes one
+operation process per (join, processor) pair, the processes coordinate
+among themselves through tuple streams, and the run ends when the last
+process finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cost import Catalog, CostModel, JoinCost
+from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
+from .events import SimulationClock
+from .machine import MachineConfig, NetworkLink, Processor
+from .metrics import SimulationResult, TaskTiming
+from .process import (
+    OperationProcess,
+    PipeliningHashJoinProcess,
+    SimpleHashJoinProcess,
+)
+from .skew import zipf_shares
+from .streams import ConsumerGroup, Port
+
+
+@dataclass
+class _TaskRuntime:
+    """Mutable bookkeeping for one join task during the run."""
+
+    task: JoinTask
+    cost: JoinCost
+    processes: List[OperationProcess] = field(default_factory=list)
+    remaining_deps: int = 0
+    dependents: List["_TaskRuntime"] = field(default_factory=list)
+    done_processes: int = 0
+    released_at: float = 0.0
+    completion: Optional[float] = None
+    output_group: Optional[ConsumerGroup] = None
+    output_pipelined: bool = False
+
+
+class ScheduleSimulation:
+    """One simulated execution of a parallel schedule."""
+
+    def __init__(
+        self,
+        schedule: ParallelSchedule,
+        catalog: Catalog,
+        config: Optional[MachineConfig] = None,
+        cost_model: CostModel = CostModel(),
+        skew_theta: float = 0.0,
+    ):
+        """``skew_theta`` relaxes the paper's non-skew assumption: the
+        fragments of every operand follow Zipf(theta) shares instead of
+        a uniform split (0.0 reproduces the paper)."""
+        self.schedule = schedule
+        self.catalog = catalog
+        self.config = config or MachineConfig.paper()
+        self.cost_model = cost_model
+        self.skew_theta = skew_theta
+        self.clock = SimulationClock()
+        self.processors: Dict[int, Processor] = {}
+        self.network = NetworkLink(self.config.network_bandwidth)
+        annotation = cost_model.annotate(schedule.tree, catalog)
+        self.runtimes: List[_TaskRuntime] = [
+            _TaskRuntime(task=task, cost=annotation[task.join])
+            for task in schedule.tasks
+        ]
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _processor(self, ident: int) -> Processor:
+        if ident not in self.processors:
+            self.processors[ident] = Processor(ident)
+        return self.processors[ident]
+
+    def _build(self) -> None:
+        # Who consumes each task's output, and through which side.
+        consumer_of: Dict[int, Tuple[_TaskRuntime, str]] = {}
+        for runtime in self.runtimes:
+            for side, spec in (
+                ("left", runtime.task.left_input),
+                ("right", runtime.task.right_input),
+            ):
+                if not spec.is_base:
+                    consumer_of[spec.source] = (runtime, side)
+
+        # Create processes with their input ports.  Fragment shares
+        # are uniform under the paper's assumption, Zipfian under skew.
+        ports_by_task_side: Dict[Tuple[int, str], List[Port]] = {}
+        shares_of: Dict[int, List[float]] = {}
+        for runtime in self.runtimes:
+            task = runtime.task
+            shares = zipf_shares(task.parallelism, self.skew_theta)
+            shares_of[task.index] = shares
+            for proc_id, share in zip(task.processors, shares):
+                left = self._make_port(runtime, "left", task.left_input, share)
+                right = self._make_port(runtime, "right", task.right_input, share)
+                ports_by_task_side.setdefault((task.index, "left"), []).append(left)
+                ports_by_task_side.setdefault((task.index, "right"), []).append(right)
+                process = self._make_process(runtime, proc_id, left, right, share)
+                runtime.processes.append(process)
+
+        # Wire outputs: a task's processes share one consumer group.
+        for runtime in self.runtimes:
+            target = consumer_of.get(runtime.task.index)
+            if target is None:
+                continue  # root: result stays in local memories
+            consumer_runtime, side = target
+            ports = ports_by_task_side[(consumer_runtime.task.index, side)]
+            spec = (
+                consumer_runtime.task.left_input
+                if side == "left"
+                else consumer_runtime.task.right_input
+            )
+            group = ConsumerGroup(
+                ports,
+                self.config.network_latency,
+                shares=shares_of[consumer_runtime.task.index],
+                network=self.network,
+            )
+            runtime.output_group = group
+            runtime.output_pipelined = spec.mode == "pipelined"
+            for process in runtime.processes:
+                process.output = group
+                process.output_pipelined = runtime.output_pipelined
+
+        # Barriers.
+        by_index = {rt.task.index: rt for rt in self.runtimes}
+        for runtime in self.runtimes:
+            runtime.remaining_deps = len(runtime.task.start_after)
+            for dep in runtime.task.start_after:
+                by_index[dep].dependents.append(runtime)
+
+        # Serial scheduler initialization: one process after another,
+        # in task order then processor order (Section 2.2).
+        sequence = 0
+        for runtime in self.runtimes:
+            for process in runtime.processes:
+                sequence += 1
+                self.clock.at(
+                    sequence * self.config.process_startup, process.init_ready
+                )
+
+        # Release unbarriered tasks at query start.
+        for runtime in self.runtimes:
+            if runtime.remaining_deps == 0:
+                self.clock.at(0.0, self._release, runtime)
+
+    def _make_port(
+        self, runtime: _TaskRuntime, side: str, spec: InputSpec, share: float
+    ) -> Port:
+        cost = runtime.cost
+        total = cost.n1 if side == "left" else cost.n2
+        if spec.is_base:
+            coefficient = self.cost_model.base_coeff
+            producers = 0
+        else:
+            coefficient = self.cost_model.intermediate_coeff
+            producers = self.schedule.tasks[spec.source].parallelism
+        return Port(
+            side=side,
+            mode=spec.mode,
+            coefficient=coefficient,
+            expected_producers=producers,
+            local_total=total * share,
+        )
+
+    def _make_process(
+        self,
+        runtime: _TaskRuntime,
+        proc_id: int,
+        left: Port,
+        right: Port,
+        share: Optional[float] = None,
+    ) -> OperationProcess:
+        task = runtime.task
+        cost = runtime.cost
+        natural = self.cost_model.join_cost(
+            cost.n1, cost.n2, cost.result, cost.left_base, cost.right_base
+        )
+        work_scale = cost.cost / natural if natural > 0 else 1.0
+        common = dict(
+            name=f"J{task.index}",
+            processor=self._processor(proc_id),
+            clock=self.clock,
+            config=self.config,
+            left=left,
+            right=right,
+            result_local=runtime.cost.result
+            * (share if share is not None else 1.0 / task.parallelism),
+            result_coeff=self.cost_model.result_coeff,
+            output=None,             # wired afterwards
+            output_pipelined=False,  # wired afterwards
+            on_done=lambda process, rt=runtime: self._process_done(rt, process),
+            work_scale=work_scale,
+        )
+        if task.algorithm == "simple":
+            return SimpleHashJoinProcess(build_side=task.build_side, **common)
+        return PipeliningHashJoinProcess(**common)
+
+    # -- run-time callbacks -------------------------------------------------
+
+    def _release(self, runtime: _TaskRuntime) -> None:
+        runtime.released_at = self.clock.now
+        for process in runtime.processes:
+            process.release()
+
+    def _process_done(self, runtime: _TaskRuntime, process: OperationProcess) -> None:
+        runtime.done_processes += 1
+        if runtime.done_processes < len(runtime.processes):
+            return
+        # Task complete.
+        runtime.completion = self.clock.now
+        if runtime.output_group is not None and not runtime.output_pipelined:
+            total = sum(p.out_total for p in runtime.processes)
+            runtime.output_group.deliver_store(
+                self.clock, total, len(runtime.processes)
+            )
+        for dependent in runtime.dependents:
+            dependent.remaining_deps -= 1
+            if dependent.remaining_deps == 0:
+                self._release(dependent)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to completion and package the result."""
+        self.clock.run()
+        unfinished = [rt.task.index for rt in self.runtimes if rt.completion is None]
+        if unfinished:
+            raise RuntimeError(
+                f"simulation drained its event queue with tasks {unfinished} "
+                "incomplete; schedule wiring bug"
+            )
+        response = max(rt.completion for rt in self.runtimes)
+        timings = []
+        for runtime in self.runtimes:
+            starts = [
+                p.start_time for p in runtime.processes if p.start_time is not None
+            ]
+            timings.append(
+                TaskTiming(
+                    index=runtime.task.index,
+                    label=runtime.task.join.label or str(runtime.task.index),
+                    released=runtime.released_at,
+                    first_work=min(starts) if starts else None,
+                    completion=runtime.completion,
+                )
+            )
+        root = self.runtimes[-1]
+        return SimulationResult(
+            strategy=self.schedule.strategy,
+            processors=self.schedule.processors,
+            response_time=response,
+            config=self.config,
+            task_timings=timings,
+            intervals={
+                ident: list(proc.intervals)
+                for ident, proc in sorted(self.processors.items())
+            },
+            operation_processes=self.schedule.operation_processes(),
+            stream_count=self.schedule.stream_count(),
+            events=self.clock.events_dispatched,
+            result_tuples=sum(p.out_total for p in root.processes),
+        )
+
+
+def simulate(
+    schedule: ParallelSchedule,
+    catalog: Catalog,
+    config: Optional[MachineConfig] = None,
+    cost_model: CostModel = CostModel(),
+    skew_theta: float = 0.0,
+) -> SimulationResult:
+    """Build and run a :class:`ScheduleSimulation` in one call."""
+    return ScheduleSimulation(
+        schedule, catalog, config, cost_model, skew_theta
+    ).run()

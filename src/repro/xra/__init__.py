@@ -1,0 +1,22 @@
+"""XRA-like parallel plan language (Section 2.2, [GWF91])."""
+
+from .generator import generate_plan, generate_plan_text
+from .ops import JoinStatement, Operand
+from .plan import XRAPlan
+from .text import format_plan, format_processors, parse_plan, parse_processors
+
+#: Alias matching the top-level API name.
+compile_schedule = XRAPlan.from_schedule
+
+__all__ = [
+    "JoinStatement",
+    "Operand",
+    "XRAPlan",
+    "compile_schedule",
+    "format_plan",
+    "format_processors",
+    "generate_plan",
+    "generate_plan_text",
+    "parse_plan",
+    "parse_processors",
+]

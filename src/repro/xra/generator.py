@@ -1,0 +1,44 @@
+"""The execution-plan generator of Section 4.3.
+
+The paper built "a generator that can make execution plans using each
+of the strategies for a specific join tree.  The generator takes the
+join tree, the cardinalities of the operand relations, the
+parallelization strategy, and the number of processors to be used as
+input, and yields an execution plan in XRA as output."  This module is
+exactly that function.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.cost import Catalog, CostModel
+from ..core.strategies import Strategy, get_strategy
+from ..core.trees import Node
+from .plan import XRAPlan
+from .text import format_plan
+
+
+def generate_plan(
+    tree: Node,
+    catalog: Catalog,
+    strategy: Union[str, Strategy],
+    processors: int,
+    cost_model: CostModel = CostModel(),
+) -> XRAPlan:
+    """Plan ``tree`` with ``strategy`` and compile it to XRA."""
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    schedule = strategy.schedule(tree, catalog, processors, cost_model)
+    return XRAPlan.from_schedule(schedule)
+
+
+def generate_plan_text(
+    tree: Node,
+    catalog: Catalog,
+    strategy: Union[str, Strategy],
+    processors: int,
+    cost_model: CostModel = CostModel(),
+) -> str:
+    """Like :func:`generate_plan` but returns the textual XRA program."""
+    return format_plan(generate_plan(tree, catalog, strategy, processors, cost_model))

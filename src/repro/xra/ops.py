@@ -1,0 +1,100 @@
+"""XRA statements.
+
+PRISMA/DB represents queries internally in an eXtended Relational
+Algebra (XRA, [GWF91]) in which every operation carries an explicit
+degree of parallelism and processor allocation, and results can be
+split over arbitrary destinations (Section 2.2).  This module models
+the fragment of XRA the paper's experiments exercise: parallel
+hash-join statements whose operands are base-relation scans, stored
+(materialized) intermediate results, or pipelined tuple streams.
+
+A statement's textual form (see :mod:`repro.xra.text`)::
+
+    %2 := join[simple,build=left](store(%0), pipe(%1)) on 10-19 after %0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Operand kinds and their schedule input modes.
+OPERAND_KINDS = ("scan", "store", "pipe")
+
+_KIND_TO_MODE = {"scan": "base", "store": "materialized", "pipe": "pipelined"}
+_MODE_TO_KIND = {mode: kind for kind, mode in _KIND_TO_MODE.items()}
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One join operand: ``scan(Name)``, ``store(%k)`` or ``pipe(%k)``."""
+
+    kind: str
+    relation: Optional[str] = None   # for scan
+    statement: Optional[int] = None  # for store / pipe
+
+    def __post_init__(self) -> None:
+        if self.kind not in OPERAND_KINDS:
+            raise ValueError(f"unknown operand kind {self.kind!r}")
+        if self.kind == "scan":
+            if self.relation is None or self.statement is not None:
+                raise ValueError("scan operands reference a relation name")
+        else:
+            if self.statement is None or self.relation is not None:
+                raise ValueError(f"{self.kind} operands reference a statement")
+
+    @classmethod
+    def scan(cls, relation: str) -> "Operand":
+        return cls("scan", relation=relation)
+
+    @classmethod
+    def store(cls, statement: int) -> "Operand":
+        return cls("store", statement=statement)
+
+    @classmethod
+    def pipe(cls, statement: int) -> "Operand":
+        return cls("pipe", statement=statement)
+
+    @property
+    def mode(self) -> str:
+        """The schedule input mode this operand corresponds to."""
+        return _KIND_TO_MODE[self.kind]
+
+    @classmethod
+    def from_mode(cls, mode: str, source) -> "Operand":
+        """Build the operand matching a schedule :class:`InputSpec`."""
+        kind = _MODE_TO_KIND[mode]
+        if kind == "scan":
+            return cls.scan(source)
+        return cls(kind, statement=source)
+
+    def __str__(self) -> str:
+        if self.kind == "scan":
+            return f"scan({self.relation})"
+        return f"{self.kind}(%{self.statement})"
+
+
+@dataclass(frozen=True)
+class JoinStatement:
+    """One parallel hash-join statement of an XRA program."""
+
+    index: int
+    algorithm: str             # "simple" | "pipelining"
+    build_side: str            # "left" | "right"
+    left: Operand
+    right: Operand
+    processors: Tuple[int, ...]
+    after: Tuple[int, ...] = ()
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("simple", "pipelining"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.build_side not in ("left", "right"):
+            raise ValueError("build_side must be left or right")
+        if not self.processors:
+            raise ValueError("statement needs processors")
+
+    @property
+    def parallelism(self) -> int:
+        return len(self.processors)

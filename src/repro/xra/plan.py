@@ -1,0 +1,142 @@
+"""XRA programs and their equivalence with parallel schedules.
+
+An :class:`XRAPlan` is a straight-line XRA program: one parallel join
+statement per join of the tree, in postorder, the last statement
+producing the query result.  Plans convert losslessly to and from
+:class:`~repro.core.schedule.ParallelSchedule` — the join tree itself
+is recoverable from the statements' operand structure, so a plan is a
+self-contained artifact (as XRA programs were for PRISMA's scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
+from ..core.trees import Join, Leaf, Node
+from .ops import JoinStatement, Operand
+
+
+@dataclass
+class XRAPlan:
+    """A parallel execution plan in XRA form."""
+
+    strategy: str
+    processors: int
+    statements: List[JoinStatement]
+
+    def __post_init__(self) -> None:
+        for i, statement in enumerate(self.statements):
+            if statement.index != i:
+                raise ValueError(
+                    f"statement {i} carries index {statement.index}; "
+                    "statements must be densely numbered in order"
+                )
+
+    # -- conversions ------------------------------------------------------
+
+    @classmethod
+    def from_schedule(cls, schedule: ParallelSchedule) -> "XRAPlan":
+        """Compile a validated schedule into an XRA program."""
+        statements = []
+        for task in schedule.tasks:
+            statements.append(
+                JoinStatement(
+                    index=task.index,
+                    algorithm=task.algorithm,
+                    build_side=task.build_side,
+                    left=Operand.from_mode(task.left_input.mode, task.left_input.source),
+                    right=Operand.from_mode(
+                        task.right_input.mode, task.right_input.source
+                    ),
+                    processors=task.processors,
+                    after=task.start_after,
+                    label=task.join.label,
+                )
+            )
+        return cls(schedule.strategy, schedule.processors, statements)
+
+    def tree(self) -> Node:
+        """Reconstruct the join tree from the operand structure."""
+        return self._tree_with_nodes()[0]
+
+    def _tree_with_nodes(self):
+        """The tree plus the statement-index → join-node mapping."""
+        nodes: Dict[int, Node] = {}
+        consumed = set()
+
+        def operand_node(operand: Operand) -> Node:
+            if operand.kind == "scan":
+                return Leaf(operand.relation)
+            if operand.statement not in nodes:
+                raise ValueError(
+                    f"operand references statement %{operand.statement} "
+                    "before it is defined"
+                )
+            consumed.add(operand.statement)
+            return nodes[operand.statement]
+
+        for statement in self.statements:
+            nodes[statement.index] = Join(
+                operand_node(statement.left),
+                operand_node(statement.right),
+                label=statement.label,
+            )
+        roots = [i for i in nodes if i not in consumed]
+        if len(roots) != 1:
+            raise ValueError(f"plan has {len(roots)} result statements, expected 1")
+        return nodes[roots[0]], nodes
+
+    def to_schedule(self) -> ParallelSchedule:
+        """Reconstruct (and validate) the equivalent parallel schedule.
+
+        Statements may appear in any dependency-respecting order; task
+        indices are remapped to the reconstructed tree's postorder,
+        which is what :class:`ParallelSchedule` requires.
+        """
+        from ..core.trees import joins_postorder
+
+        tree, node_of = self._tree_with_nodes()
+        joins = joins_postorder(tree)
+        postorder_of_node = {id(join): i for i, join in enumerate(joins)}
+        remap = {
+            statement.index: postorder_of_node[id(node_of[statement.index])]
+            for statement in self.statements
+        }
+
+        def spec(operand: Operand) -> InputSpec:
+            if operand.kind == "scan":
+                return InputSpec("base", operand.relation)
+            return InputSpec(operand.mode, remap[operand.statement])
+
+        tasks: List[Optional[JoinTask]] = [None] * len(self.statements)
+        for statement in self.statements:
+            new_index = remap[statement.index]
+            tasks[new_index] = JoinTask(
+                index=new_index,
+                join=node_of[statement.index],
+                processors=statement.processors,
+                algorithm=statement.algorithm,
+                left_input=spec(statement.left),
+                right_input=spec(statement.right),
+                start_after=tuple(sorted(remap[d] for d in statement.after)),
+                build_side=statement.build_side,
+            )
+        return ParallelSchedule(self.strategy, tree, self.processors, tasks).validate()
+
+    # -- summary metrics ---------------------------------------------------
+
+    def operation_processes(self) -> int:
+        """Operation processes the plan claims (the startup metric)."""
+        return sum(s.parallelism for s in self.statements)
+
+    def stream_count(self) -> int:
+        """Network tuple streams the plan opens (the coordination metric)."""
+        by_index = {s.index: s for s in self.statements}
+        total = 0
+        for statement in self.statements:
+            for operand in (statement.left, statement.right):
+                if operand.kind != "scan":
+                    total += by_index[operand.statement].parallelism * statement.parallelism
+        return total

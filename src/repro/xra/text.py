@@ -1,0 +1,131 @@
+"""Textual XRA: pretty printer and parser.
+
+The textual form is line-oriented, one statement per line after a
+header, round-tripping exactly with :class:`~repro.xra.plan.XRAPlan`::
+
+    xra strategy=RD processors=20
+    %0 := join[simple,build=left](scan(R3), scan(R4)) on 0-7
+    %1 := join[simple,build=left](store(%0), pipe(%2)) on 8-14 after %0
+    ...
+
+Processor sets print as compressed ranges (``0-7,12``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ops import JoinStatement, Operand
+from .plan import XRAPlan
+
+_HEADER = re.compile(r"^xra\s+strategy=(\S+)\s+processors=(\d+)\s*$")
+_STATEMENT = re.compile(
+    r"^%(?P<index>\d+)\s*:=\s*"
+    r"join\[(?P<algorithm>simple|pipelining),build=(?P<build>left|right)\]"
+    r"\((?P<left>[^,]+),\s*(?P<right>[^)]+\))?\)?"
+)
+_OPERAND = re.compile(
+    r"^(?P<kind>scan|store|pipe)\((?P<arg>[^)]+)\)$"
+)
+
+
+def format_processors(processors: Tuple[int, ...]) -> str:
+    """Compress a sorted processor tuple into range notation."""
+    if not processors:
+        raise ValueError("empty processor set")
+    parts: List[str] = []
+    run_start = prev = processors[0]
+    for ident in processors[1:]:
+        if ident == prev + 1:
+            prev = ident
+            continue
+        parts.append(_range_text(run_start, prev))
+        run_start = prev = ident
+    parts.append(_range_text(run_start, prev))
+    return ",".join(parts)
+
+
+def _range_text(start: int, end: int) -> str:
+    return str(start) if start == end else f"{start}-{end}"
+
+
+def parse_processors(text: str) -> Tuple[int, ...]:
+    """Parse range notation back into a processor tuple."""
+    out: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, hi = part.split("-")
+            out.extend(range(int(lo), int(hi) + 1))
+        else:
+            out.append(int(part))
+    return tuple(out)
+
+
+def format_plan(plan: XRAPlan) -> str:
+    """Render a plan as its textual XRA program."""
+    lines = [f"xra strategy={plan.strategy} processors={plan.processors}"]
+    for statement in plan.statements:
+        after = ""
+        if statement.after:
+            after = " after " + " ".join(f"%{d}" for d in statement.after)
+        label = f"  ; {statement.label}" if statement.label else ""
+        lines.append(
+            f"%{statement.index} := join[{statement.algorithm},"
+            f"build={statement.build_side}]"
+            f"({statement.left}, {statement.right})"
+            f" on {format_processors(statement.processors)}{after}{label}"
+        )
+    return "\n".join(lines)
+
+
+def _parse_operand(text: str) -> Operand:
+    match = _OPERAND.match(text.strip())
+    if not match:
+        raise ValueError(f"cannot parse operand {text!r}")
+    kind, arg = match.group("kind"), match.group("arg").strip()
+    if kind == "scan":
+        return Operand.scan(arg)
+    if not arg.startswith("%"):
+        raise ValueError(f"{kind} operand must reference a statement: {text!r}")
+    return Operand(kind, statement=int(arg[1:]))
+
+
+def parse_plan(text: str) -> XRAPlan:
+    """Parse a textual XRA program back into a plan."""
+    lines = [line.split(";")[0].rstrip() for line in text.strip().splitlines()]
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        raise ValueError("empty XRA program")
+    header = _HEADER.match(lines[0])
+    if not header:
+        raise ValueError(f"bad XRA header: {lines[0]!r}")
+    strategy, processors = header.group(1), int(header.group(2))
+
+    statements: List[JoinStatement] = []
+    statement_re = re.compile(
+        r"^%(\d+) := join\[(simple|pipelining),build=(left|right)\]"
+        r"\((.+), (.+)\) on ([0-9,\-]+)( after (.*))?$"
+    )
+    for line, raw in enumerate(lines[1:], start=1):
+        # Labels were stripped with the comment; parse the rest.
+        match = statement_re.match(raw.strip())
+        if not match:
+            raise ValueError(f"cannot parse XRA statement on line {line}: {raw!r}")
+        index, algorithm, build, left, right, procs, _, after = match.groups()
+        after_ids: Tuple[int, ...] = ()
+        if after:
+            after_ids = tuple(int(token[1:]) for token in after.split())
+        statements.append(
+            JoinStatement(
+                index=int(index),
+                algorithm=algorithm,
+                build_side=build,
+                left=_parse_operand(left),
+                right=_parse_operand(right),
+                processors=parse_processors(procs),
+                after=after_ids,
+            )
+        )
+    return XRAPlan(strategy, processors, statements)

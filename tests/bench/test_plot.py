@@ -1,0 +1,60 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench import Experiment, run_sweep
+from repro.bench.plot import MARKERS, ascii_plot, _line
+
+
+@pytest.fixture(scope="module")
+def sweep(fast_config):
+    return run_sweep(Experiment("wide_bushy", 400, (10, 14, 18)), config=fast_config)
+
+
+class TestAsciiPlot:
+    def test_contains_all_markers(self, sweep):
+        text = ascii_plot(sweep)
+        for marker in MARKERS.values():
+            assert marker in text
+
+    def test_legend_and_axes(self, sweep):
+        text = ascii_plot(sweep)
+        assert "legend" in text
+        assert "processors" in text
+        assert "0.0s" in text
+
+    def test_dimensions(self, sweep):
+        text = ascii_plot(sweep, width=40, height=10)
+        rows = [line for line in text.splitlines() if line.endswith("|")]
+        assert len(rows) == 10
+        assert all(len(row) == len(rows[0]) for row in rows)
+
+    def test_explicit_y_max(self, sweep):
+        text = ascii_plot(sweep, y_max=100.0)
+        assert "100.0s" in text
+
+    def test_invalid_y_max(self, sweep):
+        with pytest.raises(ValueError):
+            ascii_plot(sweep, y_max=0.0)
+
+    def test_title_present(self, sweep):
+        assert "Figure 11" in ascii_plot(sweep)
+
+
+class TestLine:
+    def test_endpoints(self):
+        points = list(_line(0, 0, 5, 3))
+        assert points[0] == (0, 0)
+        assert points[-1] == (5, 3)
+
+    def test_single_point(self):
+        assert list(_line(2, 2, 2, 2)) == [(2, 2)]
+
+    def test_vertical_and_horizontal(self):
+        assert list(_line(0, 0, 0, 3)) == [(0, 0), (0, 1), (0, 2), (0, 3)]
+        assert list(_line(0, 0, 3, 0)) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_connected(self):
+        points = list(_line(0, 0, 7, 4))
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            assert abs(x1 - x0) <= 1 and abs(y1 - y0) <= 1

@@ -1,0 +1,73 @@
+"""Claim evaluation and report formatting."""
+
+import pytest
+
+from repro.bench import (
+    Experiment,
+    claims_for_figure,
+    evaluate_claims,
+    figure14_table,
+    figure_report,
+    markdown_figure_section,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweeps(fast_config):
+    """Miniature versions of two figures (same shapes, smaller data)."""
+    return {
+        ("wide_bushy", "5K"): run_sweep(
+            Experiment("wide_bushy", 800, (10, 20)), config=fast_config
+        ),
+        ("left_linear", "5K"): run_sweep(
+            Experiment("left_linear", 800, (10, 20)), config=fast_config
+        ),
+    }
+
+
+class TestClaims:
+    def test_every_figure_has_claims(self):
+        for figure in range(9, 14):
+            claims = claims_for_figure(figure)
+            assert claims
+            assert all(c.figure == figure for c in claims)
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            claims_for_figure(15)
+
+    def test_degeneration_claims_hold_on_miniature(self, small_sweeps):
+        """SP ≡ SE ≡ RD on left-linear holds at any scale."""
+        sweep = small_sweeps[("left_linear", "5K")]
+        outcomes = evaluate_claims(sweep)
+        by_desc = {o.claim.description: o.holds for o in outcomes}
+        assert by_desc["SE degenerates to SP on a left-linear tree"]
+        assert by_desc["RD degenerates to SP on a left-linear tree"]
+
+    def test_outcome_line_format(self, small_sweeps):
+        outcomes = evaluate_claims(small_sweeps[("left_linear", "5K")])
+        for outcome in outcomes:
+            assert outcome.line().startswith(("  [PASS]", "  [FAIL]"))
+
+
+class TestReports:
+    def test_figure_report_contains_tables_and_claims(self, small_sweeps):
+        text = figure_report([small_sweeps[("wide_bushy", "5K")]])
+        assert "procs" in text
+        assert "best:" in text
+        assert "[PASS]" in text or "[FAIL]" in text
+
+    def test_figure14_table(self, small_sweeps):
+        table = figure14_table(small_sweeps)
+        assert "wide_bushy" in table
+        assert "paper" in table.splitlines()[0]
+        # Cells without sweeps are skipped, not errors.
+        assert "right_linear" not in table
+
+    def test_markdown_section(self, small_sweeps):
+        text = markdown_figure_section(small_sweeps[("wide_bushy", "5K")])
+        assert text.startswith("### Figure 11")
+        assert "| procs |" in text
+        assert "Best:" in text
+        assert "- [" in text

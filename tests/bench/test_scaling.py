@@ -1,0 +1,63 @@
+"""Speedup/efficiency analysis."""
+
+import pytest
+
+from repro.bench import Experiment, run_sweep
+from repro.bench.scaling import (
+    ScalingCurve,
+    best_scaling_strategy,
+    scaling_curve,
+    scaling_report,
+)
+from repro.bench.workloads import Series
+
+
+def series(procs, times, name="FP"):
+    return Series(name, tuple(procs), tuple(times))
+
+
+class TestScalingCurve:
+    def test_speedup_relative_to_smallest_machine(self):
+        curve = scaling_curve(series((10, 20, 40), (8.0, 4.0, 2.0)))
+        assert curve.speedups == (1.0, 2.0, 4.0)
+
+    def test_efficiency(self):
+        curve = scaling_curve(series((10, 20, 40), (8.0, 4.0, 4.0)))
+        assert curve.efficiencies[0] == pytest.approx(1.0)
+        assert curve.efficiencies[1] == pytest.approx(1.0)
+        assert curve.efficiencies[2] == pytest.approx(0.5)
+
+    def test_knee_perfect_scaling(self):
+        curve = scaling_curve(series((10, 20, 40), (8.0, 4.0, 2.0)))
+        assert curve.knee() == 40
+
+    def test_knee_stops_at_flat_curve(self):
+        curve = scaling_curve(series((10, 20, 40), (8.0, 7.9, 7.8)))
+        assert curve.knee() == 10
+
+    def test_knee_stops_at_rise(self):
+        curve = scaling_curve(series((10, 20, 40), (8.0, 4.0, 9.0)))
+        assert curve.knee() == 20
+
+
+class TestOnRealSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, fast_config):
+        return run_sweep(
+            Experiment("wide_bushy", 2000, (10, 20, 40)), config=fast_config
+        )
+
+    def test_report_mentions_everything(self, sweep):
+        text = scaling_report(sweep)
+        assert "scaling relative to 10 processors" in text
+        assert "knees:" in text
+        for name in ("SP", "SE", "RD", "FP"):
+            assert name in text
+
+    def test_best_scaling_strategy_is_valid(self, sweep):
+        assert best_scaling_strategy(sweep) in sweep.series
+
+    def test_efficiencies_bounded(self, sweep):
+        for name in sweep.series:
+            curve = scaling_curve(sweep.series[name])
+            assert all(e <= 1.5 for e in curve.efficiencies)

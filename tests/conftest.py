@@ -1,0 +1,47 @@
+"""Shared fixtures: small Wisconsin databases and fast machine configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Catalog, paper_relation_names
+from repro.relational import make_query_relations
+from repro.sim import MachineConfig
+
+
+@pytest.fixture(scope="session")
+def names6():
+    return paper_relation_names(6)
+
+
+@pytest.fixture(scope="session")
+def names10():
+    return paper_relation_names(10)
+
+
+@pytest.fixture(scope="session")
+def relations6(names6):
+    """Six decorrelated 200-tuple Wisconsin relations."""
+    return dict(zip(names6, make_query_relations(6, 200, seed=42)))
+
+
+@pytest.fixture(scope="session")
+def catalog6(names6):
+    return Catalog.regular(names6, 200)
+
+
+@pytest.fixture(scope="session")
+def catalog10(names10):
+    return Catalog.regular(names10, 2000)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Machine config with coarse batches for quick simulations."""
+    return MachineConfig(
+        tuple_unit=0.001,
+        process_startup=0.008,
+        handshake=0.012,
+        network_latency=0.05,
+        batches=8,
+    )

@@ -1,0 +1,130 @@
+"""Integer processor allocation and the discretization error (Section 3.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    allocate_ranges,
+    assign_ranges,
+    discretization_error,
+    proportional_allocation,
+)
+
+
+class TestProportionalAllocation:
+    def test_sums_to_processor_count(self):
+        counts = proportional_allocation([1, 5, 3, 4], 10)
+        assert sum(counts) == 10
+
+    def test_proportionality(self):
+        counts = proportional_allocation([1, 1, 2], 40)
+        assert counts == [10, 10, 20]
+
+    def test_minimum_respected(self):
+        counts = proportional_allocation([0.001, 1000], 10)
+        assert counts[0] >= 1
+
+    def test_custom_minimum(self):
+        counts = proportional_allocation([1, 1000], 10, minimum=3)
+        assert counts[0] >= 3
+
+    def test_example_tree_on_ten_processors(self):
+        """The Figure 6/7 allocations: works 1,5,3,4 over 10 processors."""
+        counts = proportional_allocation([1, 5, 3, 4], 10)
+        assert counts == [1, 4, 2, 3]
+
+    def test_candy_example(self):
+        """'4 pieces of candy over 3 kids': one kid gets 2."""
+        counts = proportional_allocation([1, 1, 1], 4)
+        assert sorted(counts) == [1, 1, 2]
+
+    def test_zero_weights_spread_evenly(self):
+        assert proportional_allocation([0, 0], 6) == [3, 3]
+
+    def test_not_enough_processors_rejected(self):
+        with pytest.raises(ValueError, match="minimum"):
+            proportional_allocation([1, 1, 1], 2)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_allocation([1, -1], 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_allocation([], 4)
+
+    def test_deterministic(self):
+        weights = [3, 1, 4, 1, 5]
+        assert proportional_allocation(weights, 17) == proportional_allocation(
+            weights, 17
+        )
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=12),
+        st.integers(1, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_sum_and_floor(self, weights, extra):
+        processors = len(weights) + extra
+        counts = proportional_allocation(weights, processors)
+        assert sum(counts) == processors
+        assert all(c >= 1 for c in counts)
+
+    @given(st.integers(1, 20), st.integers(1, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_property_equal_weights_near_even(self, items, extra):
+        processors = items + extra
+        counts = proportional_allocation([1.0] * items, processors)
+        assert max(counts) - min(counts) <= 1
+
+
+class TestRanges:
+    def test_assign_ranges_partition(self):
+        ranges = assign_ranges([3, 2, 5])
+        assert ranges == [(0, 1, 2), (3, 4), (5, 6, 7, 8, 9)]
+
+    def test_assign_ranges_start_offset(self):
+        assert assign_ranges([2], start=7) == [(7, 8)]
+
+    def test_allocate_ranges_disjoint_cover(self):
+        procs = tuple(range(20))
+        ranges = allocate_ranges([1, 5, 3, 4], procs)
+        flat = [p for r in ranges for p in r]
+        assert flat == list(procs)
+
+    def test_allocate_ranges_non_contiguous_input(self):
+        procs = (2, 5, 9, 11)
+        ranges = allocate_ranges([1, 1], procs)
+        assert ranges == [(2, 5), (9, 11)]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            assign_ranges([-1])
+
+
+class TestDiscretizationError:
+    def test_perfect_allocation(self):
+        assert discretization_error([2, 2], [1, 1]) == pytest.approx(1.0)
+
+    def test_candy_imbalance(self):
+        # 3 equal kids, 4 candies: makespan 1 vs ideal 3/4.
+        assert discretization_error([1, 1, 1], [2, 1, 1]) == pytest.approx(4 / 3)
+
+    def test_unserved_work_is_infinite(self):
+        assert discretization_error([1, 1], [2, 0]) == float("inf")
+
+    def test_error_shrinks_with_processor_ratio(self):
+        """Section 3.5: the error decreases with increasing ratio of
+        processors to operations."""
+        weights = [1, 5, 3, 4]
+        small = discretization_error(weights, proportional_allocation(weights, 10))
+        large = discretization_error(weights, proportional_allocation(weights, 160))
+        assert large <= small
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            discretization_error([1], [1, 1])
+
+    def test_zero_work(self):
+        assert discretization_error([0, 0], [1, 1]) == 1.0

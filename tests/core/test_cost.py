@@ -1,0 +1,123 @@
+"""The Section 4.3 cost model."""
+
+import pytest
+
+from repro.core import (
+    Catalog,
+    CostModel,
+    Join,
+    Leaf,
+    SHAPE_NAMES,
+    example_tree,
+    joins_postorder,
+    make_shape,
+    one_to_one_estimator,
+    paper_relation_names,
+    selectivity_estimator,
+)
+
+
+NAMES = paper_relation_names(10)
+
+
+class TestFormula:
+    def test_base_base(self):
+        """a = b = 1 for base relations, c = 2: cost = n1 + n2 + 2r."""
+        model = CostModel()
+        assert model.join_cost(100, 200, 50, True, True) == 100 + 200 + 100
+
+    def test_intermediate_operands_cost_double(self):
+        model = CostModel()
+        assert model.join_cost(100, 200, 50, False, True) == 200 + 200 + 100
+        assert model.join_cost(100, 200, 50, True, False) == 100 + 400 + 100
+        assert model.join_cost(100, 200, 50, False, False) == 200 + 400 + 100
+
+    def test_custom_coefficients(self):
+        model = CostModel(base_coeff=1, intermediate_coeff=3, result_coeff=5)
+        assert model.join_cost(10, 10, 10, False, True) == 30 + 10 + 50
+
+
+class TestEstimators:
+    def test_one_to_one(self):
+        assert one_to_one_estimator(100, 200) == 100
+
+    def test_selectivity(self):
+        est = selectivity_estimator(0.01)
+        assert est(100, 200) == pytest.approx(200)
+
+    def test_selectivity_rejects_negative(self):
+        with pytest.raises(ValueError):
+            selectivity_estimator(-1)
+
+
+class TestRegularQuery:
+    """Section 4.1: all trees of the regular query cost the same."""
+
+    def test_total_cost_is_44n_for_every_shape(self):
+        model = CostModel()
+        catalog = Catalog.regular(NAMES, 5000)
+        for shape in SHAPE_NAMES:
+            tree = make_shape(shape, NAMES)
+            assert model.total_cost(tree, catalog) == 44 * 5000
+
+    def test_total_cost_formula_structure(self):
+        """10 base operands (1 unit), 8 intermediate (2), 9 results (2):
+        (10 + 16 + 18) n = 44n."""
+        model = CostModel()
+        catalog = Catalog.regular(NAMES, 7)
+        tree = make_shape("wide_bushy", NAMES)
+        assert model.total_cost(tree, catalog) == 44 * 7
+
+    def test_annotation_cardinalities(self):
+        model = CostModel()
+        catalog = Catalog.regular(NAMES, 1000)
+        tree = make_shape("left_linear", NAMES)
+        annotation = model.annotate(tree, catalog)
+        for cost in annotation.values():
+            assert cost.n1 == cost.n2 == cost.result == 1000
+
+
+class TestAnnotation:
+    def test_base_flags(self):
+        model = CostModel()
+        tree = Join(Join(Leaf("A"), Leaf("B")), Leaf("C"))
+        catalog = Catalog.regular(["A", "B", "C"], 10)
+        annotation = model.annotate(tree, catalog)
+        bottom, top = joins_postorder(tree)
+        assert annotation[bottom].left_base and annotation[bottom].right_base
+        assert not annotation[top].left_base
+        assert annotation[top].right_base
+
+    def test_work_override(self):
+        """Explicit work labels replace the computed cost (Figure 2)."""
+        model = CostModel()
+        tree = example_tree()
+        catalog = Catalog.regular(["A", "B", "C", "D", "E"], 100)
+        annotation = model.annotate(tree, catalog)
+        assert [annotation[j].cost for j in joins_postorder(tree)] == [4, 3, 5, 1]
+
+    def test_unknown_relation_raises(self):
+        model = CostModel()
+        with pytest.raises(KeyError, match="not in catalog"):
+            model.annotate(Join(Leaf("A"), Leaf("Z")), Catalog.regular(["A"], 5))
+
+    def test_subtree_costs(self):
+        model = CostModel()
+        tree = example_tree()
+        catalog = Catalog.regular(["A", "B", "C", "D", "E"], 100)
+        subtree = model.subtree_costs(tree, catalog)
+        j4, j3, j5, j1 = joins_postorder(tree)
+        assert subtree[j4] == 4
+        assert subtree[j3] == 3
+        assert subtree[j5] == 4 + 3 + 5
+        assert subtree[j1] == 4 + 3 + 5 + 1
+
+    def test_subset_estimator_takes_precedence(self):
+        catalog = Catalog(
+            {"A": 10, "B": 10},
+            subset_estimator=lambda subset: 77.0,
+        )
+        model = CostModel()
+        annotation = model.annotate(Join(Leaf("A"), Leaf("B")), catalog)
+        (cost,) = annotation.values()
+        assert cost.result == 77.0

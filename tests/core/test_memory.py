@@ -1,0 +1,105 @@
+"""Memory accounting: the Section 4.2 floor and the RD-vs-FP claim."""
+
+import pytest
+
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.core.memory import (
+    MemoryModel,
+    PRISMA_NODE_BYTES,
+    fits_in_memory,
+    memory_report,
+    minimum_processors,
+    peak_memory_per_processor,
+    task_memory,
+)
+
+NAMES = paper_relation_names(10)
+CAT_5K = Catalog.regular(NAMES, 5000)
+CAT_40K = Catalog.regular(NAMES, 40000)
+
+
+class TestModel:
+    def test_prisma_node_size(self):
+        assert PRISMA_NODE_BYTES == 16 * 2**20
+
+    def test_table_bytes_scale(self):
+        model = MemoryModel(tuple_bytes=100, hash_overhead=2.0)
+        assert model.table_bytes(10) == 2000
+        assert model.stored_bytes(10) == 1000
+
+
+class TestTaskMemory:
+    def test_pipelining_joins_hold_two_tables(self):
+        """Section 2.3.2: the pipelining algorithm's memory cost."""
+        tree = make_shape("wide_bushy", NAMES)
+        fp = get_strategy("FP").schedule(tree, CAT_5K, 40)
+        for tm in task_memory(fp, CAT_5K):
+            assert tm.hash_tables == 2
+
+    def test_simple_joins_hold_one_table(self):
+        tree = make_shape("wide_bushy", NAMES)
+        for name in ("SP", "SE", "RD"):
+            schedule = get_strategy(name).schedule(tree, CAT_5K, 40)
+            for tm in task_memory(schedule, CAT_5K):
+                assert tm.hash_tables == 1
+
+    def test_rd_uses_less_memory_than_fp(self):
+        """Section 5: 'RD uses less memory than FP because only one
+        hash-table needs to be built.'"""
+        tree = make_shape("right_bushy", NAMES)
+        rd = get_strategy("RD").schedule(tree, CAT_40K, 40)
+        fp = get_strategy("FP").schedule(tree, CAT_40K, 40)
+        rd_peak = max(peak_memory_per_processor(rd, CAT_40K).values())
+        fp_peak = max(peak_memory_per_processor(fp, CAT_40K).values())
+        assert rd_peak < fp_peak
+
+    def test_table_tuples_shrink_with_parallelism(self):
+        tree = make_shape("left_linear", NAMES)
+        small = task_memory(get_strategy("SP").schedule(tree, CAT_5K, 10), CAT_5K)
+        large = task_memory(get_strategy("SP").schedule(tree, CAT_5K, 40), CAT_5K)
+        assert large[0].table_tuples == pytest.approx(small[0].table_tuples / 4)
+
+
+class TestFeasibility:
+    def test_40k_fp_first_fits_at_30(self):
+        """Section 4.2: 'The total size of the 40K query was too large
+        to run on fewer than 30 processors.'"""
+        tree = make_shape("wide_bushy", NAMES)
+        assert minimum_processors(get_strategy("FP"), tree, CAT_40K) == 30
+
+    def test_all_strategies_fit_the_paper_sweeps(self):
+        for shape in ("left_linear", "wide_bushy", "right_bushy"):
+            tree = make_shape(shape, NAMES)
+            for name in ("SP", "SE", "RD", "FP"):
+                floor = minimum_processors(get_strategy(name), tree, CAT_40K)
+                assert floor is not None and floor <= 30
+                floor5 = minimum_processors(get_strategy(name), tree, CAT_5K)
+                assert floor5 is not None and floor5 <= 20
+
+    def test_fits_in_memory_consistency(self):
+        tree = make_shape("wide_bushy", NAMES)
+        fp = get_strategy("FP").schedule(tree, CAT_40K, 30)
+        assert fits_in_memory(fp, CAT_40K)
+        fp_small = get_strategy("FP").schedule(tree, CAT_40K, 20)
+        assert not fits_in_memory(fp_small, CAT_40K)
+
+    def test_impossible_fit_returns_none(self):
+        tiny = MemoryModel(node_bytes=3 * 2**20, runtime_bytes=3 * 2**20)
+        tree = make_shape("wide_bushy", NAMES)
+        assert minimum_processors(
+            get_strategy("SP"), tree, CAT_40K, tiny, upper=64
+        ) is None
+
+
+class TestReport:
+    def test_report_mentions_fit(self):
+        tree = make_shape("wide_bushy", NAMES)
+        fp = get_strategy("FP").schedule(tree, CAT_40K, 30)
+        text = memory_report(fp, CAT_40K)
+        assert "FP on 30 processors" in text
+        assert "fits" in text
+
+    def test_report_flags_misfit(self):
+        tree = make_shape("wide_bushy", NAMES)
+        fp = get_strategy("FP").schedule(tree, CAT_40K, 15)
+        assert "DOES NOT FIT" in memory_report(fp, CAT_40K)

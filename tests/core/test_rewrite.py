@@ -1,0 +1,120 @@
+"""Cost-free right-orientation rewrites (Section 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Catalog,
+    CostModel,
+    SHAPE_NAMES,
+    is_left_linear,
+    is_right_linear,
+    leaf_names,
+    make_shape,
+    paper_relation_names,
+)
+from repro.core.rewrite import left_orient, orientation_gain, right_orient
+from repro.core.strategies import decompose
+from repro.core.trees import Join, Leaf, structurally_equal
+
+NAMES = paper_relation_names(10)
+CATALOG = Catalog.regular(NAMES, 1000)
+
+
+@st.composite
+def random_trees(draw, max_leaves=10):
+    count = draw(st.integers(2, max_leaves))
+    nodes = [Leaf(f"R{i}") for i in range(count)]
+    while len(nodes) > 1:
+        i = draw(st.integers(0, len(nodes) - 2))
+        nodes.insert(i, Join(nodes.pop(i), nodes.pop(i)))
+    return nodes[0]
+
+
+class TestRightOrient:
+    def test_left_linear_becomes_right_linear(self):
+        out = right_orient(make_shape("left_linear", NAMES))
+        assert is_right_linear(out)
+
+    def test_left_bushy_becomes_one_long_segment_tree(self):
+        tree = make_shape("left_bushy", NAMES)
+        out = right_orient(tree)
+        before = max(len(s) for s in decompose(tree))
+        after = max(len(s) for s in decompose(out))
+        assert before <= 2
+        assert after == 7  # same as the native right-oriented shape
+
+    def test_right_linear_unchanged(self):
+        tree = make_shape("right_linear", NAMES)
+        assert structurally_equal(right_orient(tree), tree)
+
+    def test_preserves_leaf_set(self):
+        for shape in SHAPE_NAMES:
+            tree = make_shape(shape, NAMES)
+            assert sorted(leaf_names(right_orient(tree))) == sorted(NAMES)
+
+    def test_cost_free(self):
+        """Swapping operands never changes the §4.3 total cost."""
+        model = CostModel()
+        for shape in SHAPE_NAMES:
+            tree = make_shape(shape, NAMES)
+            assert model.total_cost(tree, CATALOG) == model.total_cost(
+                right_orient(tree), CATALOG
+            )
+
+    def test_idempotent(self):
+        for shape in SHAPE_NAMES:
+            once = right_orient(make_shape(shape, NAMES))
+            assert structurally_equal(right_orient(once), once)
+
+    def test_preserves_labels(self):
+        tree = Join(Join(Leaf("A"), Leaf("B"), label="x"), Leaf("C"), label="y")
+        out = right_orient(tree)
+        labels = {out.label}
+        child = out.right if isinstance(out.right, Join) else out.left
+        labels.add(child.label)
+        assert labels == {"x", "y"}
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_property_segments_never_shorter(self, tree):
+        before = max(len(s) for s in decompose(tree))
+        after = max(len(s) for s in decompose(right_orient(tree)))
+        assert after >= before
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_property_cost_invariant(self, tree):
+        names = leaf_names(tree)
+        catalog = Catalog.regular(names, 100)
+        model = CostModel()
+        assert model.total_cost(tree, catalog) == pytest.approx(
+            model.total_cost(right_orient(tree), catalog)
+        )
+
+
+class TestLeftOrient:
+    def test_is_mirror_of_right_orient(self):
+        tree = make_shape("wide_bushy", NAMES)
+        from repro.core import mirror
+
+        assert structurally_equal(left_orient(tree), mirror(right_orient(tree)))
+
+    def test_left_linear_fixed_point(self):
+        tree = make_shape("left_linear", NAMES)
+        assert is_left_linear(left_orient(tree))
+
+
+class TestOrientationGain:
+    def test_right_linear_zero(self):
+        assert orientation_gain(make_shape("right_linear", NAMES)) == 0
+
+    def test_left_linear_full(self):
+        # Every join with a join child swaps; the bottom two-leaf join
+        # is symmetric and never does.
+        assert orientation_gain(make_shape("left_linear", NAMES)) == 8
+
+    def test_counts_partial(self):
+        gain = orientation_gain(make_shape("wide_bushy", NAMES))
+        assert 0 < gain < 9

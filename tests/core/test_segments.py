@@ -1,0 +1,103 @@
+"""Right-deep segmentation (Figure 5)."""
+
+import pytest
+
+from repro.core import (
+    Catalog,
+    CostModel,
+    example_tree,
+    make_shape,
+    paper_relation_names,
+)
+from repro.core.strategies import decompose, waves
+from repro.core.trees import Leaf, joins_postorder
+
+
+NAMES = paper_relation_names(10)
+
+
+class TestExampleTree:
+    def test_two_segments(self):
+        """Section 3.3: segment {4} runs first, then the right-deep
+        chain {1, 5, 3}."""
+        segments = decompose(example_tree())
+        assert sorted(len(s) for s in segments) == [1, 3]
+        chain = next(s for s in segments if len(s) == 3)
+        assert [j.label for j in chain.joins] == ["1", "5", "3"]
+        single = next(s for s in segments if len(s) == 1)
+        assert single.top.label == "4"
+
+    def test_chain_linked_through_right_children(self):
+        chain = next(s for s in decompose(example_tree()) if len(s) == 3)
+        for upper, lower in zip(chain.joins, chain.joins[1:]):
+            assert upper.right is lower
+
+    def test_probe_relation_is_base(self):
+        for segment in decompose(example_tree()):
+            assert isinstance(segment.probe_relation, Leaf)
+
+    def test_producers(self):
+        segments = decompose(example_tree())
+        chain = next(s for s in segments if len(s) == 3)
+        single = next(s for s in segments if len(s) == 1)
+        assert chain.producers == [single]
+        assert single.producers == []
+
+    def test_waves_order(self):
+        segments = decompose(example_tree())
+        plan = waves(segments)
+        assert len(plan) == 2
+        assert plan[0][0].top.label == "4"
+        assert plan[1][0].top.label == "1"
+
+    def test_work(self):
+        catalog = Catalog.regular(["A", "B", "C", "D", "E"], 100)
+        tree = example_tree()
+        annotation = CostModel().annotate(tree, catalog)
+        segments = decompose(tree)
+        chain = next(s for s in segments if len(s) == 3)
+        assert chain.work(annotation) == 1 + 5 + 3
+
+
+class TestShapeDegenerations:
+    def test_left_linear_all_singleton_segments(self):
+        """Left-linear: no right-deep segments → RD degenerates to SP."""
+        segments = decompose(make_shape("left_linear", NAMES))
+        assert all(len(s) == 1 for s in segments)
+        assert len(segments) == 9
+        # Strict producer chain: one segment per wave.
+        assert all(len(wave) == 1 for wave in waves(segments))
+
+    def test_right_linear_single_segment(self):
+        """Right-linear: the whole query is one segment → RD ≈ FP."""
+        segments = decompose(make_shape("right_linear", NAMES))
+        assert len(segments) == 1
+        assert len(segments[0]) == 9
+
+    def test_right_bushy_long_pipeline_with_independent_builds(self):
+        """Section 4.4: a fairly long probe pipeline whose left operands
+        are processed independently in parallel."""
+        segments = decompose(make_shape("right_bushy", NAMES))
+        sizes = sorted(len(s) for s in segments)
+        assert max(sizes) == 7
+        first_wave = waves(segments)[0]
+        assert len(first_wave) >= 2  # independent pair segments
+
+    def test_left_bushy_short_segments(self):
+        """Section 4.4: RD's independent right-deep segments are very
+        short on the left-oriented tree."""
+        segments = decompose(make_shape("left_bushy", NAMES))
+        assert max(len(s) for s in segments) <= 2
+
+    def test_segments_partition_the_joins(self):
+        for shape in ("left_linear", "left_bushy", "wide_bushy",
+                      "right_bushy", "right_linear"):
+            tree = make_shape(shape, NAMES)
+            segments = decompose(tree)
+            seen = [j for s in segments for j in s.joins]
+            assert len(seen) == 9
+            assert {id(j) for j in seen} == {id(j) for j in joins_postorder(tree)}
+
+    def test_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(Leaf("A"))

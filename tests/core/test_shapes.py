@@ -1,0 +1,135 @@
+"""The five experimental shapes (Figure 8) and the example tree (Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SHAPE_NAMES,
+    example_tree,
+    is_bushy,
+    is_left_linear,
+    is_linear,
+    is_right_linear,
+    joins_postorder,
+    leaf_names,
+    make_shape,
+    mirror,
+    num_joins,
+    orientation,
+    paper_relation_names,
+    structurally_equal,
+)
+from repro.core.shapes import left_bushy, left_linear, right_bushy, right_linear, wide_bushy
+from repro.core.trees import Join, Leaf, height
+
+
+NAMES = paper_relation_names(10)
+
+
+class TestShapeStructure:
+    def test_all_shapes_have_nine_joins(self):
+        for shape in SHAPE_NAMES:
+            assert num_joins(make_shape(shape, NAMES)) == 9
+
+    def test_left_linear_is_left_linear(self):
+        assert is_left_linear(left_linear(NAMES))
+
+    def test_right_linear_is_right_linear(self):
+        assert is_right_linear(right_linear(NAMES))
+
+    def test_linear_shapes_are_not_bushy(self):
+        assert not is_bushy(left_linear(NAMES))
+        assert not is_bushy(right_linear(NAMES))
+
+    def test_bushy_shapes_are_bushy(self):
+        assert is_bushy(left_bushy(NAMES))
+        assert is_bushy(right_bushy(NAMES))
+        assert is_bushy(wide_bushy(NAMES))
+
+    def test_orientations(self):
+        assert orientation(left_linear(NAMES)) == -1.0
+        assert orientation(left_bushy(NAMES)) < -0.5
+        # orientation() only scores joins with exactly one join child,
+        # so the balanced tree's few scored joins lean with the mid
+        # rounding; wide-bushiness is the meaningful metric for it.
+        from repro.optimizer.guidelines import wide_bushiness
+        assert wide_bushiness(wide_bushy(NAMES)) >= 0.3
+        assert wide_bushiness(left_bushy(NAMES)) < 0.3
+        assert orientation(right_bushy(NAMES)) > 0.5
+        assert orientation(right_linear(NAMES)) == 1.0
+
+    def test_wide_bushy_is_balanced(self):
+        assert height(wide_bushy(NAMES)) == 4  # ceil(log2(10)) = 4
+
+    def test_long_bushy_is_long(self):
+        """Section 4.4: the left-oriented bushy pipeline is only
+        slightly shorter than the linear one (7 vs 9 for 10 relations)."""
+        assert height(left_bushy(NAMES)) == 7
+        assert height(right_bushy(NAMES)) == 7
+        assert height(left_linear(NAMES)) == 9
+
+    def test_right_bushy_is_mirror_of_left_bushy(self):
+        assert structurally_equal(
+            mirror(left_bushy(NAMES)),
+            right_bushy(list(reversed(NAMES))),
+        )
+
+    def test_shapes_cover_all_relations(self):
+        for shape in SHAPE_NAMES:
+            assert sorted(leaf_names(make_shape(shape, NAMES))) == sorted(NAMES)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            make_shape("zigzag", NAMES)
+
+    def test_too_few_relations_rejected(self):
+        with pytest.raises(ValueError):
+            make_shape("left_linear", ["R0"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_shape("wide_bushy", ["A", "A", "B"])
+
+    @given(st.integers(2, 14))
+    @settings(max_examples=20, deadline=None)
+    def test_property_every_shape_any_size(self, count):
+        names = paper_relation_names(count)
+        for shape in SHAPE_NAMES:
+            tree = make_shape(shape, names)
+            assert num_joins(tree) == count - 1
+            assert sorted(leaf_names(tree)) == sorted(names)
+
+
+class TestExampleTree:
+    def test_labels_and_works(self):
+        tree = example_tree()
+        joins = joins_postorder(tree)
+        assert [j.label for j in joins] == ["4", "3", "5", "1"]
+        assert [j.work for j in joins] == [4.0, 3.0, 5.0, 1.0]
+
+    def test_five_relations_four_joins(self):
+        tree = example_tree()
+        assert leaf_names(tree) == ["A", "D", "E", "B", "C"]
+        assert num_joins(tree) == 4
+
+    def test_bottom_joins_have_base_operands_only(self):
+        """Figure 7's narration: 'the bottom two join operations start
+        immediately, as their operands are available as base-relations'."""
+        joins = joins_postorder(example_tree())
+        for join in joins[:2]:
+            assert isinstance(join.left, Leaf) and isinstance(join.right, Leaf)
+
+    def test_join5_has_two_intermediate_operands(self):
+        """The bushy step whose operands must 'start producing output'."""
+        j5 = joins_postorder(example_tree())[2]
+        assert j5.label == "5"
+        assert isinstance(j5.left, Join) and isinstance(j5.right, Join)
+
+    def test_top_join_left_operand_is_base(self):
+        """Figure 7: the top join 'may start immediately hashing its
+        left-operand'."""
+        top = joins_postorder(example_tree())[-1]
+        assert top.label == "1"
+        assert isinstance(top.left, Leaf)
+        assert isinstance(top.right, Join)

@@ -1,0 +1,249 @@
+"""The four strategies' planning behaviour (Section 3)."""
+
+import pytest
+
+from repro.core import (
+    Catalog,
+    CostModel,
+    SHAPE_NAMES,
+    example_tree,
+    get_strategy,
+    joins_postorder,
+    make_shape,
+    paper_relation_names,
+    strategy_names,
+)
+from repro.core.strategies import (
+    FullParallel,
+    SegmentedRightDeep,
+    SequentialParallel,
+    SynchronousExecution,
+)
+
+NAMES = paper_relation_names(10)
+CATALOG = Catalog.regular(NAMES, 1000)
+
+
+def schedule_for(strategy, shape, processors=20):
+    return get_strategy(strategy).schedule(
+        make_shape(shape, NAMES), CATALOG, processors
+    )
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert strategy_names() == ["SP", "SE", "RD", "FP"]
+
+    def test_lookup_case_insensitive(self):
+        assert isinstance(get_strategy("fp"), FullParallel)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            get_strategy("XX")
+
+    def test_titles(self):
+        assert SequentialParallel.title == "Sequential Parallel"
+        assert SynchronousExecution.title == "Synchronous Execution"
+        assert SegmentedRightDeep.title == "Segmented Right-Deep"
+        assert FullParallel.title == "Full Parallel"
+
+    def test_only_sp_needs_no_cost_function(self):
+        """Section 5: SP 'does not need a cost function to estimate the
+        costs of the individual join operations'."""
+        assert not SequentialParallel.needs_cost_function
+        assert SynchronousExecution.needs_cost_function
+        assert SegmentedRightDeep.needs_cost_function
+        assert FullParallel.needs_cost_function
+
+
+class TestAllSchedulesValid:
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    @pytest.mark.parametrize("processors", [9, 20, 80])
+    def test_validates(self, strategy, shape, processors):
+        schedule = schedule_for(strategy, shape, processors)
+        assert len(schedule.tasks) == 9
+
+
+class TestSP:
+    def test_every_join_on_all_processors(self):
+        schedule = schedule_for("SP", "wide_bushy", 16)
+        for task in schedule.tasks:
+            assert task.processors == tuple(range(16))
+
+    def test_strict_sequence(self):
+        schedule = schedule_for("SP", "wide_bushy", 16)
+        for i, task in enumerate(schedule.tasks):
+            assert task.start_after == ((i - 1,) if i else ())
+
+    def test_simple_algorithm_everywhere(self):
+        schedule = schedule_for("SP", "right_bushy", 16)
+        assert all(t.algorithm == "simple" for t in schedule.tasks)
+
+    def test_no_pipelined_inputs(self):
+        schedule = schedule_for("SP", "right_linear", 16)
+        for task in schedule.tasks:
+            for spec in task.inputs():
+                assert spec.mode in ("base", "materialized")
+
+    def test_process_count(self):
+        assert schedule_for("SP", "left_linear", 30).operation_processes() == 270
+
+
+class TestSE:
+    def test_degenerates_to_sp_on_linear_trees(self):
+        """Section 3.2/4.4: no independent subtrees → SE allocates all
+        processors sequentially to each join."""
+        for shape in ("left_linear", "right_linear"):
+            se = schedule_for("SE", shape, 24)
+            for task in se.tasks:
+                assert task.processors == tuple(range(24))
+
+    def test_splits_processors_over_independent_subtrees(self):
+        schedule = schedule_for("SE", "wide_bushy", 24)
+        joins = joins_postorder(schedule.tree)
+        root_task = schedule.tasks[-1]
+        left_child_task = schedule.task_for(root_task.join.left)
+        right_child_task = schedule.task_for(root_task.join.right)
+        assert not set(left_child_task.processors) & set(right_child_task.processors)
+        assert root_task.processors == tuple(range(24))
+
+    def test_example_tree_allocation(self):
+        """Figure 4: joins 3 and 4 split the 10 processors 4/6."""
+        catalog = Catalog.regular(["A", "B", "C", "D", "E"], 100)
+        schedule = get_strategy("SE").schedule(example_tree(), catalog, 10)
+        by_label = {t.join.label: t for t in schedule.tasks}
+        assert len(by_label["4"].processors) == 6
+        assert len(by_label["3"].processors) == 4
+        assert by_label["5"].processors == tuple(range(10))
+        assert by_label["1"].processors == tuple(range(10))
+
+    def test_join_waits_for_both_operands(self):
+        schedule = schedule_for("SE", "wide_bushy", 24)
+        for task in schedule.tasks:
+            for spec in task.inputs():
+                if not spec.is_base:
+                    assert spec.mode == "materialized"
+                    assert spec.source in task.start_after
+
+    def test_allocation_proportional_to_subtree_work(self):
+        """[CYW92]: processors proportional to total subtree work."""
+        names = ["A", "B", "C", "D"]
+        # A⋈B is 10x the work of C⋈D.
+        catalog = Catalog({"A": 1000, "B": 1000, "C": 100, "D": 100})
+        from repro.core.trees import Join, Leaf
+
+        tree = Join(Join(Leaf("A"), Leaf("B")), Join(Leaf("C"), Leaf("D")))
+        schedule = get_strategy("SE").schedule(tree, catalog, 22)
+        heavy = schedule.tasks[0]
+        light = schedule.tasks[1]
+        assert heavy.parallelism > 3 * light.parallelism
+
+
+class TestRD:
+    def test_degenerates_to_sp_on_left_linear(self):
+        rd = schedule_for("RD", "left_linear", 24)
+        for task in rd.tasks:
+            assert task.processors == tuple(range(24))
+        # Sequential waves, like SP.
+        for task in rd.tasks[1:]:
+            assert task.start_after
+
+    def test_right_linear_is_one_pipeline(self):
+        """One segment: same process count as FP, no barriers."""
+        rd = schedule_for("RD", "right_linear", 24)
+        assert rd.operation_processes() == 24
+        assert all(not t.start_after for t in rd.tasks)
+
+    def test_within_segment_right_inputs_pipelined(self):
+        rd = schedule_for("RD", "right_linear", 24)
+        for task in rd.tasks[:-1]:  # every non-bottom join of the chain
+            pass
+        pipelined = [
+            t for t in rd.tasks
+            if not t.right_input.is_base and t.right_input.mode == "pipelined"
+        ]
+        assert len(pipelined) == 8
+
+    def test_left_join_inputs_materialized(self):
+        rd = schedule_for("RD", "right_bushy", 24)
+        for task in rd.tasks:
+            if not task.left_input.is_base:
+                assert task.left_input.mode == "materialized"
+
+    def test_example_tree_waves(self):
+        """Figure 6: join 4 first on all 10 processors, then the
+        pipeline 1-5-3 with processors 2/5/3."""
+        catalog = Catalog.regular(["A", "B", "C", "D", "E"], 100)
+        schedule = get_strategy("RD").schedule(example_tree(), catalog, 10)
+        by_label = {t.join.label: t for t in schedule.tasks}
+        assert by_label["4"].processors == tuple(range(10))
+        assert not by_label["4"].start_after
+        for label, procs in (("1", 1), ("5", 6), ("3", 3)):
+            assert len(by_label[label].processors) == procs
+            assert set(by_label[label].start_after) == {by_label["4"].index}
+
+    def test_simple_algorithm_everywhere(self):
+        rd = schedule_for("RD", "right_bushy", 24)
+        assert all(t.algorithm == "simple" for t in rd.tasks)
+        assert all(t.build_side == "left" for t in rd.tasks)
+
+
+class TestFP:
+    def test_one_process_per_processor(self):
+        for shape in SHAPE_NAMES:
+            fp = schedule_for("FP", shape, 40)
+            assert fp.operation_processes() == 40
+
+    def test_disjoint_private_processors(self):
+        fp = schedule_for("FP", "wide_bushy", 40)
+        seen = set()
+        for task in fp.tasks:
+            assert not seen & set(task.processors)
+            seen |= set(task.processors)
+
+    def test_no_barriers_and_all_pipelined(self):
+        fp = schedule_for("FP", "left_bushy", 40)
+        for task in fp.tasks:
+            assert not task.start_after
+            assert task.algorithm == "pipelining"
+            for spec in task.inputs():
+                assert spec.mode in ("base", "pipelined")
+
+    def test_allocation_proportional_to_work(self):
+        """Figure 7: works 1,5,3,4 over 10 processors → 1,4,2,3... in
+        postorder [4,3,5,1] order → [3,2,4,1]."""
+        catalog = Catalog.regular(["A", "B", "C", "D", "E"], 100)
+        fp = get_strategy("FP").schedule(example_tree(), catalog, 10)
+        by_label = {t.join.label: len(t.processors) for t in fp.tasks}
+        assert by_label == {"4": 3, "3": 2, "5": 4, "1": 1}
+
+    def test_minimum_one_processor_per_join(self):
+        fp = schedule_for("FP", "left_linear", 9)
+        assert all(t.parallelism == 1 for t in fp.tasks)
+
+    def test_too_few_processors_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_for("FP", "left_linear", 8)
+
+
+class TestCommonBehaviour:
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_for("SP", "left_linear", 0)
+
+    def test_single_join_tree(self):
+        from repro.core.trees import Join, Leaf
+
+        tree = Join(Leaf("A"), Leaf("B"))
+        catalog = Catalog.regular(["A", "B"], 50)
+        for name in strategy_names():
+            schedule = get_strategy(name).schedule(tree, catalog, 4)
+            assert len(schedule.tasks) == 1
+            assert schedule.tasks[0].processors == (0, 1, 2, 3)
+
+    def test_leaf_only_tree_rejected(self):
+        from repro.core.trees import Leaf
+
+        with pytest.raises(ValueError, match="no joins"):
+            get_strategy("SP").schedule(Leaf("A"), Catalog.regular(["A"], 5), 4)

@@ -1,0 +1,183 @@
+"""Join-tree ADT and structural predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Join,
+    Leaf,
+    height,
+    is_bushy,
+    is_left_linear,
+    is_linear,
+    is_right_linear,
+    joins_postorder,
+    leaf_names,
+    leaves,
+    mirror,
+    num_joins,
+    orientation,
+    render,
+    structurally_equal,
+)
+from repro.core.trees import map_labels, parent_map
+
+
+def small_tree():
+    #      top
+    #     /   \
+    #    j1    D
+    #   /  \
+    #  A   j2
+    #     /  \
+    #    B    C
+    j2 = Join(Leaf("B"), Leaf("C"), label="j2")
+    j1 = Join(Leaf("A"), j2, label="j1")
+    return Join(j1, Leaf("D"), label="top")
+
+
+@st.composite
+def random_trees(draw, max_leaves=9):
+    count = draw(st.integers(2, max_leaves))
+    nodes = [Leaf(f"R{i}") for i in range(count)]
+    while len(nodes) > 1:
+        i = draw(st.integers(0, len(nodes) - 2))
+        left = nodes.pop(i)
+        right = nodes.pop(i)
+        nodes.insert(i, Join(left, right))
+    return nodes[0]
+
+
+class TestBasics:
+    def test_leaves_left_to_right(self):
+        assert leaf_names(small_tree()) == ["A", "B", "C", "D"]
+
+    def test_postorder_children_first(self):
+        order = [j.label for j in joins_postorder(small_tree())]
+        assert order == ["j2", "j1", "top"]
+
+    def test_num_joins(self):
+        assert num_joins(small_tree()) == 3
+        assert num_joins(Leaf("A")) == 0
+
+    def test_height(self):
+        assert height(Leaf("A")) == 0
+        assert height(small_tree()) == 3
+
+    def test_join_rejects_non_nodes(self):
+        with pytest.raises(TypeError):
+            Join("A", Leaf("B"))
+
+    def test_parent_map(self):
+        tree = small_tree()
+        parents = parent_map(tree)
+        joins = joins_postorder(tree)
+        assert parents[joins[-1]] is None
+        assert parents[joins[0]].label == "j1"
+
+    def test_str_rendering(self):
+        assert str(Join(Leaf("A"), Leaf("B"))) == "(A ⋈ B)"
+
+    def test_render_multiline(self):
+        text = render(small_tree())
+        assert "A" in text and "top" in text
+
+
+class TestPredicates:
+    def test_left_linear(self):
+        tree = Join(Join(Leaf("A"), Leaf("B")), Leaf("C"))
+        assert is_left_linear(tree)
+        assert is_linear(tree)
+        assert not is_right_linear(tree)
+        assert not is_bushy(tree)
+
+    def test_right_linear(self):
+        tree = Join(Leaf("A"), Join(Leaf("B"), Leaf("C")))
+        assert is_right_linear(tree)
+        assert is_linear(tree)
+
+    def test_two_leaf_tree_is_both(self):
+        tree = Join(Leaf("A"), Leaf("B"))
+        assert is_left_linear(tree) and is_right_linear(tree)
+
+    def test_bushy(self):
+        tree = Join(Join(Leaf("A"), Leaf("B")), Join(Leaf("C"), Leaf("D")))
+        assert is_bushy(tree)
+        assert not is_linear(tree)
+
+    def test_orientation_signs(self):
+        left = Join(Join(Join(Leaf("A"), Leaf("B")), Leaf("C")), Leaf("D"))
+        right = Join(Leaf("A"), Join(Leaf("B"), Join(Leaf("C"), Leaf("D"))))
+        assert orientation(left) == -1.0
+        assert orientation(right) == 1.0
+
+    def test_orientation_balanced_is_zero(self):
+        tree = Join(Join(Leaf("A"), Leaf("B")), Join(Leaf("C"), Leaf("D")))
+        assert orientation(tree) == 0.0
+
+
+class TestMirror:
+    def test_mirror_reverses_leaves(self):
+        assert leaf_names(mirror(small_tree())) == ["D", "C", "B", "A"]
+
+    def test_mirror_flips_linearity(self):
+        tree = Join(Join(Leaf("A"), Leaf("B")), Leaf("C"))
+        assert is_right_linear(mirror(tree))
+
+    def test_mirror_preserves_labels_and_work(self):
+        tree = Join(Leaf("A"), Leaf("B"), label="x", work=7.0)
+        m = mirror(tree)
+        assert m.label == "x" and m.work == 7.0
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_property_mirror_is_involution(self, tree):
+        assert structurally_equal(mirror(mirror(tree)), tree)
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_property_mirror_negates_orientation(self, tree):
+        assert orientation(mirror(tree)) == pytest.approx(-orientation(tree))
+
+
+class TestStructuralEquality:
+    def test_equal(self):
+        assert structurally_equal(small_tree(), small_tree())
+
+    def test_labels_ignored(self):
+        a = Join(Leaf("A"), Leaf("B"), label="x")
+        b = Join(Leaf("A"), Leaf("B"), label="y")
+        assert structurally_equal(a, b)
+
+    def test_leaf_names_matter(self):
+        assert not structurally_equal(
+            Join(Leaf("A"), Leaf("B")), Join(Leaf("A"), Leaf("C"))
+        )
+
+    def test_shape_matters(self):
+        a = Join(Join(Leaf("A"), Leaf("B")), Leaf("C"))
+        b = Join(Leaf("A"), Join(Leaf("B"), Leaf("C")))
+        assert not structurally_equal(a, b)
+
+
+class TestMapLabels:
+    def test_assigns_by_postorder_index(self):
+        tree = map_labels(small_tree(), lambda join, i: str(i))
+        assert [j.label for j in joins_postorder(tree)] == ["0", "1", "2"]
+
+
+class TestProperties:
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_property_joins_equals_leaves_minus_one(self, tree):
+        assert num_joins(tree) == len(leaves(tree)) - 1
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_property_postorder_parents_after_children(self, tree):
+        order = {id(j): i for i, j in enumerate(joins_postorder(tree))}
+        for join in joins_postorder(tree):
+            for child in (join.left, join.right):
+                if isinstance(child, Join):
+                    assert order[id(child)] < order[id(join)]

@@ -1,0 +1,80 @@
+"""The real execution engine against the sequential oracle."""
+
+import pytest
+
+from repro.core import SHAPE_NAMES, get_strategy, make_shape
+from repro.engine import execute_schedule, reference_result
+from repro.relational import Relation, skew
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    def test_every_strategy_matches_oracle(
+        self, strategy, shape, names6, relations6, catalog6
+    ):
+        tree = make_shape(shape, names6)
+        schedule = get_strategy(strategy).schedule(tree, catalog6, 7)
+        result = execute_schedule(schedule, relations6)
+        assert result.relation.same_bag(reference_result(tree, relations6))
+
+    @pytest.mark.parametrize("processors", [1, 2, 6, 13])
+    def test_processor_count_does_not_change_result(
+        self, processors, names6, relations6, catalog6
+    ):
+        tree = make_shape("wide_bushy", names6)
+        reference = reference_result(tree, relations6)
+        schedule = get_strategy("FP").schedule(tree, catalog6, max(processors, 5))
+        result = execute_schedule(schedule, relations6)
+        assert result.relation.same_bag(reference)
+
+    def test_result_cardinality_regular_query(self, names6, relations6, catalog6):
+        tree = make_shape("left_linear", names6)
+        schedule = get_strategy("SP").schedule(tree, catalog6, 4)
+        result = execute_schedule(schedule, relations6)
+        assert len(result.relation) == 200
+
+
+class TestTaskExecutions:
+    def test_every_task_reported(self, names6, relations6, catalog6):
+        tree = make_shape("right_bushy", names6)
+        schedule = get_strategy("RD").schedule(tree, catalog6, 6)
+        result = execute_schedule(schedule, relations6)
+        assert len(result.tasks) == 5
+        for execution, task in zip(result.tasks, schedule.tasks):
+            assert len(execution.fragments) == task.parallelism
+
+    def test_intermediate_results_are_wisconsin_sized(
+        self, names6, relations6, catalog6
+    ):
+        """Section 4.1: every intermediate result equals the operand
+        cardinality (one-to-one joins)."""
+        tree = make_shape("left_linear", names6)
+        schedule = get_strategy("SP").schedule(tree, catalog6, 4)
+        result = execute_schedule(schedule, relations6)
+        for execution in result.tasks:
+            assert sum(execution.fragment_sizes()) == 200
+
+    def test_fragments_not_too_skewed(self, names6, relations6, catalog6):
+        """The simulator's fluid model assumes near-uniform fragments."""
+        tree = make_shape("wide_bushy", names6)
+        schedule = get_strategy("SP").schedule(tree, catalog6, 4)
+        result = execute_schedule(schedule, relations6)
+        for execution in result.tasks:
+            assert skew(execution.fragments) < 1.6
+
+    def test_input_sizes_recorded(self, names6, relations6, catalog6):
+        tree = make_shape("left_linear", names6)
+        schedule = get_strategy("SP").schedule(tree, catalog6, 2)
+        result = execute_schedule(schedule, relations6)
+        first = result.tasks[0]
+        total_left = sum(left for left, _ in first.input_sizes)
+        assert total_left == 200
+
+
+class TestErrors:
+    def test_missing_relation(self, names6, relations6, catalog6):
+        tree = make_shape("left_linear", names6)
+        schedule = get_strategy("SP").schedule(tree, catalog6, 2)
+        with pytest.raises(KeyError, match="not supplied"):
+            execute_schedule(schedule, {"R0": relations6["R0"]})

@@ -1,0 +1,91 @@
+"""The simulate_* front ends and cross-strategy behaviour."""
+
+import pytest
+
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.engine import simulate_schedule, simulate_strategy
+from repro.sim import MachineConfig
+
+NAMES = paper_relation_names(10)
+CATALOG = Catalog.regular(NAMES, 2000)
+
+
+class TestFrontEnds:
+    def test_simulate_strategy_by_name(self, fast_config):
+        result = simulate_strategy(
+            make_shape("wide_bushy", NAMES), CATALOG, "SE", 20, fast_config
+        )
+        assert result.strategy == "SE"
+        assert result.processors == 20
+
+    def test_simulate_strategy_instance(self, fast_config):
+        from repro.core.strategies import SequentialParallel
+
+        result = simulate_strategy(
+            make_shape("left_linear", NAMES), CATALOG, SequentialParallel(), 20,
+            fast_config,
+        )
+        assert result.strategy == "SP"
+
+    def test_simulate_schedule(self, fast_config):
+        schedule = get_strategy("FP").schedule(
+            make_shape("right_bushy", NAMES), CATALOG, 20
+        )
+        result = simulate_schedule(schedule, CATALOG, fast_config)
+        assert result.response_time > 0
+
+    def test_default_config_is_paper(self):
+        result = simulate_strategy(
+            make_shape("left_linear", NAMES), CATALOG, "FP", 20
+        )
+        assert result.config == MachineConfig.paper()
+
+
+class TestPaperPhenomena:
+    """The Section 3.5 tradeoffs, visible in single simulations."""
+
+    def test_startup_hurts_sp_more_than_fp(self, fast_config):
+        heavy_startup = fast_config.scaled(process_startup=0.1)
+        tree = make_shape("wide_bushy", NAMES)
+        sp_light = simulate_strategy(tree, CATALOG, "SP", 40, fast_config)
+        sp_heavy = simulate_strategy(tree, CATALOG, "SP", 40, heavy_startup)
+        fp_light = simulate_strategy(tree, CATALOG, "FP", 40, fast_config)
+        fp_heavy = simulate_strategy(tree, CATALOG, "FP", 40, heavy_startup)
+        sp_delta = sp_heavy.response_time - sp_light.response_time
+        fp_delta = fp_heavy.response_time - fp_light.response_time
+        # SP starts 9x the processes, so it pays ~9x the extra startup.
+        assert sp_delta > 5 * fp_delta
+
+    def test_coordination_hurts_sp_more_than_fp(self, fast_config):
+        heavy_hs = fast_config.scaled(handshake=0.1)
+        tree = make_shape("wide_bushy", NAMES)
+        sp_delta = (
+            simulate_strategy(tree, CATALOG, "SP", 40, heavy_hs).response_time
+            - simulate_strategy(tree, CATALOG, "SP", 40, fast_config).response_time
+        )
+        fp_delta = (
+            simulate_strategy(tree, CATALOG, "FP", 40, heavy_hs).response_time
+            - simulate_strategy(tree, CATALOG, "FP", 40, fast_config).response_time
+        )
+        assert sp_delta > 3 * fp_delta
+
+    def test_pipeline_delay_hits_fp_on_linear_trees(self, fast_config):
+        """Higher per-batch latency slows FP's pipeline, not SP's
+        phase-wise execution, on a linear tree."""
+        slow_net = fast_config.scaled(network_latency=0.8)
+        tree = make_shape("right_linear", NAMES)
+        fp_delta = (
+            simulate_strategy(tree, CATALOG, "FP", 40, slow_net).response_time
+            - simulate_strategy(tree, CATALOG, "FP", 40, fast_config).response_time
+        )
+        sp_delta = (
+            simulate_strategy(tree, CATALOG, "SP", 40, slow_net).response_time
+            - simulate_strategy(tree, CATALOG, "SP", 40, fast_config).response_time
+        )
+        assert fp_delta > sp_delta
+
+    def test_fp_beats_sp_at_high_parallelism(self, fast_config):
+        tree = make_shape("wide_bushy", NAMES)
+        fp = simulate_strategy(tree, CATALOG, "FP", 80, fast_config)
+        sp = simulate_strategy(tree, CATALOG, "SP", 80, fast_config)
+        assert fp.response_time < sp.response_time

@@ -1,0 +1,90 @@
+"""Trace extraction and JSON export."""
+
+import json
+
+import pytest
+
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.engine.trace import (
+    critical_path,
+    from_json,
+    spans_of,
+    task_marks,
+    to_json,
+)
+from repro.sim.run import simulate
+
+NAMES = paper_relation_names(6)
+CATALOG = Catalog.regular(NAMES, 600)
+
+
+@pytest.fixture(scope="module")
+def sp_result(fast_config):
+    tree = make_shape("wide_bushy", NAMES)
+    schedule = get_strategy("SP").schedule(tree, CATALOG, 8)
+    return simulate(schedule, CATALOG, fast_config)
+
+
+@pytest.fixture(scope="module")
+def fp_result(fast_config):
+    tree = make_shape("wide_bushy", NAMES)
+    schedule = get_strategy("FP").schedule(tree, CATALOG, 8)
+    return simulate(schedule, CATALOG, fast_config)
+
+
+class TestSpans:
+    def test_spans_cover_busy_time(self, sp_result):
+        spans = spans_of(sp_result)
+        assert sum(s.duration for s in spans) == pytest.approx(
+            sp_result.busy_time()
+        )
+
+    def test_spans_sorted_by_start(self, sp_result):
+        spans = spans_of(sp_result)
+        assert all(a.start <= b.start for a, b in zip(spans, spans[1:]))
+
+    def test_kinds(self, sp_result):
+        kinds = {s.kind for s in spans_of(sp_result)}
+        assert kinds <= {"work", "handshake"}
+        assert "work" in kinds
+
+    def test_task_names(self, sp_result):
+        tasks = {s.task for s in spans_of(sp_result)}
+        assert tasks == {f"J{i}" for i in range(5)}
+
+
+class TestTaskMarks:
+    def test_one_mark_per_task(self, sp_result):
+        assert len(task_marks(sp_result)) == 5
+
+    def test_monotone_lifecycle(self, sp_result):
+        for mark in task_marks(sp_result):
+            assert mark.released <= mark.first_work <= mark.completion
+
+
+class TestCriticalPath:
+    def test_sp_path_is_the_whole_chain(self, sp_result):
+        path = critical_path(sp_result)
+        assert [m.index for m in path] == [4, 3, 2, 1, 0]
+
+    def test_fp_path_is_short(self, fp_result):
+        path = critical_path(fp_result)
+        assert len(path) == 1
+        assert path[0].completion == pytest.approx(fp_result.response_time)
+
+
+class TestJson:
+    def test_roundtrip(self, sp_result):
+        payload = from_json(to_json(sp_result))
+        assert payload["meta"]["strategy"] == "SP"
+        assert len(payload["tasks"]) == 5
+        assert payload["meta"]["response_time"] == pytest.approx(
+            sp_result.response_time
+        )
+
+    def test_valid_json(self, sp_result):
+        json.loads(to_json(sp_result, indent=2))
+
+    def test_from_json_validates(self):
+        with pytest.raises(ValueError, match="missing"):
+            from_json('{"meta": {}}')

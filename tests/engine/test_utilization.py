@@ -1,0 +1,92 @@
+"""Utilization diagrams and the idealized Section 3 figures."""
+
+import pytest
+
+from repro.core import Catalog, example_tree, get_strategy
+from repro.engine import (
+    busy_fractions,
+    ideal_diagram,
+    ideal_simulation,
+    label_map_for,
+    utilization_diagram,
+)
+
+
+@pytest.fixture(scope="module")
+def ideal_results():
+    return {
+        name: ideal_simulation(example_tree(), name, 10)
+        for name in ("SP", "SE", "RD", "FP")
+    }
+
+
+class TestIdealSimulations:
+    def test_sp_has_perfect_utilization(self, ideal_results):
+        """Figure 3: SP's idealized load balancing is perfect."""
+        assert ideal_results["SP"].utilization() > 0.999
+
+    def test_se_suffers_discretization(self, ideal_results):
+        """Figure 4: even idealized SE cannot balance perfectly (the
+        4/6 split of joins 3 and 4)."""
+        assert ideal_results["SE"].utilization() < 0.995
+
+    def test_fp_trades_utilization_for_pipelining(self, ideal_results):
+        assert ideal_results["FP"].utilization() < ideal_results["SP"].utilization()
+
+    def test_total_work_equals_labels(self, ideal_results):
+        """Work labels 1+5+3+4 = 13 machine-seconds in every strategy."""
+        for result in ideal_results.values():
+            assert result.busy_time() == pytest.approx(13.0, rel=1e-6)
+
+    def test_sp_response_is_serial_sum_over_processors(self, ideal_results):
+        assert ideal_results["SP"].response_time == pytest.approx(1.3, rel=1e-6)
+
+    def test_sp_runs_join4_first(self, ideal_results):
+        """Figure 3: processors first work together on join 4."""
+        timings = ideal_results["SP"].task_timings
+        assert timings[0].label == "4"
+        assert timings[0].completion <= min(t.completion for t in timings)
+
+
+class TestDiagrams:
+    def test_diagram_shape(self, ideal_results):
+        text = utilization_diagram(ideal_results["SP"], width=40)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 10 + 1  # header + axis + 10 procs + axis
+        body = lines[2:-1]
+        assert all(len(line) == len(body[0]) for line in body)
+
+    def test_labels_mapped(self, ideal_results):
+        label_map = label_map_for(example_tree())
+        text = utilization_diagram(
+            ideal_results["SP"], width=40, label_map=label_map
+        )
+        for label in "1345":
+            assert label in text
+
+    def test_idle_marker_present_for_fp(self, ideal_results):
+        text = utilization_diagram(ideal_results["FP"], width=40)
+        assert "." in text
+
+    def test_ideal_diagram_convenience(self):
+        text = ideal_diagram("SE", 10, width=30)
+        assert "SE on 10 processors" in text
+
+    def test_rows_highest_processor_first(self, ideal_results):
+        text = utilization_diagram(ideal_results["SP"], width=20)
+        rows = [l for l in text.splitlines() if "|" in l and not l.startswith("    +")]
+        idents = [int(row.split("|")[0]) for row in rows]
+        assert idents == sorted(idents, reverse=True)
+
+
+class TestBusyFractions:
+    def test_sp_all_processors_equal(self, ideal_results):
+        fractions = busy_fractions(ideal_results["SP"])
+        assert len(fractions) == 10
+        values = list(fractions.values())
+        assert max(values) - min(values) < 1e-9
+
+    def test_fractions_within_unit(self, ideal_results):
+        for result in ideal_results.values():
+            for fraction in busy_fractions(result).values():
+                assert 0.0 <= fraction <= 1.0 + 1e-9

@@ -1,0 +1,114 @@
+"""The analytic response-time model versus the simulator."""
+
+import pytest
+
+from repro.core import (
+    Catalog,
+    SHAPE_NAMES,
+    get_strategy,
+    make_shape,
+    paper_relation_names,
+)
+from repro.engine import simulate_strategy
+from repro.model import Prediction, predict, predict_schedule, relative_error
+from repro.sim import MachineConfig
+
+NAMES = paper_relation_names(10)
+CATALOG = Catalog.regular(NAMES, 5000)
+
+
+class TestAgreementWithSimulator:
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    def test_within_tolerance_at_40(self, shape, strategy, fast_config):
+        tree = make_shape(shape, NAMES)
+        predicted = predict(tree, CATALOG, strategy, 40, fast_config)
+        simulated = simulate_strategy(tree, CATALOG, strategy, 40, fast_config)
+        assert relative_error(
+            predicted.response_time, simulated.response_time
+        ) < 0.30
+
+    def test_sp_nearly_exact(self, fast_config):
+        """SP's phase structure has no pipelining, so the model should
+        be very close."""
+        tree = make_shape("left_linear", NAMES)
+        predicted = predict(tree, CATALOG, "SP", 30, fast_config)
+        simulated = simulate_strategy(tree, CATALOG, "SP", 30, fast_config)
+        assert relative_error(
+            predicted.response_time, simulated.response_time
+        ) < 0.05
+
+
+class TestModelStructure:
+    def test_degenerations_exact(self):
+        """SP, SE and RD emit identical schedules on a left-linear
+        tree, so the model must give identical predictions."""
+        tree = make_shape("left_linear", NAMES)
+        times = {
+            s: predict(tree, CATALOG, s, 24).response_time
+            for s in ("SP", "SE", "RD")
+        }
+        assert len({round(t, 9) for t in times.values()}) == 1
+
+    def test_task_finishes_monotone_for_sp(self):
+        tree = make_shape("wide_bushy", NAMES)
+        prediction = predict(tree, CATALOG, "SP", 24)
+        finishes = [prediction.finish_of(i) for i in range(9)]
+        assert finishes == sorted(finishes)
+
+    def test_response_is_max_finish(self):
+        tree = make_shape("right_bushy", NAMES)
+        prediction = predict(tree, CATALOG, "RD", 24)
+        assert prediction.response_time == max(
+            prediction.task_finish.values()
+        )
+
+    def test_predict_schedule_equals_predict(self):
+        tree = make_shape("wide_bushy", NAMES)
+        schedule = get_strategy("FP").schedule(tree, CATALOG, 24)
+        a = predict_schedule(schedule, CATALOG)
+        b = predict(tree, CATALOG, "FP", 24)
+        assert a.response_time == b.response_time
+
+    def test_rd_wave_order_handled(self):
+        """RD barriers can reference higher postorder indices; the
+        model must order tasks topologically (regression guard)."""
+        tree = make_shape("wide_bushy", NAMES)
+        prediction = predict(tree, CATALOG, "RD", 24)
+        assert prediction.response_time > 0
+
+
+class TestModelBehaviours:
+    def test_more_processors_reduce_sp_compute(self):
+        tree = make_shape("left_linear", NAMES)
+        config = MachineConfig.paper().scaled(
+            process_startup=0.0, handshake=0.0
+        )
+        small = predict(tree, CATALOG, "SP", 20, config)
+        large = predict(tree, CATALOG, "SP", 60, config)
+        assert large.response_time < small.response_time
+
+    def test_startup_grows_sp_prediction(self):
+        tree = make_shape("left_linear", NAMES)
+        light = predict(tree, CATALOG, "SP", 60, MachineConfig.paper())
+        heavy = predict(
+            tree, CATALOG, "SP", 60,
+            MachineConfig.paper().scaled(process_startup=0.05),
+        )
+        assert heavy.response_time > light.response_time
+
+    def test_bushy_penalty_applied(self):
+        """A two-intermediate join (bushy pipeline step) must finish
+        later than capacity alone would suggest."""
+        tree = make_shape("left_bushy", NAMES)
+        config = MachineConfig.paper()
+        prediction = predict(tree, CATALOG, "FP", 40, config)
+        simulated = simulate_strategy(tree, CATALOG, "FP", 40, config)
+        assert relative_error(
+            prediction.response_time, simulated.response_time
+        ) < 0.30
+
+    def test_relative_error_validation(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)

@@ -1,0 +1,129 @@
+"""Phase-one enumeration: DP optimality and the regular-query property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostModel, is_bushy, num_joins, paper_relation_names
+from repro.optimizer import (
+    QueryGraph,
+    all_trees,
+    catalog_for,
+    optimal_bushy_tree,
+    optimal_left_deep_tree,
+    optimal_right_deep_tree,
+    tree_total_cost,
+)
+from repro.core.trees import is_left_linear, is_right_linear, leaf_names
+
+
+class TestRegularQuery:
+    def test_every_tree_costs_44n(self):
+        """Section 4.1: all trees of the regular query cost the same."""
+        g = QueryGraph.regular(["A", "B", "C", "D", "E"], 100)
+        costs = {round(tree_total_cost(g, t), 6) for t in all_trees(g)}
+        assert costs == {(5 + 2 * 3 + 2 * 4) * 100}
+
+    def test_dp_matches_and_prefers_bushy(self):
+        g = QueryGraph.regular(paper_relation_names(10), 5000)
+        entry = optimal_bushy_tree(g)
+        assert entry.total_cost == 44 * 5000
+        assert is_bushy(entry.tree)
+        assert entry.height <= 5  # tie-break toward wide trees
+
+    def test_all_relations_used(self):
+        g = QueryGraph.regular(paper_relation_names(7), 100)
+        entry = optimal_bushy_tree(g)
+        assert sorted(leaf_names(entry.tree)) == sorted(g.relations)
+
+
+class TestDPOptimality:
+    def cases(self):
+        yield QueryGraph.chain(
+            ["A", "B", "C", "D", "E"],
+            [1000, 100, 5000, 300, 2000],
+            [0.01, 0.002, 0.001, 0.005],
+        )
+        yield QueryGraph.star("F", ["D1", "D2", "D3"], [10000, 50, 80, 20], 0.01)
+        yield QueryGraph.clique(["A", "B", "C", "D"], [100, 400, 50, 900], 0.01)
+
+    def test_dp_equals_brute_force(self):
+        for g in self.cases():
+            best = min(tree_total_cost(g, t) for t in all_trees(g))
+            entry = optimal_bushy_tree(g)
+            assert entry.total_cost == pytest.approx(best)
+            assert tree_total_cost(g, entry.tree) == pytest.approx(best)
+
+    @given(
+        st.lists(st.integers(10, 5000), min_size=3, max_size=6),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_dp_never_beaten_by_enumeration(self, cards, seed):
+        import random
+
+        rng = random.Random(seed)
+        names = [f"R{i}" for i in range(len(cards))]
+        sels = [10 ** -rng.uniform(1, 4) for _ in range(len(cards) - 1)]
+        g = QueryGraph.chain(names, cards, sels)
+        entry = optimal_bushy_tree(g)
+        best = min(tree_total_cost(g, t) for t in all_trees(g))
+        assert entry.total_cost <= best * (1 + 1e-9)
+
+    def test_disconnected_graph_rejected(self):
+        g = QueryGraph({"A": 10, "B": 10}, {})
+        with pytest.raises(ValueError, match="disconnected"):
+            optimal_bushy_tree(g)
+
+    def test_single_relation_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_bushy_tree(QueryGraph({"A": 10}, {}))
+
+
+class TestLinearDP:
+    def test_left_deep_structure(self):
+        g = QueryGraph.chain(["A", "B", "C", "D"], 100, 0.01)
+        entry = optimal_left_deep_tree(g)
+        assert is_left_linear(entry.tree)
+        assert num_joins(entry.tree) == 3
+
+    def test_right_deep_is_mirror(self):
+        g = QueryGraph.chain(["A", "B", "C", "D"], 100, 0.01)
+        left = optimal_left_deep_tree(g)
+        right = optimal_right_deep_tree(g)
+        assert is_right_linear(right.tree)
+        assert right.total_cost == left.total_cost
+
+    def test_linear_never_cheaper_than_bushy(self):
+        """The bushy space contains every linear tree."""
+        for g in (
+            QueryGraph.chain(["A", "B", "C", "D", "E"],
+                             [1000, 100, 5000, 300, 2000],
+                             [0.01, 0.002, 0.001, 0.005]),
+            QueryGraph.star("F", ["D1", "D2"], [1000, 50, 80], 0.01),
+        ):
+            assert (
+                optimal_bushy_tree(g).total_cost
+                <= optimal_left_deep_tree(g).total_cost + 1e-9
+            )
+
+    def test_linear_dp_equals_brute_force_over_linear_trees(self):
+        from repro.core.trees import is_left_linear as ill
+
+        g = QueryGraph.chain(
+            ["A", "B", "C", "D"], [500, 40, 900, 60], [0.02, 0.005, 0.01]
+        )
+        linear_costs = [
+            tree_total_cost(g, t) for t in all_trees(g) if ill(t)
+        ]
+        assert optimal_left_deep_tree(g).total_cost == pytest.approx(
+            min(linear_costs)
+        )
+
+
+class TestCatalogBridge:
+    def test_catalog_for_exposes_subset_estimates(self):
+        g = QueryGraph.chain(["A", "B"], [100, 200], [0.001])
+        catalog = catalog_for(g)
+        assert catalog.cardinality_of("A") == 100
+        assert catalog.subset_estimator(frozenset(["A", "B"])) == pytest.approx(20)

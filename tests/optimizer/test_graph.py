@@ -1,0 +1,72 @@
+"""Query graphs and cardinality estimation."""
+
+import pytest
+
+from repro.optimizer import QueryGraph
+
+
+class TestConstructors:
+    def test_chain(self):
+        g = QueryGraph.chain(["A", "B", "C"], 100, 0.01)
+        assert g.relations == ("A", "B", "C")
+        assert g.joinable(frozenset("A"), frozenset("B"))
+        assert not g.joinable(frozenset("A"), frozenset("C"))
+
+    def test_chain_per_item_values(self):
+        g = QueryGraph.chain(["A", "B"], [10, 20], [0.5])
+        assert g.cardinalities["B"] == 20
+
+    def test_star(self):
+        g = QueryGraph.star("F", ["D1", "D2"], 100, 0.01)
+        assert g.joinable(frozenset(["F"]), frozenset(["D1"]))
+        assert not g.joinable(frozenset(["D1"]), frozenset(["D2"]))
+
+    def test_clique(self):
+        g = QueryGraph.clique(["A", "B", "C"], 10, 0.1)
+        assert len(g.selectivities) == 3
+
+    def test_regular(self):
+        g = QueryGraph.regular(["A", "B", "C"], 1000)
+        assert g.subset_cardinality(frozenset(["A", "B"])) == pytest.approx(1000)
+        assert g.subset_cardinality(frozenset(["A", "B", "C"])) == pytest.approx(1000)
+
+    def test_bad_edge_reference(self):
+        with pytest.raises(ValueError, match="unknown relation"):
+            QueryGraph({"A": 1}, {frozenset(("A", "Z")): 0.5})
+
+    def test_negative_selectivity(self):
+        with pytest.raises(ValueError):
+            QueryGraph({"A": 1, "B": 1}, {frozenset(("A", "B")): -0.5})
+
+    def test_cardinality_count_mismatch(self):
+        with pytest.raises(ValueError):
+            QueryGraph.chain(["A", "B"], [1, 2, 3], 0.1)
+
+
+class TestConnectivity:
+    def test_connected_subsets(self):
+        g = QueryGraph.chain(["A", "B", "C", "D"], 10, 0.1)
+        assert g.connected(frozenset(["A", "B", "C"]))
+        assert g.connected(frozenset(["B"]))
+        assert not g.connected(frozenset(["A", "C"]))
+        assert not g.connected(frozenset())
+
+    def test_edges_between(self):
+        g = QueryGraph.chain(["A", "B", "C"], 10, 0.1)
+        edges = g.edges_between(frozenset(["A", "B"]), frozenset(["C"]))
+        assert edges == [frozenset(("B", "C"))]
+
+
+class TestCardinality:
+    def test_independence_estimate(self):
+        g = QueryGraph.chain(["A", "B", "C"], [100, 200, 300], [0.01, 0.001])
+        assert g.subset_cardinality(frozenset(["A", "B"])) == pytest.approx(200)
+        assert g.subset_cardinality(
+            frozenset(["A", "B", "C"])
+        ) == pytest.approx(100 * 200 * 300 * 0.01 * 0.001)
+
+    def test_join_cardinality(self):
+        g = QueryGraph.chain(["A", "B"], [100, 50], [0.1])
+        assert g.join_cardinality(
+            frozenset(["A"]), frozenset(["B"])
+        ) == pytest.approx(500)

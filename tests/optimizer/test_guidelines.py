@@ -1,0 +1,99 @@
+"""The Section 5 strategy-selection guidelines."""
+
+import pytest
+
+from repro.core import Catalog, make_shape, mirror, paper_relation_names
+from repro.core.trees import structurally_equal
+from repro.optimizer import (
+    advise_strategy,
+    apply_advice,
+    sp_processor_threshold,
+    wide_bushiness,
+)
+
+NAMES = paper_relation_names(10)
+SMALL = Catalog.regular(NAMES, 5000)
+LARGE = Catalog.regular(NAMES, 40000)
+
+
+class TestRules:
+    def test_no_memory_means_sp(self):
+        """Section 4.4: a system whose memory cannot host one join must
+        use SP regardless of everything else."""
+        advice = advise_strategy(
+            make_shape("right_bushy", NAMES), LARGE, 80,
+            memory_holds_one_join=False,
+        )
+        assert advice.strategy == "SP"
+        assert "disk" in advice.rationale or "memory" in advice.rationale
+
+    def test_small_machine_means_sp(self):
+        advice = advise_strategy(make_shape("left_linear", NAMES), LARGE, 20)
+        assert advice.strategy == "SP"
+
+    def test_wide_bushy_means_se(self):
+        advice = advise_strategy(make_shape("wide_bushy", NAMES), LARGE, 80)
+        assert advice.strategy == "SE"
+
+    def test_right_oriented_means_rd(self):
+        advice = advise_strategy(make_shape("right_bushy", NAMES), LARGE, 80)
+        assert advice.strategy == "RD"
+        assert not advice.mirrored
+
+    def test_left_oriented_bushy_mirrored_to_rd(self):
+        """Section 5: mirror (parts of) the query for free so RD works."""
+        advice = advise_strategy(make_shape("left_bushy", NAMES), LARGE, 80)
+        assert advice.strategy == "RD"
+        assert advice.mirrored
+
+    def test_mirroring_can_be_disabled(self):
+        advice = advise_strategy(
+            make_shape("left_bushy", NAMES), LARGE, 80, allow_mirroring=False
+        )
+        assert advice.strategy == "FP"
+
+    def test_linear_tree_large_machine_means_fp(self):
+        advice = advise_strategy(make_shape("left_linear", NAMES), LARGE, 80)
+        assert advice.strategy == "FP"
+
+    def test_apply_advice_mirrors(self):
+        tree = make_shape("left_bushy", NAMES)
+        advice = advise_strategy(tree, LARGE, 80)
+        applied = apply_advice(tree, advice)
+        assert structurally_equal(applied, mirror(tree))
+
+    def test_apply_advice_identity_when_not_mirrored(self):
+        tree = make_shape("wide_bushy", NAMES)
+        advice = advise_strategy(tree, LARGE, 80)
+        assert apply_advice(tree, advice) is tree
+
+    def test_str_mentions_strategy(self):
+        advice = advise_strategy(make_shape("wide_bushy", NAMES), LARGE, 80)
+        assert "SE" in str(advice)
+
+
+class TestThreshold:
+    def test_scales_with_sqrt_of_problem_size(self):
+        """Section 2.3.1: optimal parallelism ∝ √(operand size), so the
+        SP region grows with √8 ≈ 2.8 from 5K to 40K."""
+        tree = make_shape("wide_bushy", NAMES)
+        small = sp_processor_threshold(tree, SMALL)
+        large = sp_processor_threshold(tree, LARGE)
+        assert large / small == pytest.approx(8 ** 0.5, rel=1e-6)
+
+    def test_40k_at_30_processors_is_sp_territory(self):
+        """Our Figure 9-13 sweeps: SP is best or tied at 30 processors
+        for the 40K query."""
+        tree = make_shape("left_linear", NAMES)
+        assert advise_strategy(tree, LARGE, 30).strategy == "SP"
+
+    def test_5k_at_80_processors_is_not_sp_territory(self):
+        tree = make_shape("left_linear", NAMES)
+        assert advise_strategy(tree, SMALL, 80).strategy != "SP"
+
+
+class TestWideBushiness:
+    def test_values(self):
+        assert wide_bushiness(make_shape("left_linear", NAMES)) == 0.0
+        assert wide_bushiness(make_shape("wide_bushy", NAMES)) >= 0.3
+        assert 0 < wide_bushiness(make_shape("left_bushy", NAMES)) < 0.3

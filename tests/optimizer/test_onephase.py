@@ -1,0 +1,72 @@
+"""One-phase (joint) optimization and the two-phase gap."""
+
+import pytest
+
+from repro.core import num_joins
+from repro.optimizer import QueryGraph
+from repro.optimizer.onephase import one_phase_optimize, two_phase_gap
+from repro.sim import MachineConfig
+
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.005, handshake=0.005,
+    network_latency=0.02, batches=4,
+)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return QueryGraph.chain(["A", "B", "C", "D"], [800, 100, 1200, 300],
+                            [0.01, 0.005, 0.004])
+
+
+class TestOnePhase:
+    def test_finds_an_executable_optimum(self, small_graph):
+        plan = one_phase_optimize(small_graph, 8, FAST)
+        assert plan.response_time > 0
+        assert num_joins(plan.tree) == 3
+        assert plan.strategy in ("SP", "SE", "RD", "FP")
+        assert plan.candidates_tried > 10
+
+    def test_optimum_not_worse_than_any_two_phase_choice(self, small_graph):
+        from repro.optimizer import two_phase_optimize
+
+        joint = one_phase_optimize(small_graph, 8, FAST)
+        staged = two_phase_optimize(small_graph, 8, config=FAST)
+        assert joint.response_time <= min(staged.candidates.values()) + 1e-9
+
+    def test_spread_ordering(self, small_graph):
+        plan = one_phase_optimize(small_graph, 8, FAST)
+        low, median, high = plan.spread
+        assert low <= median <= high
+        assert low == pytest.approx(plan.response_time)
+
+    def test_operand_orders_are_distinct_candidates(self, small_graph):
+        """Both operand orders of every split are searched: the count
+        is even and exceeds the structural tree count."""
+        plan = one_phase_optimize(small_graph, 8, FAST)
+        assert plan.candidates_tried % 2 == 0
+
+    def test_refuses_large_queries(self):
+        graph = QueryGraph.regular([f"R{i}" for i in range(10)], 100)
+        with pytest.raises(ValueError, match="not feasible"):
+            one_phase_optimize(graph, 20, FAST)
+
+    def test_strategy_subset(self, small_graph):
+        plan = one_phase_optimize(small_graph, 8, FAST, strategies=["SP"])
+        assert plan.strategy == "SP"
+
+
+class TestTwoPhaseGap:
+    def test_gap_fields(self, small_graph):
+        stats = two_phase_gap(small_graph, 8, FAST)
+        assert set(stats) == {
+            "one_phase", "two_phase", "gap", "median_candidate",
+            "worst_candidate", "candidates",
+        }
+        assert stats["gap"] >= -1e-9
+        assert stats["worst_candidate"] >= stats["one_phase"]
+
+    def test_gap_small_on_chain(self, small_graph):
+        """The paper's defence of two-phase: not a very bad plan."""
+        stats = two_phase_gap(small_graph, 8, FAST)
+        assert stats["gap"] < 0.5

@@ -1,0 +1,89 @@
+"""Two-phase optimization end to end."""
+
+import pytest
+
+from repro.core import is_bushy, num_joins, paper_relation_names
+from repro.optimizer import QueryGraph, two_phase_optimize
+from repro.sim import MachineConfig
+
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+
+@pytest.fixture(scope="module")
+def regular_graph():
+    return QueryGraph.regular(paper_relation_names(10), 2000)
+
+
+class TestSimulateMode:
+    def test_picks_minimum_response(self, regular_graph):
+        plan = two_phase_optimize(regular_graph, 40, config=FAST)
+        assert plan.candidates is not None
+        assert plan.candidates[plan.strategy] == min(plan.candidates.values())
+        assert plan.simulation is not None
+        assert plan.simulation.response_time == plan.candidates[plan.strategy]
+
+    def test_all_four_strategies_tried(self, regular_graph):
+        plan = two_phase_optimize(regular_graph, 40, config=FAST)
+        assert set(plan.candidates) == {"SP", "SE", "RD", "FP"}
+
+    def test_strategy_subset(self, regular_graph):
+        plan = two_phase_optimize(
+            regular_graph, 40, config=FAST, strategies=["SP", "FP"]
+        )
+        assert set(plan.candidates) == {"SP", "FP"}
+
+    def test_schedule_matches_tree(self, regular_graph):
+        plan = two_phase_optimize(regular_graph, 40, config=FAST)
+        assert num_joins(plan.tree) == 9
+        assert len(plan.schedule.tasks) == 9
+
+    def test_summary_text(self, regular_graph):
+        plan = two_phase_optimize(regular_graph, 40, config=FAST)
+        text = plan.summary()
+        assert "phase 1" in text and "phase 2" in text
+        assert "candidates" in text
+
+
+class TestGuidelinesMode:
+    def test_uses_advice(self, regular_graph):
+        plan = two_phase_optimize(regular_graph, 80, mode="guidelines")
+        assert plan.advice is not None
+        assert plan.strategy == plan.advice.strategy
+        assert plan.candidates is None
+
+    def test_phase_one_prefers_bushy(self, regular_graph):
+        plan = two_phase_optimize(regular_graph, 80, mode="guidelines")
+        assert is_bushy(plan.tree)
+
+    def test_small_machine_advises_sp(self, regular_graph):
+        plan = two_phase_optimize(regular_graph, 8, mode="guidelines")
+        assert plan.strategy == "SP"
+
+    def test_unknown_mode_rejected(self, regular_graph):
+        with pytest.raises(ValueError, match="mode"):
+            two_phase_optimize(regular_graph, 40, mode="magic")
+
+
+class TestIrregularQuery:
+    def test_chain_query(self):
+        g = QueryGraph.chain(
+            ["A", "B", "C", "D", "E"],
+            [1000, 100, 5000, 300, 2000],
+            [0.01, 0.002, 0.001, 0.005],
+        )
+        plan = two_phase_optimize(g, 12, config=FAST)
+        assert plan.total_cost == pytest.approx(85600.0)
+        assert plan.simulation.response_time > 0
+
+    def test_guidelines_and_simulate_agree_on_obvious_cases(self):
+        g = QueryGraph.regular(paper_relation_names(10), 40000)
+        guided = two_phase_optimize(g, 30, mode="guidelines")
+        simulated = two_phase_optimize(g, 30, config=FAST)
+        # At 30 processors on the 40K problem both modes pick SP (or a
+        # strategy within noise of it).
+        assert guided.strategy == "SP"
+        sp_time = simulated.candidates["SP"]
+        assert sp_time <= min(simulated.candidates.values()) * 1.1

@@ -1,0 +1,176 @@
+"""The two hash-join algorithms (Section 2.3.2, Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    PipeliningHashJoin,
+    Relation,
+    Schema,
+    SimpleHashJoin,
+    first_result_position,
+    pipelining_hash_join,
+    simple_hash_join,
+)
+
+KV = Schema.ints("k", "v")
+
+
+def rel(*rows):
+    return Relation(KV, rows)
+
+
+def nested_loop(left, right, lk=0, rk=0):
+    """Brute-force reference join (concatenation combiner)."""
+    return sorted(
+        l + r for l in left for r in right if l[lk] == r[rk]
+    )
+
+
+class TestSimpleHashJoin:
+    def test_matches_nested_loop(self):
+        left = rel((1, 10), (2, 20), (2, 21))
+        right = rel((2, 200), (3, 300), (2, 201))
+        out = simple_hash_join(left, right, "k", "k")
+        assert sorted(out.rows) == nested_loop(left, right)
+
+    def test_probe_before_end_build_is_an_error(self):
+        """The defining limitation: no pipelining along the build
+        operand (Figure 1, [Sch90])."""
+        join = SimpleHashJoin(0, 0)
+        join.build((1, 10))
+        with pytest.raises(RuntimeError, match="before end_build"):
+            join.probe((1, 99))
+
+    def test_build_after_end_build_is_an_error(self):
+        join = SimpleHashJoin(0, 0)
+        join.end_build()
+        with pytest.raises(RuntimeError):
+            join.build((1, 10))
+
+    def test_single_hash_table(self):
+        join = SimpleHashJoin(0, 0)
+        assert join.hash_tables() == 1
+
+    def test_counters(self):
+        join = SimpleHashJoin(0, 0)
+        for row in [(1, 1), (1, 2)]:
+            join.build(row)
+        join.end_build()
+        assert join.table_size() == 2
+        out = join.probe((1, 9))
+        assert len(out) == 2
+        assert join.result_count == 2
+        assert join.probe_count == 1
+
+    def test_no_match_returns_empty(self):
+        join = SimpleHashJoin(0, 0)
+        join.build((1, 1))
+        join.end_build()
+        assert join.probe((2, 2)) == []
+
+    def test_empty_build(self):
+        out = simple_hash_join(rel(), rel((1, 1)), "k", "k")
+        assert len(out) == 0
+
+
+class TestPipeliningHashJoin:
+    def test_matches_nested_loop(self):
+        left = rel((1, 10), (2, 20), (2, 21))
+        right = rel((2, 200), (3, 300), (2, 201))
+        out = pipelining_hash_join(left, right, "k", "k")
+        assert sorted(out.rows) == nested_loop(left, right)
+
+    def test_interleaving_invariant(self):
+        """The result bag must not depend on arrival interleaving."""
+        left = rel(*[(i % 5, i) for i in range(40)])
+        right = rel(*[(i % 5, 100 + i) for i in range(30)])
+        reference = nested_loop(left, right)
+        for interleave in (1, 3, 7, 100):
+            out = pipelining_hash_join(left, right, "k", "k", interleave=interleave)
+            assert sorted(out.rows) == reference
+
+    def test_every_match_produced_exactly_once(self):
+        join = PipeliningHashJoin(0, 0)
+        produced = []
+        produced += join.insert_left((1, 10))
+        produced += join.insert_right((1, 20))   # matches the left tuple
+        produced += join.insert_left((1, 11))    # matches the right tuple
+        assert len(produced) == 2
+        assert join.result_count == 2
+
+    def test_two_hash_tables(self):
+        join = PipeliningHashJoin(0, 0)
+        join.insert_left((1, 1))
+        join.insert_right((2, 2))
+        assert join.hash_tables() == 2
+        assert join.table_sizes() == (1, 1)
+
+    def test_symmetry(self):
+        """insert_left/insert_right are mirror images."""
+        a = PipeliningHashJoin(0, 0)
+        b = PipeliningHashJoin(0, 0)
+        out_a = a.insert_left((1, 1)) + a.insert_right((1, 2))
+        out_b = b.insert_right((1, 2)) + b.insert_left((1, 1))
+        assert len(out_a) == len(out_b) == 1
+
+    def test_rejects_bad_interleave(self):
+        with pytest.raises(ValueError):
+            pipelining_hash_join(rel(), rel(), "k", "k", interleave=0)
+
+
+class TestFigure1Behaviour:
+    """The pipelining algorithm produces output as early as possible;
+    the simple algorithm cannot emit before the build completes."""
+
+    def test_pipelining_emits_before_inputs_exhausted(self):
+        n = 100
+        left = rel(*[(i, i) for i in range(n)])
+        right = rel(*[(i, i) for i in range(n)])
+        position = first_result_position(left, right, "k", "k")
+        assert position is not None
+        # First match appears after a handful of tuples, far before
+        # either operand (n tuples) is exhausted.
+        assert position <= 2, "identical key order must match immediately"
+
+    def test_simple_join_blocks_until_build_done(self):
+        join = SimpleHashJoin(0, 0)
+        for i in range(100):
+            join.build((i, i))
+            with pytest.raises(RuntimeError):
+                join.probe((i, i))
+        join.end_build()
+        assert join.probe((0, 0))
+
+    def test_first_result_none_for_disjoint_keys(self):
+        left = rel((1, 1))
+        right = rel((2, 2))
+        assert first_result_position(left, right, "k", "k") is None
+
+    def test_first_result_drains_longer_operand(self):
+        left = rel((5, 1))
+        right = rel((1, 1), (2, 2), (5, 3))
+        position = first_result_position(left, right, "k", "k")
+        assert position is not None
+
+
+@st.composite
+def keyed_rows(draw):
+    n = draw(st.integers(0, 30))
+    return [
+        (draw(st.integers(0, 8)), draw(st.integers(0, 1000))) for _ in range(n)
+    ]
+
+
+class TestAlgorithmsAgree:
+    @given(keyed_rows(), keyed_rows())
+    @settings(max_examples=60, deadline=None)
+    def test_property_both_algorithms_match_nested_loop(self, lrows, rrows):
+        left = rel(*lrows)
+        right = rel(*rrows)
+        reference = nested_loop(left, right)
+        simple = simple_hash_join(left, right, "k", "k")
+        pipelining = pipelining_hash_join(left, right, "k", "k", interleave=2)
+        assert sorted(simple.rows) == reference
+        assert sorted(pipelining.rows) == reference

@@ -1,0 +1,49 @@
+"""Non-join operators and the Wisconsin join combiner."""
+
+import pytest
+
+from repro.relational import (
+    Relation,
+    make_wisconsin,
+    project,
+    scan,
+    split,
+    union,
+    wisconsin_combine,
+)
+
+
+class TestWisconsinCombine:
+    def test_projection_rule(self):
+        """(left.u2, right.u2, left.filler) — Section 4.1's projection."""
+        left = (1, 10, "L")
+        right = (1, 20, "R")
+        assert wisconsin_combine(left, right) == (10, 20, "L")
+
+
+class TestSplitUnion:
+    def test_split_union_roundtrip(self):
+        r = make_wisconsin(400, seed=6)
+        parts = split(r, "unique1", 7)
+        merged = union(parts)
+        assert merged.same_bag(r)
+
+    def test_split_fragment_count(self):
+        assert len(split(make_wisconsin(10), "unique1", 3)) == 3
+
+    def test_union_preserves_schema(self):
+        r = make_wisconsin(20)
+        merged = union(split(r, "unique2", 4))
+        assert merged.schema.names() == r.schema.names()
+
+
+class TestScanProject:
+    def test_scan_is_identity(self):
+        r = make_wisconsin(5)
+        assert scan(r) is r
+
+    def test_project(self):
+        r = make_wisconsin(5)
+        p = project(r, ["unique2"])
+        assert p.schema.names() == ("unique2",)
+        assert len(p) == 5

@@ -1,0 +1,79 @@
+"""Hash partitioning and the non-skew assumption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    bucket,
+    fragment_sizes,
+    hash_partition,
+    make_wisconsin,
+    skew,
+)
+
+
+class TestBucket:
+    def test_range(self):
+        for value in range(1000):
+            assert 0 <= bucket(value, 7) < 7
+
+    def test_deterministic(self):
+        assert bucket(12345, 13) == bucket(12345, 13)
+
+    def test_single_fragment(self):
+        assert bucket(99, 1) == 0
+
+    def test_rejects_zero_fragments(self):
+        with pytest.raises(ValueError):
+            bucket(1, 0)
+
+    def test_spreads_consecutive_keys(self):
+        """Dense key ranges (the Wisconsin permutations) must not land
+        in lock-step patterns."""
+        counts = [0] * 8
+        for value in range(8000):
+            counts[bucket(value, 8)] += 1
+        assert max(counts) < 1.2 * 8000 / 8
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(1, 97))
+    @settings(max_examples=100, deadline=None)
+    def test_property_in_range(self, value, fragments):
+        assert 0 <= bucket(value, fragments) < fragments
+
+
+class TestHashPartition:
+    def test_partition_is_complete_and_disjoint(self):
+        r = make_wisconsin(500, seed=2)
+        parts = hash_partition(r, "unique1", 9)
+        assert sum(fragment_sizes(parts)) == 500
+        all_rows = sorted(row for part in parts for row in part)
+        assert all_rows == sorted(r.rows)
+
+    def test_fragment_count(self):
+        parts = hash_partition(make_wisconsin(10), "unique1", 4)
+        assert len(parts) == 4
+
+    def test_key_locality(self):
+        """Every copy of a key lands in the same fragment."""
+        r = make_wisconsin(300, seed=1)
+        parts = hash_partition(r, "unique2", 5)
+        for i, part in enumerate(parts):
+            for row in part:
+                assert bucket(row[1], 5) == i
+
+    def test_skew_close_to_one(self):
+        """The paper assumes non-skewed partitioning; Wisconsin keys
+        hash near-uniformly."""
+        r = make_wisconsin(5000, seed=4)
+        parts = hash_partition(r, "unique1", 10)
+        assert skew(parts) < 1.15
+
+    def test_skew_of_empty(self):
+        parts = hash_partition(make_wisconsin(0), "unique1", 4)
+        assert skew(parts) == 1.0
+
+    def test_single_fragment_identity(self):
+        r = make_wisconsin(50, seed=1)
+        (part,) = hash_partition(r, "unique1", 1)
+        assert sorted(part.rows) == sorted(r.rows)

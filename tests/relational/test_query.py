@@ -1,0 +1,82 @@
+"""Natural-join machinery for arbitrary schemas."""
+
+import pytest
+
+from repro.relational import Relation, Schema
+from repro.relational.query import (
+    JoinKeyError,
+    natural_combiner,
+    natural_join,
+    natural_join_key,
+    natural_result_schema,
+)
+
+ORDERS = Schema.ints("order_id", "customer_id", "amount")
+CUSTOMERS = Schema.ints("customer_id", "nation_id")
+
+
+def orders(*rows):
+    return Relation(ORDERS, rows)
+
+
+def customers(*rows):
+    return Relation(CUSTOMERS, rows)
+
+
+class TestJoinKey:
+    def test_single_shared_attribute(self):
+        assert natural_join_key(ORDERS, CUSTOMERS) == "customer_id"
+
+    def test_no_shared_attribute_rejected(self):
+        with pytest.raises(JoinKeyError, match="no shared"):
+            natural_join_key(Schema.ints("a"), Schema.ints("b"))
+
+    def test_ambiguous_rejected(self):
+        with pytest.raises(JoinKeyError, match="ambiguous"):
+            natural_join_key(Schema.ints("a", "b"), Schema.ints("a", "b"))
+
+
+class TestResultSchema:
+    def test_drops_duplicate_key_column(self):
+        schema = natural_result_schema(ORDERS, CUSTOMERS)
+        assert schema.names() == ("order_id", "customer_id", "amount", "nation_id")
+
+    def test_combiner_matches_schema(self):
+        combine = natural_combiner(ORDERS, CUSTOMERS)
+        row = combine((1, 7, 100), (7, 3))
+        assert row == (1, 7, 100, 3)
+
+
+class TestNaturalJoin:
+    def test_basic_fk_join(self):
+        left = orders((1, 7, 100), (2, 8, 50), (3, 7, 25))
+        right = customers((7, 1), (8, 2))
+        out = natural_join(left, right)
+        assert len(out) == 3
+        assert sorted(out.rows) == [
+            (1, 7, 100, 1), (2, 8, 50, 2), (3, 7, 25, 1),
+        ]
+
+    def test_unmatched_rows_dropped(self):
+        out = natural_join(orders((1, 9, 10)), customers((7, 1)))
+        assert len(out) == 0
+
+    def test_duplicates_multiply(self):
+        left = orders((1, 7, 1), (2, 7, 2))
+        right = Relation(CUSTOMERS, [(7, 1), (7, 2)])
+        assert len(natural_join(left, right)) == 4
+
+    def test_matches_manual_nested_loop(self):
+        import random
+
+        rng = random.Random(3)
+        left = orders(*[(i, rng.randrange(5), i) for i in range(30)])
+        right = customers(*[(i, i * 10) for i in range(5)])
+        out = natural_join(left, right)
+        expected = sorted(
+            l + (r[1],)
+            for l in left
+            for r in right
+            if l[1] == r[0]
+        )
+        assert sorted(out.rows) == expected

@@ -1,0 +1,90 @@
+"""Relation container semantics."""
+
+import pytest
+
+from repro.relational import Relation, Schema
+
+AB = Schema.ints("a", "b")
+
+
+def rel(*rows):
+    return Relation(AB, rows)
+
+
+class TestConstruction:
+    def test_materializes_rows(self):
+        r = rel((1, 2), (3, 4))
+        assert len(r) == 2
+        assert list(r) == [(1, 2), (3, 4)]
+
+    def test_rows_become_tuples(self):
+        r = Relation(AB, [[1, 2]])
+        assert r.rows[0] == (1, 2)
+        assert isinstance(r.rows[0], tuple)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            rel((1, 2, 3))
+
+    def test_empty(self):
+        assert len(rel()) == 0
+
+    def test_repr_mentions_cardinality(self):
+        assert "2 rows" in repr(rel((1, 2), (3, 4)))
+
+
+class TestDerivations:
+    def test_column(self):
+        assert rel((1, 2), (3, 4)).column("b") == [2, 4]
+
+    def test_project_keeps_duplicates(self):
+        r = rel((1, 2), (1, 3)).project(["a"])
+        assert list(r) == [(1,), (1,)]
+
+    def test_project_reorders(self):
+        r = rel((1, 2)).project(["b", "a"])
+        assert list(r) == [(2, 1)]
+
+    def test_select(self):
+        r = rel((1, 2), (3, 4)).select(lambda row: row[0] > 1)
+        assert list(r) == [(3, 4)]
+
+    def test_extend_returns_new(self):
+        r1 = rel((1, 2))
+        r2 = r1.extend([(3, 4)])
+        assert len(r1) == 1
+        assert len(r2) == 2
+
+    def test_extend_checks_arity(self):
+        with pytest.raises(ValueError):
+            rel((1, 2)).extend([(1,)])
+
+    def test_bytes(self):
+        assert rel((1, 2), (3, 4)).bytes() == 2 * 8
+
+
+class TestBagEquality:
+    def test_order_irrelevant(self):
+        assert rel((1, 2), (3, 4)).same_bag(rel((3, 4), (1, 2)))
+
+    def test_multiplicity_matters(self):
+        assert not rel((1, 2), (1, 2)).same_bag(rel((1, 2)))
+        assert rel((1, 2), (1, 2)).same_bag(rel((1, 2), (1, 2)))
+
+    def test_different_rows(self):
+        assert not rel((1, 2)).same_bag(rel((2, 1)))
+
+
+class TestUnionAll:
+    def test_concatenates(self):
+        u = Relation.union_all([rel((1, 2)), rel((3, 4)), rel()])
+        assert len(u) == 2
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.union_all([])
+
+    def test_incompatible_schemas_rejected(self):
+        other = Relation(Schema.ints("x", "y"), [(1, 2)])
+        with pytest.raises(ValueError, match="incompatible"):
+            Relation.union_all([rel((1, 2)), other])

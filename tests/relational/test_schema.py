@@ -1,0 +1,83 @@
+"""Schema and attribute behaviour."""
+
+import pytest
+
+from repro.relational import Attribute, Schema
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attr = Attribute("x")
+        assert attr.kind == "int"
+        assert attr.width == 4
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Attribute("x", kind="float")
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            Attribute("x", width=0)
+
+    def test_frozen(self):
+        attr = Attribute("x")
+        with pytest.raises(AttributeError):
+            attr.name = "y"
+
+
+class TestSchema:
+    def test_ints_builder(self):
+        schema = Schema.ints("a", "b", "c")
+        assert schema.names() == ("a", "b", "c")
+        assert len(schema) == 3
+        assert all(attr.kind == "int" for attr in schema)
+
+    def test_of_builder(self):
+        schema = Schema.of(Attribute("a"), Attribute("s", "str", 10))
+        assert schema.names() == ("a", "s")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema.ints("a", "a")
+
+    def test_index_of(self):
+        schema = Schema.ints("a", "b")
+        assert schema.index_of("b") == 1
+        with pytest.raises(KeyError):
+            schema.index_of("z")
+
+    def test_contains(self):
+        schema = Schema.ints("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_tuple_width(self):
+        schema = Schema.of(Attribute("a"), Attribute("s", "str", 200))
+        assert schema.tuple_width() == 204
+
+    def test_project_order_and_subset(self):
+        schema = Schema.ints("a", "b", "c")
+        projected = schema.project(["c", "a"])
+        assert projected.names() == ("c", "a")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Schema.ints("a").project(["b"])
+
+    def test_concat_disjoint(self):
+        merged = Schema.ints("a").concat(Schema.ints("b"))
+        assert merged.names() == ("a", "b")
+
+    def test_concat_collision_requires_prefix(self):
+        with pytest.raises(ValueError, match="collision"):
+            Schema.ints("a").concat(Schema.ints("a"))
+        merged = Schema.ints("a").concat(Schema.ints("a"), prefix="r_")
+        assert merged.names() == ("a", "r_a")
+
+    def test_concat_prefix_collision_still_raises(self):
+        with pytest.raises(ValueError, match="collision"):
+            Schema.ints("a", "r_a").concat(Schema.ints("a"), prefix="r_")
+
+    def test_attribute_lookup(self):
+        schema = Schema.of(Attribute("s", "str", 7))
+        assert schema.attribute("s").width == 7

@@ -1,0 +1,117 @@
+"""Wisconsin generator and the paper's regular query step (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    WISCONSIN_SCHEMA,
+    WISCONSIN_TUPLE_BYTES,
+    expected_join_cardinality,
+    make_query_relations,
+    make_wisconsin,
+    wisconsin_join_project,
+)
+from repro.relational.relation import Relation
+
+
+class TestGenerator:
+    def test_schema_and_width(self):
+        r = make_wisconsin(10)
+        assert r.schema.names() == ("unique1", "unique2", "filler")
+        assert r.schema.tuple_width() == WISCONSIN_TUPLE_BYTES == 208
+
+    def test_unique_attributes_are_permutations(self):
+        r = make_wisconsin(500, seed=3)
+        assert sorted(r.column("unique1")) == list(range(500))
+        assert sorted(r.column("unique2")) == list(range(500))
+
+    def test_attributes_decorrelated(self):
+        # The identity permutation would give a perfect rank correlation;
+        # independent shuffles should not.
+        r = make_wisconsin(1000, seed=1)
+        matches = sum(1 for u1, u2, _ in r if u1 == u2)
+        assert matches < 20  # expectation is 1
+
+    def test_seed_determinism(self):
+        assert list(make_wisconsin(50, seed=9)) == list(make_wisconsin(50, seed=9))
+
+    def test_seeds_differ(self):
+        assert list(make_wisconsin(50, seed=1)) != list(make_wisconsin(50, seed=2))
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            make_wisconsin(-1)
+
+    def test_zero_cardinality(self):
+        assert len(make_wisconsin(0)) == 0
+
+    def test_query_relations_are_pairwise_distinct(self):
+        rels = make_query_relations(4, 100, seed=5)
+        assert len(rels) == 4
+        columns = [tuple(r.column("unique1")) for r in rels]
+        assert len(set(columns)) == 4
+
+
+class TestJoinProject:
+    def test_result_is_wisconsin_with_operand_cardinality(self):
+        left = make_wisconsin(300, seed=1)
+        right = make_wisconsin(300, seed=2)
+        out = wisconsin_join_project(left, right)
+        assert out.schema.names() == WISCONSIN_SCHEMA.names()
+        assert len(out) == 300 == expected_join_cardinality(left, right)
+
+    def test_result_key_is_permutation(self):
+        """The projected unique1 must again be a permutation so the
+        result can feed the next join unchanged."""
+        left = make_wisconsin(200, seed=1)
+        right = make_wisconsin(200, seed=2)
+        out = wisconsin_join_project(left, right)
+        assert sorted(out.column("unique1")) == list(range(200))
+        assert sorted(out.column("unique2")) == list(range(200))
+
+    def test_chaining_preserves_cardinality(self):
+        rels = make_query_relations(4, 150, seed=3)
+        result = rels[0]
+        for other in rels[1:]:
+            result = wisconsin_join_project(result, other)
+            assert len(result) == 150
+
+    def test_semantics_match_manual_join(self):
+        left = make_wisconsin(50, seed=1)
+        right = make_wisconsin(50, seed=2)
+        out = wisconsin_join_project(left, right)
+        right_by_key = {row[0]: row for row in right}
+        expected = sorted(
+            (l_u2, right_by_key[l_u1][1], l_fill)
+            for l_u1, l_u2, l_fill in left
+        )
+        assert sorted(out.rows) == expected
+
+    def test_unequal_cardinalities(self):
+        left = make_wisconsin(100, seed=1)
+        right = make_wisconsin(60, seed=2)
+        out = wisconsin_join_project(left, right)
+        # Keys 0..59 exist on both sides; 1:1 within the overlap.
+        assert len(out) == 60
+
+    def test_rejects_non_wisconsin_operands(self):
+        from repro.relational import Schema
+
+        bogus = Relation(Schema.ints("x"), [(1,)])
+        with pytest.raises(ValueError, match="Wisconsin"):
+            wisconsin_join_project(bogus, make_wisconsin(5))
+
+    def test_rejects_duplicate_left_keys(self):
+        dup = Relation(WISCONSIN_SCHEMA, [(1, 1, "a"), (1, 2, "b")])
+        with pytest.raises(ValueError, match="unique"):
+            wisconsin_join_project(dup, make_wisconsin(5))
+
+    @given(st.integers(min_value=1, max_value=80), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_cardinality_preserved(self, cardinality, seed):
+        left = make_wisconsin(cardinality, seed=seed)
+        right = make_wisconsin(cardinality, seed=seed + 1)
+        out = wisconsin_join_project(left, right)
+        assert len(out) == cardinality
+        assert sorted(out.column("unique1")) == list(range(cardinality))

@@ -1,0 +1,65 @@
+"""HTML report assembly."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench import Experiment, run_sweep
+from repro.core import example_tree
+from repro.engine import ideal_simulation
+from repro.report import (
+    claims_html,
+    figure14_html,
+    render_report,
+    sweep_chart,
+    utilization_gantt,
+)
+
+
+@pytest.fixture(scope="module")
+def sweeps(fast_config):
+    sweep = run_sweep(Experiment("wide_bushy", 500, (10, 20)), config=fast_config)
+    return {("wide_bushy", "5K"): sweep}
+
+
+@pytest.fixture(scope="module")
+def diagram_result():
+    return ideal_simulation(example_tree(), "FP", 10)
+
+
+class TestPieces:
+    def test_sweep_chart_is_svg(self, sweeps):
+        svg = sweep_chart(sweeps[("wide_bushy", "5K")])
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_gantt_is_svg(self, diagram_result):
+        svg = utilization_gantt(diagram_result, "Figure 7")
+        assert ET.fromstring(svg).tag.endswith("svg")
+        assert "Figure 7" in svg
+
+    def test_figure14_table(self, sweeps):
+        html = figure14_html(sweeps)
+        assert "<table>" in html
+        assert "wide_bushy" in html
+        assert "5.2" in html  # the paper value
+
+    def test_claims_list(self, sweeps):
+        html = claims_html(sweeps[("wide_bushy", "5K")])
+        assert "<ul>" in html
+        assert "✓" in html or "✗" in html
+
+
+class TestDocument:
+    def test_full_document(self, sweeps, diagram_result):
+        html = render_report(sweeps, {"FP": diagram_result})
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Figure 14" in html
+        assert "Figures 9–13" in html
+        assert "svg" in html
+        assert html.rstrip().endswith("</html>")
+
+    def test_document_without_diagrams(self, sweeps):
+        html = render_report(sweeps)
+        assert "Figures 3, 4, 6, 7" not in html
+        assert "Figure 14" in html

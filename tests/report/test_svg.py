@@ -1,0 +1,107 @@
+"""SVG chart primitives: structural validity and value mapping."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.report import GanttChart, LineChart, color_for
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestLineChart:
+    def make(self):
+        chart = LineChart("Response", x_label="processors", y_label="seconds")
+        chart.add_series("SP", [(20, 10.0), (40, 8.0), (80, 12.0)])
+        chart.add_series("FP", [(20, 14.0), (40, 9.0), (80, 5.0)])
+        return chart
+
+    def test_valid_xml(self):
+        parse(self.make().to_svg())
+
+    def test_one_polyline_per_series(self):
+        root = parse(self.make().to_svg())
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_point_markers(self):
+        root = parse(self.make().to_svg())
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 6
+
+    def test_legend_and_labels(self):
+        text = self.make().to_svg()
+        for needle in ("SP", "FP", "processors", "seconds", "Response"):
+            assert needle in text
+
+    def test_coordinates_inside_viewbox(self):
+        chart = self.make()
+        root = parse(chart.to_svg())
+        for circle in root.findall(f".//{SVG_NS}circle"):
+            assert 0 <= float(circle.get("cx")) <= chart.width
+            assert 0 <= float(circle.get("cy")) <= chart.height
+
+    def test_higher_value_is_higher_on_screen(self):
+        chart = LineChart("t")
+        chart.add_series("X", [(0, 1.0), (1, 10.0)])
+        root = parse(chart.to_svg())
+        c_low, c_high = root.findall(f".//{SVG_NS}circle")
+        # SVG y grows downward: the larger value has the smaller cy.
+        assert float(c_high.get("cy")) < float(c_low.get("cy"))
+
+    def test_empty_series_rejected(self):
+        chart = LineChart("t")
+        with pytest.raises(ValueError):
+            chart.add_series("X", [])
+        with pytest.raises(ValueError):
+            chart.to_svg()
+
+    def test_title_escaped(self):
+        chart = LineChart("a < b & c")
+        chart.add_series("X", [(0, 1.0)])
+        parse(chart.to_svg())  # would raise on unescaped '<' or '&'
+
+
+class TestGanttChart:
+    def make(self):
+        chart = GanttChart("Utilization")
+        chart.add_span(0, 0.0, 1.0, "J0")
+        chart.add_span(1, 0.5, 2.0, "J1")
+        chart.add_span(0, 1.0, 1.5, "J1")
+        return chart
+
+    def test_valid_xml(self):
+        parse(self.make().to_svg())
+
+    def test_one_rect_per_span(self):
+        root = parse(self.make().to_svg())
+        assert len(root.findall(f".//{SVG_NS}rect")) == 3
+
+    def test_span_widths_proportional(self):
+        root = parse(self.make().to_svg())
+        rects = root.findall(f".//{SVG_NS}rect")
+        widths = [float(r.get("width")) for r in rects]
+        # J1's 1.5s span is 3x J0's 1.0-0.5... spans: 1.0, 1.5, 0.5.
+        assert widths[1] == pytest.approx(widths[0] * 1.5, rel=0.02)
+        assert widths[2] == pytest.approx(widths[0] * 0.5, rel=0.05)
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            GanttChart("t").add_span(0, 2.0, 1.0, "J0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GanttChart("t").to_svg()
+
+
+class TestColors:
+    def test_strategy_colors_stable(self):
+        assert color_for("SP") == color_for("SP")
+        assert color_for("SP") != color_for("FP")
+
+    def test_fallback_cycles(self):
+        assert color_for("other", 0) != color_for("other", 1)

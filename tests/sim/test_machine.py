@@ -1,0 +1,75 @@
+"""Machine configuration and processor model."""
+
+import pytest
+
+from repro.sim import MachineConfig, Processor
+
+
+class TestMachineConfig:
+    def test_paper_config_is_frozen_and_valid(self):
+        config = MachineConfig.paper()
+        assert config.tuple_unit > 0
+        assert config.process_startup > 0
+        assert config.handshake > 0
+        assert config.batches >= 1
+
+    def test_ideal_config_zero_overhead(self):
+        config = MachineConfig.ideal()
+        assert config.process_startup == 0
+        assert config.handshake == 0
+        assert config.network_latency == 0
+        assert config.tuple_unit == 1.0
+
+    def test_scaled_override(self):
+        config = MachineConfig.paper().scaled(handshake=0.5)
+        assert config.handshake == 0.5
+        assert config.tuple_unit == MachineConfig.paper().tuple_unit
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(tuple_unit=-1)
+        with pytest.raises(ValueError):
+            MachineConfig(network_latency=-1)
+
+    def test_zero_batches_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(batches=0)
+
+
+class TestProcessor:
+    def test_acquire_serializes(self):
+        proc = Processor(0)
+        end1 = proc.acquire(0.0, 2.0, "a")
+        end2 = proc.acquire(1.0, 3.0, "b")  # requested while busy
+        assert end1 == 2.0
+        assert end2 == 5.0  # queued behind the first chunk
+
+    def test_idle_gap(self):
+        proc = Processor(0)
+        proc.acquire(0.0, 1.0, "a")
+        end = proc.acquire(5.0, 1.0, "b")
+        assert end == 6.0
+        assert proc.busy_time() == 2.0
+
+    def test_interval_labels(self):
+        proc = Processor(0)
+        proc.acquire(0.0, 1.0, "a")
+        proc.acquire(0.0, 2.0, "b")
+        assert proc.busy_time_for("a") == 1.0
+        assert proc.busy_time_for("b") == 2.0
+
+    def test_adjacent_same_label_merged(self):
+        proc = Processor(0)
+        proc.acquire(0.0, 1.0, "a")
+        proc.acquire(1.0, 1.0, "a")
+        assert len(proc.intervals) == 1
+        assert proc.intervals[0] == (0.0, 2.0, "a")
+
+    def test_zero_duration_not_recorded(self):
+        proc = Processor(0)
+        proc.acquire(0.0, 0.0, "a")
+        assert proc.intervals == []
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(0).acquire(0.0, -1.0, "a")

@@ -1,0 +1,71 @@
+"""SimulationResult surface: timings, breakdowns, summaries."""
+
+import pytest
+
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.sim import MachineConfig
+from repro.sim.metrics import SimulationResult, TaskTiming
+from repro.sim.run import simulate
+
+NAMES = paper_relation_names(6)
+CATALOG = Catalog.regular(NAMES, 600)
+
+
+@pytest.fixture(scope="module")
+def result(fast_config):
+    tree = make_shape("wide_bushy", NAMES)
+    schedule = get_strategy("SE").schedule(tree, CATALOG, 8)
+    return simulate(schedule, CATALOG, fast_config)
+
+
+class TestTimings:
+    def test_task_completion_lookup(self, result):
+        for timing in result.task_timings:
+            assert result.task_completion(timing.index) == timing.completion
+
+    def test_first_work_after_release(self, result):
+        for timing in result.task_timings:
+            if timing.first_work is not None:
+                assert timing.first_work >= timing.released
+
+    def test_response_is_last_completion(self, result):
+        assert result.response_time == max(
+            t.completion for t in result.task_timings
+        )
+
+
+class TestBreakdowns:
+    def test_startup_time_formula(self, result):
+        assert result.startup_time() == pytest.approx(
+            result.operation_processes * result.config.process_startup
+        )
+
+    def test_intervals_within_response(self, result):
+        for spans in result.intervals.values():
+            for start, end, _label in spans:
+                assert 0 <= start <= end <= result.response_time + 1e-9
+
+    def test_interval_labels_reference_tasks(self, result):
+        labels = {
+            label.split(":")[0]
+            for spans in result.intervals.values()
+            for _s, _e, label in spans
+        }
+        assert labels <= {f"J{i}" for i in range(5)}
+
+    def test_summary_format(self, result):
+        text = result.summary()
+        assert "SE@8p" in text
+        assert "utilization" in text
+
+
+class TestZeroWork:
+    def test_empty_query_metrics(self, fast_config):
+        catalog = Catalog.regular(NAMES, 0)
+        tree = make_shape("left_linear", NAMES)
+        schedule = get_strategy("SP").schedule(tree, catalog, 4)
+        result = simulate(schedule, catalog, fast_config)
+        # No tuples, no tuple work — but the stream handshakes still
+        # happen (coordination is data-independent).
+        assert result.busy_by_kind()["work"] == pytest.approx(0.0, abs=1e-9)
+        assert result.busy_by_kind()["handshake"] > 0.0

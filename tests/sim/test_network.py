@@ -1,0 +1,75 @@
+"""The shared-interconnect model (extension A8)."""
+
+import pytest
+
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.sim import MachineConfig
+from repro.sim.machine import NetworkLink
+from repro.sim.run import simulate
+
+NAMES = paper_relation_names(4)
+CATALOG = Catalog.regular(NAMES, 400)
+
+
+class TestNetworkLink:
+    def test_infinite_bandwidth_is_free(self):
+        link = NetworkLink(float("inf"))
+        assert link.transfer(5.0, 1000.0) == 5.0
+        assert link.busy_until == 0.0
+
+    def test_finite_bandwidth_serializes(self):
+        link = NetworkLink(100.0)
+        first = link.transfer(0.0, 200.0)   # 2s transfer
+        second = link.transfer(1.0, 100.0)  # queues behind the first
+        assert first == 2.0
+        assert second == 3.0
+
+    def test_transferred_accounting(self):
+        link = NetworkLink(10.0)
+        link.transfer(0.0, 30.0)
+        link.transfer(0.0, 20.0)
+        assert link.transferred == 50.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            NetworkLink(0.0)
+        with pytest.raises(ValueError):
+            NetworkLink(10.0).transfer(0.0, -1.0)
+
+
+class TestContention:
+    def run(self, strategy, bandwidth, fast_config):
+        config = fast_config.scaled(network_bandwidth=bandwidth)
+        tree = make_shape("right_linear", NAMES)
+        schedule = get_strategy(strategy).schedule(tree, CATALOG, 6)
+        return simulate(schedule, CATALOG, config)
+
+    def test_conservation_under_contention(self, fast_config):
+        for strategy in ("SP", "SE", "RD", "FP"):
+            result = self.run(strategy, 500.0, fast_config)
+            assert result.result_tuples == pytest.approx(400.0, rel=1e-6)
+
+    def test_slow_link_slows_response(self, fast_config):
+        fast = self.run("FP", float("inf"), fast_config)
+        slow = self.run("FP", 200.0, fast_config)
+        assert slow.response_time > fast.response_time * 1.5
+
+    def test_fast_link_matches_infinite(self, fast_config):
+        infinite = self.run("SP", float("inf"), fast_config)
+        fast = self.run("SP", 1e9, fast_config)
+        assert fast.response_time == pytest.approx(
+            infinite.response_time, rel=1e-6
+        )
+
+    def test_eos_never_overtakes_data(self, fast_config):
+        """Pipelined consumers must not finish while data is queued on
+        the link (the conservation failure mode)."""
+        config = fast_config.scaled(network_bandwidth=50.0)
+        tree = make_shape("right_bushy", NAMES)
+        schedule = get_strategy("FP").schedule(tree, CATALOG, 4)
+        result = simulate(schedule, CATALOG, config)
+        assert result.result_tuples == pytest.approx(400.0, rel=1e-6)
+
+    def test_rejected_bandwidth(self):
+        with pytest.raises(ValueError):
+            MachineConfig(network_bandwidth=0.0)

@@ -1,0 +1,128 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestSimulate:
+    def test_basic(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "--shape", "wide_bushy",
+            "--cardinality", "1000", "--strategy", "SE", "--processors", "16",
+        )
+        assert code == 0
+        assert "SE@16p" in out
+        assert "response" in out
+
+    def test_with_diagram(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "--cardinality", "500", "--processors", "12",
+            "--diagram", "--width", "30",
+        )
+        assert code == 0
+        assert "|" in out
+
+    def test_with_skew(self, capsys):
+        _, uniform = run_cli(
+            capsys, "simulate", "--cardinality", "1000", "--processors", "16"
+        )
+        _, skewed = run_cli(
+            capsys, "simulate", "--cardinality", "1000", "--processors", "16",
+            "--skew", "1.0",
+        )
+        assert uniform != skewed
+
+
+class TestPlan:
+    def test_xra_output(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "--shape", "right_linear",
+            "--strategy", "RD", "--processors", "18",
+        )
+        assert code == 0
+        assert out.startswith("xra strategy=RD processors=18")
+        assert "join[simple,build=left]" in out
+
+
+class TestSweep:
+    def test_table_and_plot(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "--shape", "left_linear", "--cardinality", "500",
+            "--min-processors", "10", "--processors", "20", "--step", "10",
+        )
+        assert code == 0
+        assert "procs" in out
+        assert "legend" in out
+        assert "best:" in out
+
+    def test_claims_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "--shape", "left_linear", "--cardinality", "500",
+            "--min-processors", "10", "--processors", "20", "--step", "10",
+            "--claims",
+        )
+        assert code == 0
+        assert "[PASS]" in out or "[FAIL]" in out
+
+
+class TestDiagram:
+    def test_default_example_tree(self, capsys):
+        code, out = run_cli(capsys, "diagram", "--strategy", "SP")
+        assert code == 0
+        assert "SP on 10 processors" in out
+
+
+class TestAdvise:
+    def test_wide_bushy_gets_se(self, capsys):
+        code, out = run_cli(
+            capsys, "advise", "--shape", "wide_bushy",
+            "--cardinality", "40000", "--processors", "80",
+        )
+        assert code == 0
+        assert out.startswith("SE")
+
+    def test_disk_bound_gets_sp(self, capsys):
+        code, out = run_cli(
+            capsys, "advise", "--shape", "right_bushy",
+            "--cardinality", "40000", "--processors", "80", "--disk-bound",
+        )
+        assert code == 0
+        assert out.startswith("SP")
+
+
+class TestMemory:
+    def test_fp_40k_floor(self, capsys):
+        code, out = run_cli(
+            capsys, "memory", "--shape", "wide_bushy",
+            "--cardinality", "40000", "--strategy", "FP", "--processors", "30",
+        )
+        assert code == 0
+        assert "fits" in out
+        assert "30 nodes" in out
+
+
+class TestOptimize:
+    def test_guidelines_mode(self, capsys):
+        code, out = run_cli(
+            capsys, "optimize", "--relations", "6", "--cardinality", "1000",
+            "--processors", "12", "--guidelines",
+        )
+        assert code == 0
+        assert "phase 1" in out and "phase 2" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

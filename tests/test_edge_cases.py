@@ -1,0 +1,150 @@
+"""Edge cases and failure injection across the stack.
+
+Degenerate data (empty relations, single tuples), degenerate machines
+(one batch, zero-size constants), pathological schedules, and error
+surfaces that must stay informative.
+"""
+
+import pytest
+
+from repro.core import (
+    Catalog,
+    CostModel,
+    Join,
+    Leaf,
+    get_strategy,
+    make_shape,
+    paper_relation_names,
+)
+from repro.engine import execute_schedule, reference_result, simulate_strategy
+from repro.relational import Relation, WISCONSIN_SCHEMA, make_wisconsin
+from repro.sim import MachineConfig
+from repro.sim.run import simulate
+
+
+class TestEmptyData:
+    def test_zero_cardinality_catalog_simulates(self, fast_config):
+        names = paper_relation_names(4)
+        catalog = Catalog.regular(names, 0)
+        tree = make_shape("wide_bushy", names)
+        for strategy in ("SP", "SE", "RD", "FP"):
+            result = simulate_strategy(tree, catalog, strategy, 6, fast_config)
+            assert result.result_tuples == 0.0
+            assert result.response_time >= 0.0
+
+    def test_empty_relations_execute(self):
+        names = paper_relation_names(3)
+        relations = {name: make_wisconsin(0) for name in names}
+        catalog = Catalog.regular(names, 0)
+        tree = make_shape("left_linear", names)
+        schedule = get_strategy("SP").schedule(tree, catalog, 2)
+        result = execute_schedule(schedule, relations)
+        assert len(result.relation) == 0
+
+    def test_one_empty_operand(self):
+        names = paper_relation_names(3)
+        relations = {
+            "R0": make_wisconsin(50, seed=1),
+            "R1": make_wisconsin(0),
+            "R2": make_wisconsin(50, seed=2),
+        }
+        catalog = Catalog({"R0": 50, "R1": 0, "R2": 50})
+        tree = make_shape("left_linear", names)
+        schedule = get_strategy("FP").schedule(tree, catalog, 4)
+        result = execute_schedule(schedule, relations)
+        assert len(result.relation) == 0
+        assert result.relation.same_bag(reference_result(tree, relations))
+
+    def test_single_tuple_relations(self, fast_config):
+        names = paper_relation_names(4)
+        catalog = Catalog.regular(names, 1)
+        tree = make_shape("right_bushy", names)
+        result = simulate_strategy(tree, catalog, "FP", 4, fast_config)
+        assert result.result_tuples == pytest.approx(1.0)
+
+
+class TestDegenerateMachines:
+    def test_single_batch(self):
+        names = paper_relation_names(4)
+        catalog = Catalog.regular(names, 100)
+        config = MachineConfig(
+            tuple_unit=0.001, process_startup=0.0, handshake=0.0,
+            network_latency=0.0, batches=1,
+        )
+        tree = make_shape("wide_bushy", names)
+        result = simulate_strategy(tree, catalog, "FP", 4, config)
+        assert result.result_tuples == pytest.approx(100.0, rel=1e-6)
+
+    def test_zero_tuple_unit(self):
+        """Pure-overhead machine: response driven by startup alone."""
+        names = paper_relation_names(4)
+        catalog = Catalog.regular(names, 100)
+        config = MachineConfig(
+            tuple_unit=0.0, process_startup=1.0, handshake=0.0,
+            network_latency=0.0, batches=4,
+        )
+        tree = make_shape("left_linear", names)
+        result = simulate_strategy(tree, catalog, "SP", 2, config)
+        # 3 joins x 2 processors = 6 processes, serial startup.
+        assert result.response_time == pytest.approx(6.0, abs=0.01)
+
+    def test_enormous_latency_still_terminates(self, fast_config):
+        names = paper_relation_names(4)
+        catalog = Catalog.regular(names, 100)
+        config = fast_config.scaled(network_latency=100.0)
+        tree = make_shape("right_linear", names)
+        result = simulate_strategy(tree, catalog, "FP", 4, config)
+        assert result.result_tuples == pytest.approx(100.0, rel=1e-6)
+
+    def test_single_processor_everything(self, fast_config):
+        names = paper_relation_names(3)
+        catalog = Catalog.regular(names, 50)
+        tree = make_shape("left_linear", names)
+        for strategy in ("SP", "SE", "RD"):
+            result = simulate_strategy(tree, catalog, strategy, 1, fast_config)
+            assert result.result_tuples == pytest.approx(50.0, rel=1e-6)
+
+
+class TestErrorSurfaces:
+    def test_strategy_on_missing_catalog_entry(self):
+        tree = Join(Leaf("A"), Leaf("Zebra"))
+        catalog = Catalog.regular(["A"], 10)
+        with pytest.raises(KeyError, match="Zebra"):
+            get_strategy("SP").schedule(tree, catalog, 2)
+
+    def test_fp_rejects_undersized_machine_with_clear_message(self):
+        names = paper_relation_names(10)
+        catalog = Catalog.regular(names, 10)
+        tree = make_shape("left_linear", names)
+        with pytest.raises(ValueError, match="9 operations"):
+            get_strategy("FP").schedule(tree, catalog, 5)
+
+    def test_negative_skew_rejected(self, fast_config):
+        names = paper_relation_names(3)
+        catalog = Catalog.regular(names, 10)
+        tree = make_shape("left_linear", names)
+        schedule = get_strategy("SP").schedule(tree, catalog, 2)
+        with pytest.raises(ValueError):
+            simulate(schedule, catalog, fast_config, skew_theta=-1.0)
+
+
+class TestTwoRelationQueries:
+    """The smallest multi-join query: one join."""
+
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    def test_all_strategies_identical_plan_shape(self, strategy, fast_config):
+        catalog = Catalog.regular(["A", "B"], 500)
+        tree = Join(Leaf("A"), Leaf("B"))
+        schedule = get_strategy(strategy).schedule(tree, catalog, 8)
+        assert schedule.tasks[0].processors == tuple(range(8))
+        result = simulate(schedule, catalog, fast_config)
+        assert result.result_tuples == pytest.approx(500.0, rel=1e-6)
+
+    def test_real_execution(self):
+        left = make_wisconsin(80, seed=1)
+        right = make_wisconsin(80, seed=2)
+        catalog = Catalog.regular(["A", "B"], 80)
+        tree = Join(Leaf("A"), Leaf("B"))
+        schedule = get_strategy("FP").schedule(tree, catalog, 3)
+        result = execute_schedule(schedule, {"A": left, "B": right})
+        assert len(result.relation) == 80

@@ -1,0 +1,168 @@
+"""Cross-cutting property-based tests.
+
+Random trees, random strategies, random machine constants: the
+invariants that must hold for *any* input, not just the paper's five
+shapes — schedule validity, conservation of tuples through the
+simulated dataflow, agreement between the real executor and the
+oracle, and XRA round-tripping.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Catalog,
+    CostModel,
+    Join,
+    Leaf,
+    get_strategy,
+    joins_postorder,
+    leaf_names,
+    num_joins,
+)
+from repro.sim import MachineConfig
+from repro.sim.run import simulate
+from repro.xra import XRAPlan, format_plan, parse_plan
+
+STRATEGIES = ("SP", "SE", "RD", "FP")
+
+
+@st.composite
+def trees(draw, min_leaves=2, max_leaves=8):
+    count = draw(st.integers(min_leaves, max_leaves))
+    nodes = [Leaf(f"R{i}") for i in range(count)]
+    while len(nodes) > 1:
+        i = draw(st.integers(0, len(nodes) - 2))
+        nodes.insert(i, Join(nodes.pop(i), nodes.pop(i)))
+    return nodes[0]
+
+
+@st.composite
+def tree_with_catalog(draw):
+    tree = draw(trees())
+    names = leaf_names(tree)
+    cards = {
+        name: draw(st.integers(10, 2000)) for name in names
+    }
+    return tree, Catalog(cards)
+
+
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.005, handshake=0.005,
+    network_latency=0.02, batches=6,
+)
+
+
+class TestScheduleProperties:
+    @given(tree_with_catalog(), st.sampled_from(STRATEGIES), st.integers(0, 30))
+    @settings(max_examples=80, deadline=None)
+    def test_property_schedules_validate(self, tree_catalog, strategy, extra):
+        tree, catalog = tree_catalog
+        processors = num_joins(tree) + extra
+        schedule = get_strategy(strategy).schedule(tree, catalog, processors)
+        # validate() already ran; check global invariants again.
+        assert schedule.operation_processes() >= processors or strategy != "SP"
+        used = {p for t in schedule.tasks for p in t.processors}
+        assert used <= set(range(processors))
+
+    @given(tree_with_catalog(), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fp_partitions_processors(self, tree_catalog, extra):
+        tree, catalog = tree_catalog
+        processors = num_joins(tree) + extra
+        schedule = get_strategy("FP").schedule(tree, catalog, processors)
+        used = sorted(p for t in schedule.tasks for p in t.processors)
+        assert used == list(range(processors))
+
+
+class TestSimulationProperties:
+    @given(tree_with_catalog(), st.sampled_from(STRATEGIES), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_property_tuples_conserved(self, tree_catalog, strategy, extra):
+        """The root must emit exactly the estimated result cardinality
+        regardless of tree shape, strategy, and machine size."""
+        tree, catalog = tree_catalog
+        processors = num_joins(tree) + extra
+        schedule = get_strategy(strategy).schedule(tree, catalog, processors)
+        result = simulate(schedule, catalog, FAST)
+        expected = CostModel().annotate(tree, catalog)[
+            joins_postorder(tree)[-1]
+        ].result
+        assert result.result_tuples == pytest.approx(expected, rel=1e-6)
+
+    @given(tree_with_catalog(), st.sampled_from(STRATEGIES))
+    @settings(max_examples=30, deadline=None)
+    def test_property_busy_time_is_total_work(self, tree_catalog, strategy):
+        """With zero overhead constants, CPU-busy time equals the §4.3
+        total cost exactly — work is neither lost nor invented."""
+        tree, catalog = tree_catalog
+        schedule = get_strategy(strategy).schedule(
+            tree, catalog, num_joins(tree) + 3
+        )
+        config = MachineConfig(
+            tuple_unit=1.0, process_startup=0.0, handshake=0.0,
+            network_latency=0.0, batches=4,
+        )
+        result = simulate(schedule, catalog, config)
+        total = CostModel().total_cost(tree, catalog)
+        assert result.busy_time() == pytest.approx(total, rel=1e-6)
+
+    @given(tree_with_catalog(), st.sampled_from(STRATEGIES))
+    @settings(max_examples=25, deadline=None)
+    def test_property_response_at_least_fluid_bound(self, tree_catalog, strategy):
+        tree, catalog = tree_catalog
+        processors = num_joins(tree) + 3
+        schedule = get_strategy(strategy).schedule(tree, catalog, processors)
+        result = simulate(schedule, catalog, FAST)
+        fluid = result.busy_time() / processors
+        assert result.response_time >= fluid * 0.999
+
+    @given(tree_with_catalog(), st.floats(0.0, 1.5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_skew_conserves_tuples(self, tree_catalog, theta):
+        tree, catalog = tree_catalog
+        schedule = get_strategy("FP").schedule(tree, catalog, num_joins(tree) + 4)
+        result = simulate(schedule, catalog, FAST, skew_theta=theta)
+        expected = CostModel().annotate(tree, catalog)[
+            joins_postorder(tree)[-1]
+        ].result
+        assert result.result_tuples == pytest.approx(expected, rel=1e-6)
+
+
+class TestXRAProperties:
+    @given(tree_with_catalog(), st.sampled_from(STRATEGIES))
+    @settings(max_examples=40, deadline=None)
+    def test_property_xra_text_roundtrip(self, tree_catalog, strategy):
+        tree, catalog = tree_catalog
+        schedule = get_strategy(strategy).schedule(tree, catalog, num_joins(tree) + 5)
+        plan = XRAPlan.from_schedule(schedule)
+        reparsed = parse_plan(format_plan(plan))
+        back = reparsed.to_schedule()
+        assert back.operation_processes() == schedule.operation_processes()
+        assert back.stream_count() == schedule.stream_count()
+        for a, b in zip(schedule.tasks, back.tasks):
+            assert a.processors == b.processors
+            assert a.algorithm == b.algorithm
+
+
+class TestLocalExecutorProperties:
+    @given(st.integers(2, 6), st.sampled_from(STRATEGIES), st.integers(1, 9),
+           st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_real_execution_matches_oracle(
+        self, relations, strategy, processors, seed
+    ):
+        from repro.core import make_shape, paper_relation_names
+        from repro.engine import execute_schedule, reference_result
+        from repro.relational import make_query_relations
+
+        if processors < relations - 1 and strategy == "FP":
+            processors = relations - 1
+        names = paper_relation_names(relations)
+        data = dict(zip(names, make_query_relations(relations, 60, seed=seed)))
+        catalog = Catalog.regular(names, 60)
+        tree = make_shape("wide_bushy", names)
+        schedule = get_strategy(strategy).schedule(tree, catalog, processors)
+        result = execute_schedule(schedule, data)
+        assert result.relation.same_bag(reference_result(tree, data))

@@ -1,0 +1,69 @@
+"""XRA operand and statement validation."""
+
+import pytest
+
+from repro.xra import JoinStatement, Operand
+
+
+class TestOperand:
+    def test_scan(self):
+        op = Operand.scan("R0")
+        assert op.mode == "base"
+        assert str(op) == "scan(R0)"
+
+    def test_store(self):
+        op = Operand.store(3)
+        assert op.mode == "materialized"
+        assert str(op) == "store(%3)"
+
+    def test_pipe(self):
+        op = Operand.pipe(1)
+        assert op.mode == "pipelined"
+        assert str(op) == "pipe(%1)"
+
+    def test_from_mode_roundtrip(self):
+        assert Operand.from_mode("base", "R1") == Operand.scan("R1")
+        assert Operand.from_mode("materialized", 2) == Operand.store(2)
+        assert Operand.from_mode("pipelined", 0) == Operand.pipe(0)
+
+    def test_scan_requires_relation(self):
+        with pytest.raises(ValueError):
+            Operand("scan", statement=1)
+
+    def test_store_requires_statement(self):
+        with pytest.raises(ValueError):
+            Operand("store", relation="R0")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Operand("stream", relation="R0")
+
+
+class TestJoinStatement:
+    def make(self, **kwargs):
+        defaults = dict(
+            index=0,
+            algorithm="simple",
+            build_side="left",
+            left=Operand.scan("A"),
+            right=Operand.scan("B"),
+            processors=(0, 1),
+        )
+        defaults.update(kwargs)
+        return JoinStatement(**defaults)
+
+    def test_valid(self):
+        statement = self.make()
+        assert statement.parallelism == 2
+
+    def test_bad_algorithm(self):
+        with pytest.raises(ValueError):
+            self.make(algorithm="nested-loop")
+
+    def test_bad_build_side(self):
+        with pytest.raises(ValueError):
+            self.make(build_side="top")
+
+    def test_empty_processors(self):
+        with pytest.raises(ValueError):
+            self.make(processors=())

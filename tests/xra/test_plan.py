@@ -1,0 +1,113 @@
+"""XRA plans: schedule equivalence and tree reconstruction."""
+
+import pytest
+
+from repro.core import (
+    Catalog,
+    SHAPE_NAMES,
+    get_strategy,
+    make_shape,
+    paper_relation_names,
+    structurally_equal,
+)
+from repro.xra import JoinStatement, Operand, XRAPlan, generate_plan
+
+NAMES = paper_relation_names(8)
+CATALOG = Catalog.regular(NAMES, 400)
+
+
+def schedule_for(strategy, shape, processors=12):
+    return get_strategy(strategy).schedule(
+        make_shape(shape, NAMES), CATALOG, processors
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    def test_schedule_plan_schedule(self, strategy, shape):
+        schedule = schedule_for(strategy, shape)
+        plan = XRAPlan.from_schedule(schedule)
+        back = plan.to_schedule()
+        assert structurally_equal(back.tree, schedule.tree)
+        assert back.processors == schedule.processors
+        for a, b in zip(schedule.tasks, back.tasks):
+            assert a.processors == b.processors
+            assert a.algorithm == b.algorithm
+            assert a.left_input.mode == b.left_input.mode
+            assert a.right_input.mode == b.right_input.mode
+            assert tuple(sorted(a.start_after)) == tuple(sorted(b.start_after))
+
+    def test_metrics_agree(self):
+        schedule = schedule_for("SP", "left_linear")
+        plan = XRAPlan.from_schedule(schedule)
+        assert plan.operation_processes() == schedule.operation_processes()
+        assert plan.stream_count() == schedule.stream_count()
+
+
+class TestTreeReconstruction:
+    def test_tree_from_statements(self):
+        schedule = schedule_for("RD", "right_bushy")
+        plan = XRAPlan.from_schedule(schedule)
+        assert structurally_equal(plan.tree(), schedule.tree)
+
+    def test_non_postorder_statements_remapped(self):
+        """Statements in any dependency order become a valid schedule."""
+        statements = [
+            JoinStatement(0, "pipelining", "left", Operand.scan("C"),
+                          Operand.scan("D"), (2, 3)),
+            JoinStatement(1, "pipelining", "left", Operand.scan("A"),
+                          Operand.scan("B"), (0, 1)),
+            JoinStatement(2, "pipelining", "left", Operand.pipe(1),
+                          Operand.pipe(0), (4, 5)),
+        ]
+        plan = XRAPlan("X", 6, statements)
+        schedule = plan.to_schedule()
+        # Postorder: (A⋈B) is the left child → index 0 after remap.
+        assert schedule.tasks[0].processors == (0, 1)
+        assert schedule.tasks[1].processors == (2, 3)
+        assert schedule.tasks[2].processors == (4, 5)
+
+    def test_forward_reference_rejected(self):
+        statements = [
+            JoinStatement(0, "pipelining", "left", Operand.pipe(1),
+                          Operand.scan("C"), (0,)),
+            JoinStatement(1, "pipelining", "left", Operand.scan("A"),
+                          Operand.scan("B"), (1,)),
+        ]
+        with pytest.raises(ValueError, match="before it is defined"):
+            XRAPlan("X", 2, statements).tree()
+
+    def test_multiple_roots_rejected(self):
+        statements = [
+            JoinStatement(0, "simple", "left", Operand.scan("A"),
+                          Operand.scan("B"), (0,)),
+            JoinStatement(1, "simple", "left", Operand.scan("C"),
+                          Operand.scan("D"), (1,)),
+        ]
+        with pytest.raises(ValueError, match="result statements"):
+            XRAPlan("X", 2, statements).tree()
+
+    def test_dense_numbering_required(self):
+        with pytest.raises(ValueError, match="densely numbered"):
+            XRAPlan("X", 2, [
+                JoinStatement(1, "simple", "left", Operand.scan("A"),
+                              Operand.scan("B"), (0,)),
+            ])
+
+
+class TestGenerator:
+    def test_generate_plan_matches_strategy(self):
+        plan = generate_plan(
+            make_shape("wide_bushy", NAMES), CATALOG, "SE", 12
+        )
+        assert plan.strategy == "SE"
+        assert len(plan.statements) == 7
+
+    def test_generate_accepts_strategy_instance(self):
+        from repro.core.strategies import FullParallel
+
+        plan = generate_plan(
+            make_shape("left_linear", NAMES), CATALOG, FullParallel(), 12
+        )
+        assert plan.strategy == "FP"

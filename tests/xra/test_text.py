@@ -1,0 +1,85 @@
+"""Textual XRA: formatting, parsing, round trips."""
+
+import pytest
+
+from repro.core import Catalog, SHAPE_NAMES, get_strategy, make_shape, paper_relation_names
+from repro.xra import (
+    XRAPlan,
+    format_plan,
+    format_processors,
+    generate_plan,
+    generate_plan_text,
+    parse_plan,
+    parse_processors,
+)
+
+NAMES = paper_relation_names(8)
+CATALOG = Catalog.regular(NAMES, 400)
+
+
+class TestProcessorRanges:
+    def test_contiguous(self):
+        assert format_processors((0, 1, 2, 3)) == "0-3"
+
+    def test_singleton(self):
+        assert format_processors((5,)) == "5"
+
+    def test_mixed(self):
+        assert format_processors((0, 1, 4, 7, 8)) == "0-1,4,7-8"
+
+    def test_parse_roundtrip(self):
+        for procs in [(0,), (0, 1, 2), (3, 5, 6, 9)]:
+            assert parse_processors(format_processors(procs)) == procs
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_processors(())
+
+
+class TestPlanText:
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_text_roundtrip(self, strategy, shape):
+        plan = generate_plan(make_shape(shape, NAMES), CATALOG, strategy, 12)
+        text = format_plan(plan)
+        parsed = parse_plan(text)
+        assert parsed.strategy == plan.strategy
+        assert parsed.processors == plan.processors
+        for a, b in zip(plan.statements, parsed.statements):
+            assert a.algorithm == b.algorithm
+            assert a.build_side == b.build_side
+            assert a.left == b.left
+            assert a.right == b.right
+            assert a.processors == b.processors
+            assert a.after == b.after
+
+    def test_header_format(self):
+        text = generate_plan_text(
+            make_shape("left_linear", NAMES), CATALOG, "SP", 4
+        )
+        assert text.splitlines()[0] == "xra strategy=SP processors=4"
+
+    def test_statement_format(self):
+        text = generate_plan_text(
+            make_shape("left_linear", NAMES), CATALOG, "FP", 12
+        )
+        assert "join[pipelining,build=left]" in text
+        assert "scan(R0)" in text
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_plan("")
+        with pytest.raises(ValueError, match="header"):
+            parse_plan("not xra\n%0 := ...")
+        with pytest.raises(ValueError, match="statement"):
+            parse_plan("xra strategy=SP processors=2\ngarbage line")
+
+    def test_parsed_plan_is_executable(self):
+        text = generate_plan_text(
+            make_shape("right_bushy", NAMES), CATALOG, "RD", 12
+        )
+        schedule = parse_plan(text).to_schedule()
+        from repro.sim import MachineConfig, simulate
+
+        result = simulate(schedule, CATALOG, MachineConfig.paper())
+        assert result.response_time > 0
