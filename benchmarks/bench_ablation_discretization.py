@@ -13,6 +13,7 @@ on an overhead-free machine versus the fluid lower bound).
 
 import pytest
 
+from repro import api
 from repro.core import (
     Catalog,
     discretization_error,
@@ -20,7 +21,6 @@ from repro.core import (
     paper_relation_names,
     proportional_allocation,
 )
-from repro.engine import simulate_strategy
 from repro.sim import MachineConfig
 
 NAMES = paper_relation_names(10)
@@ -65,10 +65,10 @@ def test_ablation_discretization_end_to_end(benchmark):
     )
     tree = make_shape("left_linear", NAMES)
     processors = 12  # 12 processors over 9 joins: coarse quantization
-    sp = simulate_strategy(tree, CATALOG, "SP", processors, config)
-    fp = simulate_strategy(tree, CATALOG, "FP", processors, config)
+    sp = api.run(tree, "SP", processors, catalog=CATALOG, config=config)
+    fp = api.run(tree, "FP", processors, catalog=CATALOG, config=config)
     fluid_bound = sp.busy_time() / processors
     assert sp.response_time == pytest.approx(fluid_bound, rel=0.02)
     assert fp.response_time > fluid_bound * 1.08
 
-    benchmark(simulate_strategy, tree, CATALOG, "FP", processors, config)
+    benchmark(api.run, tree, "FP", processors, catalog=CATALOG, config=config)

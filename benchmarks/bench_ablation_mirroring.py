@@ -13,8 +13,8 @@ right-oriented tree.
 
 import pytest
 
+from repro import api
 from repro.core import Catalog, CostModel, make_shape, mirror, paper_relation_names
-from repro.engine import simulate_strategy
 
 NAMES = paper_relation_names(10)
 CATALOG = Catalog.regular(NAMES, 40000)
@@ -32,9 +32,9 @@ def test_ablation_mirroring(benchmark, results_dir):
         mirrored, CATALOG
     )
 
-    rd_left = simulate_strategy(left_tree, CATALOG, "RD", PROCESSORS)
-    rd_mirrored = simulate_strategy(mirrored, CATALOG, "RD", PROCESSORS)
-    rd_right = simulate_strategy(right_tree, CATALOG, "RD", PROCESSORS)
+    rd_left = api.run(left_tree, "RD", PROCESSORS, catalog=CATALOG)
+    rd_mirrored = api.run(mirrored, "RD", PROCESSORS, catalog=CATALOG)
+    rd_right = api.run(right_tree, "RD", PROCESSORS, catalog=CATALOG)
 
     lines = [
         "tree                      RD response (s)",
@@ -49,6 +49,4 @@ def test_ablation_mirroring(benchmark, results_dir):
         rd_right.response_time, rel=0.15
     )
 
-    benchmark(
-        simulate_strategy, mirrored, CATALOG, "RD", PROCESSORS
-    )
+    benchmark(api.run, mirrored, "RD", PROCESSORS, catalog=CATALOG)

@@ -6,6 +6,10 @@ that assumption explicit and quantifies it: batch transfers are
 serialized through a shared link of finite bandwidth, swept from
 "effectively infinite" down to clearly saturated.
 
+The grid (4 strategies × 6 bandwidths) is one :class:`SweepSpec` over
+a ``configs`` axis on the parallel runner — the disk cache keys on
+every machine constant, so the six configs never collide.
+
 Expected outcome: response times are flat until the aggregate demand
 (about 8 redistributed operands plus 9 results for the ten-way query)
 approaches the link capacity, then grow; conservation of tuples holds
@@ -14,16 +18,14 @@ throughout (no batch may be lost or reordered past its EOS).
 
 import pytest
 
-from repro.core import Catalog, make_shape, paper_relation_names
-from repro.core.strategies import get_strategy
+from repro import api
+from repro.runner import SweepSpec, run_sweep
 from repro.sim import MachineConfig
-from repro.sim.run import simulate
 
-NAMES = paper_relation_names(10)
+SHAPE = "wide_bushy"
 CARDINALITY = 5000
-CATALOG = Catalog.regular(NAMES, CARDINALITY)
-TREE = make_shape("wide_bushy", NAMES)
 PROCESSORS = 40
+STRATEGIES = ("SP", "SE", "RD", "FP")
 
 #: Link capacities in tuples/second, from paper-regime to saturated.
 #: The ten-way 5K query moves ~85 000 tuples over the interconnect, so
@@ -31,35 +33,50 @@ PROCESSORS = 40
 BANDWIDTHS = (float("inf"), 1e6, 1e5, 1e4, 3e3, 1e3)
 
 
-def response(strategy: str, bandwidth: float):
-    config = MachineConfig.paper().scaled(network_bandwidth=bandwidth)
-    schedule = get_strategy(strategy).schedule(TREE, CATALOG, PROCESSORS)
-    return simulate(schedule, CATALOG, config)
-
-
 def test_ablation_network(benchmark, results_dir):
-    table = {}
-    for strategy in ("SP", "SE", "RD", "FP"):
-        table[strategy] = [response(strategy, bw) for bw in BANDWIDTHS]
+    spec = SweepSpec(
+        shapes=(SHAPE,),
+        strategies=STRATEGIES,
+        processors=(PROCESSORS,),
+        cardinalities=(CARDINALITY,),
+        configs=tuple(
+            MachineConfig.paper().scaled(network_bandwidth=bw)
+            for bw in BANDWIDTHS
+        ),
+    )
+    run = run_sweep(spec)
+    metrics = {
+        (row["strategy"], row["config"]["network_bandwidth"]): row["metrics"]
+        for row in run.rows()
+    }
+    table = {
+        strategy: [metrics[(strategy, bw)] for bw in BANDWIDTHS]
+        for strategy in STRATEGIES
+    }
 
     lines = ["bandwidth(t/s)  " + "  ".join(f"{s:>8}" for s in table)]
     for i, bandwidth in enumerate(BANDWIDTHS):
         label = "inf" if bandwidth == float("inf") else f"{bandwidth:.0e}"
-        cells = "  ".join(f"{table[s][i].response_time:8.2f}" for s in table)
+        cells = "  ".join(
+            f"{table[s][i]['response_time']:8.2f}" for s in table
+        )
         lines.append(f"{label:>14}  {cells}")
     (results_dir / "ablation_network.txt").write_text("\n".join(lines) + "\n")
 
     for strategy, results in table.items():
         # Tuples conserved at every bandwidth (EOS ordering guard).
         for result in results:
-            assert result.result_tuples == pytest.approx(
+            assert result["result_tuples"] == pytest.approx(
                 CARDINALITY, rel=1e-6
             ), f"{strategy} lost tuples under contention"
         # The paper regime: a fast link behaves like an infinite one.
-        assert results[1].response_time == pytest.approx(
-            results[0].response_time, rel=0.05
+        assert results[1]["response_time"] == pytest.approx(
+            results[0]["response_time"], rel=0.05
         )
         # Saturation: the slowest link clearly dominates response time.
-        assert results[-1].response_time > results[0].response_time * 1.5
+        assert results[-1]["response_time"] > results[0]["response_time"] * 1.5
 
-    benchmark(response, "FP", 1e5)
+    benchmark(
+        api.run, SHAPE, "FP", PROCESSORS,
+        config=MachineConfig.paper().scaled(network_bandwidth=1e5),
+    )

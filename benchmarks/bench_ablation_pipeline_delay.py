@@ -13,10 +13,10 @@ step (delay grows linearly with size).
 
 import pytest
 
-from repro.core import Catalog, get_strategy, paper_relation_names
+from repro import api
+from repro.core import Catalog, paper_relation_names
 from repro.core.shapes import right_linear
 from repro.core.trees import Join, Leaf
-from repro.engine import simulate_strategy
 from repro.sim import MachineConfig
 
 #: Overhead-free except pipeline mechanics: latency only.
@@ -30,8 +30,9 @@ def linear_response(relations: int, cardinality: int, per_join: int = 4) -> floa
     names = paper_relation_names(relations)
     catalog = Catalog.regular(names, cardinality)
     tree = right_linear(names)
-    return simulate_strategy(
-        tree, catalog, "FP", per_join * (relations - 1), CONFIG
+    return api.run(
+        tree, "FP", per_join * (relations - 1),
+        catalog=catalog, config=CONFIG,
     ).response_time
 
 
@@ -40,7 +41,9 @@ def bushy_step_response(cardinality: int) -> float:
     names = ["A", "B", "C", "D"]
     catalog = Catalog.regular(names, cardinality)
     tree = Join(Join(Leaf("A"), Leaf("B")), Join(Leaf("C"), Leaf("D")))
-    return simulate_strategy(tree, catalog, "FP", 12, CONFIG).response_time
+    return api.run(
+        tree, "FP", 12, catalog=catalog, config=CONFIG
+    ).response_time
 
 
 def test_linear_pipeline_delay_constant_per_step(benchmark, results_dir):

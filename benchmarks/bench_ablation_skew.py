@@ -6,6 +6,10 @@ uncorrelated keys (Section 4.1).  This ablation quantifies what that
 assumption is worth: response time of every strategy under Zipf(theta)
 fragment shares, theta from 0 (the paper) to 1 (classic database skew).
 
+The grid (4 strategies × 5 thetas) is one :class:`SweepSpec` on the
+parallel runner, cached in ``.repro_cache/`` alongside the figure
+sweeps.
+
 Expected outcome: skew erodes SP's flagship advantage — perfect
 idealized balance — at least as fast as it erodes the others', because
 SP's makespan is the largest fragment of *every* join, while FP's
@@ -14,30 +18,33 @@ private processor sets contain the damage per join.
 
 import pytest
 
-from repro.core import Catalog, make_shape, paper_relation_names
-from repro.core.strategies import get_strategy
-from repro.sim import MachineConfig
-from repro.sim.run import simulate
+from repro import api
+from repro.runner import SweepSpec, run_sweep
 from repro.sim.skew import skew_factor, zipf_shares
 
-NAMES = paper_relation_names(10)
-CATALOG = Catalog.regular(NAMES, 5000)
-TREE = make_shape("wide_bushy", NAMES)
+SHAPE = "wide_bushy"
+CARDINALITY = 5000
 PROCESSORS = 40
 THETAS = (0.0, 0.25, 0.5, 0.75, 1.0)
-
-
-def response(strategy: str, theta: float) -> float:
-    schedule = get_strategy(strategy).schedule(TREE, CATALOG, PROCESSORS)
-    return simulate(
-        schedule, CATALOG, MachineConfig.paper(), skew_theta=theta
-    ).response_time
+STRATEGIES = ("SP", "SE", "RD", "FP")
 
 
 def test_ablation_skew(benchmark, results_dir):
+    spec = SweepSpec(
+        shapes=(SHAPE,),
+        strategies=STRATEGIES,
+        processors=(PROCESSORS,),
+        cardinalities=(CARDINALITY,),
+        skew_thetas=THETAS,
+    )
+    run = run_sweep(spec)
+    response = {
+        (row["strategy"], row["skew_theta"]): row["metrics"]["response_time"]
+        for row in run.rows()
+    }
     table = {
-        strategy: [response(strategy, theta) for theta in THETAS]
-        for strategy in ("SP", "SE", "RD", "FP")
+        strategy: [response[(strategy, theta)] for theta in THETAS]
+        for strategy in STRATEGIES
     }
     lines = ["theta   skew-factor  " + "  ".join(f"{s:>7}" for s in table)]
     for i, theta in enumerate(THETAS):
@@ -58,4 +65,4 @@ def test_ablation_skew(benchmark, results_dir):
     assert sp_ratio > 1.3
     assert sp_ratio > fp_ratio * 0.8
 
-    benchmark(response, "FP", 0.5)
+    benchmark(api.run, SHAPE, "FP", PROCESSORS, skew_theta=0.5)

@@ -15,9 +15,9 @@ import math
 
 import pytest
 
+from repro import api
 from repro.core import Catalog
 from repro.core.trees import Join, Leaf
-from repro.engine import simulate_strategy
 from repro.sim import MachineConfig
 
 CONFIG = MachineConfig.paper()
@@ -29,8 +29,8 @@ def optimal_processors(cardinality: int, max_processors: int = 120) -> int:
     best = None
     best_procs = None
     for processors in range(1, max_processors + 1):
-        response = simulate_strategy(
-            tree, catalog, "SP", processors, CONFIG
+        response = api.run(
+            tree, "SP", processors, catalog=catalog, config=CONFIG
         ).response_time
         if best is None or response < best:
             best = response

@@ -14,8 +14,8 @@ cost); the ordering SP > {SE, RD} > FP must hold.
 
 import pytest
 
+from repro import api
 from repro.core import Catalog, make_shape, paper_relation_names
-from repro.engine import simulate_strategy
 from repro.sim import MachineConfig
 
 NAMES = paper_relation_names(10)
@@ -31,8 +31,8 @@ def startup_sensitivity(strategy: str) -> float:
     processor SP situation, exaggerated so the asymptote is visible)."""
     base = MachineConfig.paper().scaled(process_startup=0.0)
     heavy = base.scaled(process_startup=0.3)
-    low = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, base)
-    high = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, heavy)
+    low = api.run(TREE, strategy, PROCESSORS, catalog=CATALOG, config=base)
+    high = api.run(TREE, strategy, PROCESSORS, catalog=CATALOG, config=heavy)
     return (high.response_time - low.response_time) / 0.3
 
 

@@ -13,8 +13,8 @@ sensitivity ordering SP > {SE, RD} > FP.
 
 import pytest
 
+from repro import api
 from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
-from repro.engine import simulate_strategy
 from repro.sim import MachineConfig
 
 NAMES = paper_relation_names(10)
@@ -26,8 +26,8 @@ PROCESSORS = 80
 def handshake_sensitivity(strategy: str) -> float:
     base = MachineConfig.paper().scaled(handshake=0.0)
     heavy = base.scaled(handshake=0.01)
-    low = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, base)
-    high = simulate_strategy(TREE, CATALOG, strategy, PROCESSORS, heavy)
+    low = api.run(TREE, strategy, PROCESSORS, catalog=CATALOG, config=base)
+    high = api.run(TREE, strategy, PROCESSORS, catalog=CATALOG, config=heavy)
     return (high.response_time - low.response_time) / 0.01
 
 

@@ -13,8 +13,8 @@ import statistics
 
 import pytest
 
+from repro import api
 from repro.core import Catalog, SHAPE_NAMES, make_shape, paper_relation_names
-from repro.engine import simulate_strategy
 from repro.model import predict, relative_error
 
 NAMES = paper_relation_names(10)
@@ -29,8 +29,8 @@ def grid_errors():
             for processors in (30, 80):
                 for strategy in ("SP", "SE", "RD", "FP"):
                     predicted = predict(tree, catalog, strategy, processors)
-                    simulated = simulate_strategy(
-                        tree, catalog, strategy, processors
+                    simulated = api.run(
+                        tree, strategy, processors, catalog=catalog
                     )
                     errors[(cardinality, shape, strategy, processors)] = (
                         relative_error(

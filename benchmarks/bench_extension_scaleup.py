@@ -16,10 +16,10 @@ every other strategy and keeps the flattest curve.
 
 import pytest
 
+from repro import api
 from repro.bench.runner import sweep as cached_sweep
 from repro.bench.workloads import Experiment
 from repro.core import Catalog, make_shape, paper_relation_names
-from repro.engine import simulate_strategy
 
 EXPERIMENT = Experiment("wide_bushy", 40_000, (80, 120, 160, 240, 320))
 
@@ -52,9 +52,9 @@ def test_extension_scaleup(benchmark, results_dir):
 
     names = paper_relation_names(10)
     benchmark(
-        simulate_strategy,
+        api.run,
         make_shape("wide_bushy", names),
-        Catalog.regular(names, 40_000),
         "FP",
         120,
+        catalog=Catalog.regular(names, 40_000),
     )

@@ -10,8 +10,9 @@ illustrates are asserted.
 
 import pytest
 
+from repro import api
 from repro.core import example_tree
-from repro.engine import busy_fractions, ideal_diagram, ideal_simulation
+from repro.engine import busy_fractions, ideal_diagram
 
 FIGURE_OF_STRATEGY = {"SP": 3, "SE": 4, "RD": 6, "FP": 7}
 
@@ -19,7 +20,7 @@ FIGURE_OF_STRATEGY = {"SP": 3, "SE": 4, "RD": 6, "FP": 7}
 @pytest.fixture(scope="module")
 def ideal_runs():
     return {
-        name: ideal_simulation(example_tree(), name, 10)
+        name: api.run(example_tree(), name, 10, "ideal", cardinality=1000)
         for name in FIGURE_OF_STRATEGY
     }
 
@@ -65,4 +66,4 @@ def test_figures_3_4_6_7_utilization_diagrams(benchmark, ideal_runs, results_dir
     for result in (sp, se, rd, fp):
         assert result.busy_time() == pytest.approx(13.0, rel=1e-6)
 
-    benchmark(ideal_simulation, example_tree(), "FP", 10)
+    benchmark(api.run, example_tree(), "FP", 10, "ideal", cardinality=1000)

@@ -2,29 +2,12 @@
 
 Regenerates the paper's Figure 11: response time versus number of
 processors for SP, SE, RD and FP, at both problem sizes (5K: 20-80
-processors; 40K: 30-80).  The sweep data table is written to
-``results/fig11_wide_bushy.txt``; the Section 4.4 claims about this
-figure are asserted; pytest-benchmark times the paper's best cell.
+processors; 40K: 30-80).  The ``figure_case`` fixture (conftest) runs
+the sweeps on the parallel runner, writes the data table to
+``results/fig11_wide_bushy.txt``, asserts the Section 4.4 claims
+about this figure, and times the paper's best cell.
 """
 
-from repro.bench import PAPER_FIGURE_14
-from repro.core import Catalog, make_shape, paper_relation_names
-from repro.engine import simulate_strategy
 
-SHAPE = "wide_bushy"
-
-
-def test_figure11_wide_bushy(benchmark, figure_bench, results_dir):
-    small, large, report, failures = figure_bench(SHAPE)
-    (results_dir / "fig11_wide_bushy.txt").write_text(report + "\n")
-    assert not failures, f"Section 4.4 claims failed: {failures}"
-
-    # Time the paper's winning configuration for the 5K experiment.
-    seconds, strategy, processors = PAPER_FIGURE_14[(SHAPE, "5K")]
-    names = paper_relation_names(10)
-    tree = make_shape(SHAPE, names)
-    catalog = Catalog.regular(names, 5000)
-    result = benchmark(
-        simulate_strategy, tree, catalog, strategy, processors
-    )
-    assert result.response_time > 0
+def test_figure11_wide_bushy(benchmark, figure_case):
+    figure_case("wide_bushy", benchmark)

@@ -8,9 +8,8 @@ the wide bushy tree is best overall, and the paper's winner is always
 at least competitive in our cells.
 """
 
+from repro import api
 from repro.bench import PAPER_FIGURE_14, all_sweeps, figure14_table
-from repro.core import Catalog, make_shape, paper_relation_names
-from repro.engine import simulate_strategy
 
 
 def test_figure14_best_times(benchmark, results_dir):
@@ -57,10 +56,7 @@ def test_figure14_best_times(benchmark, results_dir):
 
     # Benchmark the overall-best configuration (wide bushy, 5K).
     seconds, strategy, processors = best[("wide_bushy", "5K")]
-    names = paper_relation_names(10)
-    tree = make_shape("wide_bushy", names)
-    catalog = Catalog.regular(names, 5000)
-    result = benchmark(simulate_strategy, tree, catalog, strategy, processors)
+    result = benchmark(api.run, "wide_bushy", strategy, processors)
     assert result.response_time > 0
 
 

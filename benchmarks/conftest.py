@@ -42,3 +42,31 @@ def figure_bench():
         return small, large, report, failures
 
     return run
+
+
+@pytest.fixture(scope="session")
+def figure_case(figure_bench, results_dir):
+    """One Figure 9-13 benchmark, end to end.
+
+    Runs the shape's (5K, 40K) sweeps on the parallel runner, writes
+    the figure's data table to ``results/``, asserts the Section 4.4
+    claims, and times the paper's winning 5K cell through the
+    :func:`repro.api.run` facade.  The per-figure benchmark modules
+    reduce to one call each.
+    """
+    from repro import api
+    from repro.bench import FIGURE_OF_SHAPE, PAPER_FIGURE_14
+
+    def run(shape: str, benchmark):
+        small, large, report, failures = figure_bench(shape)
+        name = f"fig{FIGURE_OF_SHAPE[shape]:02d}_{shape}.txt"
+        write_result(results_dir, name, report)
+        assert not failures, f"Section 4.4 claims failed: {failures}"
+
+        # Time the paper's winning configuration for the 5K experiment.
+        _seconds, strategy, processors = PAPER_FIGURE_14[(shape, "5K")]
+        result = benchmark(api.run, shape, strategy, processors)
+        assert result.response_time > 0
+        return small, large
+
+    return run

@@ -140,8 +140,8 @@ def main() -> None:
     sections.append(scaling_report(scale_sweep))
     sections.append("```\n")
 
+    from repro import api
     from repro.core import Catalog, make_shape, paper_relation_names
-    from repro.engine import simulate_strategy
     from repro.model import predict, relative_error
 
     names = paper_relation_names(10)
@@ -153,7 +153,9 @@ def main() -> None:
             for strategy in ("SP", "SE", "RD", "FP"):
                 for procs in (30, 80):
                     predicted = predict(tree, catalog, strategy, procs)
-                    simulated = simulate_strategy(tree, catalog, strategy, procs)
+                    simulated = api.run(
+                        tree, strategy, procs, catalog=catalog
+                    )
                     errors.append(
                         relative_error(
                             predicted.response_time, simulated.response_time

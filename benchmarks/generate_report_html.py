@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import pathlib
 
+from repro import api
 from repro.bench import all_sweeps
 from repro.core import example_tree
-from repro.engine import ideal_simulation
 from repro.report import render_report
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -23,7 +23,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 def main() -> None:
     sweeps = all_sweeps()
     diagrams = {
-        name: ideal_simulation(example_tree(), name, 10)
+        name: api.run(example_tree(), name, 10, "ideal", cardinality=1000)
         for name in ("SP", "SE", "RD", "FP")
     }
     out = ROOT / "report.html"

@@ -1,43 +1,33 @@
 """Quickstart: plan and simulate one parallel multi-join query.
 
 Builds the paper's 10-relation Wisconsin query as a wide bushy tree,
-parallelizes it with each strategy on a 40-processor machine, and
-prints the simulated response times — one cell of the paper's
-evaluation, end to end.
+parallelizes it with each strategy on a 40-processor machine through
+the unified :func:`repro.api.run` facade, and prints the simulated
+response times — one cell of the paper's evaluation, end to end.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Catalog,
-    MachineConfig,
-    get_strategy,
-    make_shape,
-    paper_relation_names,
-    simulate_schedule,
-    strategy_names,
-)
+from repro import get_strategy, run, strategy_names
 
 
 def main() -> None:
-    names = paper_relation_names(10)
-    tree = make_shape("wide_bushy", names)
-    catalog = Catalog.regular(names, cardinality=5000)
-    config = MachineConfig.paper()
-
-    print(f"query tree : {tree}")
-    print(f"machine    : 40 processors, PRISMA/DB-calibrated constants")
+    print("query tree : the paper's wide bushy shape over R0..R9 (5K tuples)")
+    print("machine    : 40 processors, PRISMA/DB-calibrated constants")
     print()
     print(f"{'strategy':>28}  response  processes  streams")
     for name in strategy_names():
-        schedule = get_strategy(name).schedule(tree, catalog, processors=40)
-        result = simulate_schedule(schedule, catalog, config)
+        result = run("wide_bushy", name, processors=40)
         title = get_strategy(name).title
         print(
             f"{title + ' (' + name + ')':>28}  "
             f"{result.response_time:7.2f}s  "
             f"{result.operation_processes:9d}  {result.stream_count:7d}"
         )
+    print()
+    print('(same cell on the ideal machine: '
+          f'{run("wide_bushy", "FP", 40, "ideal").response_time:.2f} '
+          'work-units)')
 
 
 if __name__ == "__main__":

@@ -1,27 +1,39 @@
 """Strategy comparison across query shapes — a miniature of Figures 9-13.
 
-Sweeps processor counts for every query shape at the 5K problem size
-and prints one response-time table per shape, plus the winner per
-shape (the corresponding Figure 14 cell).
+Sweeps processor counts for every query shape at the 5K problem size on
+the parallel sweep runner (:mod:`repro.runner`) — every (strategy,
+processors) point is a separate job, fanned out over worker processes
+and memoized in ``.repro_cache/`` — and prints one response-time table
+per shape, plus the winner per shape (the corresponding Figure 14
+cell).
 
 Run:  python examples/strategy_comparison.py [cardinality]
 """
 
 import sys
 
-from repro.bench import Experiment, run_sweep
+from repro.bench import Experiment
 from repro.core import SHAPE_NAMES
-from repro.core.shapes import SHAPE_TITLES
+from repro.runner import SweepSpec, run_sweep, to_sweep_result
 
 
 def main(cardinality: int = 5000) -> None:
     processors = (20, 40, 60, 80)
     print(f"Wisconsin 10-relation query, {cardinality} tuples per relation\n")
     for shape in SHAPE_NAMES:
-        sweep = run_sweep(Experiment(shape, cardinality, processors))
+        spec = SweepSpec(
+            shapes=(shape,),
+            cardinalities=(cardinality,),
+            processors=processors,
+        )
+        run = run_sweep(spec)
+        sweep = to_sweep_result(
+            run.rows(), Experiment(shape, cardinality, processors)
+        )
         print(sweep.table())
         seconds, strategy, procs = sweep.best_cell()
         print(f"--> best: {seconds:.2f}s with {strategy} on {procs} processors")
+        print(f"    ({run.summary()})")
         print()
     print("Reading guide (Section 5 of the paper):")
     print(" * few processors   -> SP (no cost function needed)")

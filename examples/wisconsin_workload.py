@@ -10,9 +10,9 @@ the exact same bag of tuples as the sequential reference.
 Run:  python examples/wisconsin_workload.py
 """
 
-from repro import make_query_relations
-from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
-from repro.engine import execute_schedule, reference_result
+from repro import make_query_relations, run
+from repro.core import Catalog, make_shape, paper_relation_names
+from repro.engine import reference_result
 from repro.relational import skew
 
 CARDINALITY = 1000
@@ -32,8 +32,10 @@ def main() -> None:
     print(f"reference result: {reference.cardinality()} tuples\n")
 
     for name in ("SP", "SE", "RD", "FP"):
-        schedule = get_strategy(name).schedule(tree, catalog, PROCESSORS)
-        result = execute_schedule(schedule, relations)
+        result = run(
+            tree, name, PROCESSORS, "local",
+            catalog=catalog, relations=relations,
+        )
         matches = result.relation.same_bag(reference)
         worst_skew = max(
             skew(task.fragments) for task in result.tasks if task.fragments

@@ -11,17 +11,14 @@ evaluation.
 
 Quickstart::
 
-    from repro import (
-        Catalog, MachineConfig, get_strategy, make_shape,
-        paper_relation_names, simulate_schedule,
-    )
+    from repro import run
 
-    names = paper_relation_names(10)
-    tree = make_shape("wide_bushy", names)
-    catalog = Catalog.regular(names, 5000)
-    schedule = get_strategy("FP").schedule(tree, catalog, processors=40)
-    result = simulate_schedule(schedule, catalog, MachineConfig.paper())
+    result = run("wide_bushy", "FP", processors=40)
     print(result.response_time)
+
+(:func:`repro.api.run` is the unified facade over all four execution
+backends; :mod:`repro.runner` fans whole experiment grids out over
+worker processes.)
 """
 
 from .core import (
@@ -78,8 +75,10 @@ __all__ = [
     "make_wisconsin",
     "mirror",
     "paper_relation_names",
+    "run",
     "simulate_schedule",
     "strategy_names",
+    "sweep",
     "two_phase_optimize",
     "wisconsin_join_project",
     "__version__",
@@ -92,6 +91,9 @@ def __getattr__(name):
     if name in ("MachineConfig", "SimulationResult", "simulate_schedule", "execute_schedule"):
         from . import engine
         return getattr(engine, name)
+    if name in ("run", "sweep"):
+        from . import api
+        return getattr(api, name)
     if name in ("XRAPlan", "compile_schedule"):
         from . import xra
         return getattr(xra, name)

@@ -1,0 +1,204 @@
+"""The unified execution facade.
+
+Historically the reproduction grew four divergent front-ends — the
+machine simulation (:func:`repro.engine.simulate_strategy`), real
+local execution (:func:`repro.engine.execute_schedule`), the threaded
+dataflow executor (:func:`repro.engine.execute_threaded`), and the
+zero-overhead idealized runs (:func:`repro.engine.ideal_simulation`) —
+each with its own argument spelling.  :func:`run` is the single entry
+point over all four; the legacy names remain available from
+:mod:`repro.engine` as deprecated aliases.
+
+Quickstart::
+
+    from repro.api import run
+
+    result = run("wide_bushy", "FP", 40)          # simulate (default)
+    print(result.summary())
+
+    ideal = run("wide_bushy", "SP", 10, "ideal")  # Figure 3-style run
+    real = run("wide_bushy", "SE", 6, "local",    # real data, oracle-checked
+               cardinality=200)
+
+Sweeps over many points go through :func:`sweep` (the parallel runner
+of :mod:`repro.runner`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from .core.cost import Catalog, CostModel
+from .core.shapes import SHAPE_NAMES, make_shape, paper_relation_names
+from .core.strategies import Strategy, get_strategy
+from .core.trees import Join, Leaf, Node, leaves
+from .sim.machine import MachineConfig
+
+#: The execution backends :func:`run` dispatches between.
+BACKENDS = ("sim", "local", "threaded", "ideal")
+
+#: Default number of base relations when a shape name is given.
+DEFAULT_RELATIONS = 10
+
+#: Default tuples per relation (the paper's 5K experiment).
+DEFAULT_CARDINALITY = 5_000
+
+
+def run(
+    tree_or_shape: Union[str, Node],
+    strategy: Union[str, Strategy] = "FP",
+    processors: int = 40,
+    backend: str = "sim",
+    *,
+    catalog: Optional[Catalog] = None,
+    config: Optional[MachineConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    skew_theta: float = 0.0,
+    cardinality: int = DEFAULT_CARDINALITY,
+    relations=None,
+    resolve=None,
+    timeout: float = 60.0,
+):
+    """Plan ``tree_or_shape`` with ``strategy`` and execute it on one
+    of the four backends.
+
+    ``tree_or_shape``
+        A :class:`~repro.core.trees.Node` join tree, or one of the
+        paper's shape names (``"wide_bushy"``, ...) which is built over
+        ten relations.
+    ``backend``
+        ``"sim"`` — discrete-event machine simulation; returns a
+        :class:`~repro.sim.metrics.SimulationResult`.
+        ``"ideal"`` — the same simulation on the zero-overhead machine
+        (Figures 3/4/6/7); returns a ``SimulationResult``.
+        ``"local"`` — real execution on actual relations; returns an
+        :class:`~repro.engine.local.ExecutionResult`.
+        ``"threaded"`` — the concurrent dataflow executor; returns the
+        result :class:`~repro.relational.Relation`.
+    ``catalog`` / ``cardinality``
+        ``catalog`` defaults to the paper's regular catalog over the
+        tree's leaves at ``cardinality`` tuples each.
+    ``config`` / ``cost_model`` / ``skew_theta``
+        The uniform execution context of the simulating backends.  The
+        real-data backends (``local``/``threaded``) reject ``config``
+        and ``skew_theta`` — they execute, rather than model, the run.
+    ``relations``
+        Mapping of leaf name to :class:`~repro.relational.Relation`
+        for the real-data backends; generated Wisconsin data at
+        ``cardinality`` tuples when omitted.
+    ``resolve``
+        Join-semantics resolver for ``backend="threaded"`` (defaults
+        to natural-join semantics, or Wisconsin semantics when this
+        call generated the Wisconsin data itself).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    tree = _resolve_tree(tree_or_shape)
+    names = [leaf.name for leaf in leaves(tree)]
+    if catalog is None:
+        catalog = Catalog.regular(names, cardinality)
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    schedule = strategy.schedule(
+        tree, catalog, processors, cost_model or CostModel()
+    )
+
+    if backend in ("sim", "ideal"):
+        if relations is not None or resolve is not None:
+            raise ValueError(
+                f"backend {backend!r} simulates; 'relations' and "
+                f"'resolve' do not apply"
+            )
+        from .sim.run import simulate
+
+        if config is None:
+            config = (
+                MachineConfig.ideal() if backend == "ideal"
+                else MachineConfig.paper()
+            )
+        return simulate(
+            schedule, catalog, config,
+            cost_model=cost_model, skew_theta=skew_theta,
+        )
+
+    # Real-data backends: they execute rather than model, so the
+    # simulation-only knobs are rejected instead of silently ignored.
+    if config is not None:
+        raise ValueError(
+            f"backend {backend!r} runs on real data; 'config' does not apply"
+        )
+    if skew_theta != 0.0:
+        raise ValueError(
+            f"backend {backend!r} runs on real data; data skew is a "
+            f"property of the relations, not a parameter"
+        )
+    generated = relations is None
+    if generated:
+        from .relational.wisconsin import make_query_relations
+
+        relations = dict(
+            zip(names, make_query_relations(len(names), cardinality, seed=0))
+        )
+
+    if backend == "local":
+        if resolve is not None:
+            raise ValueError("'resolve' applies to backend='threaded' only")
+        from .engine.local import execute_schedule
+
+        return execute_schedule(schedule, relations)
+
+    from .engine.threaded import execute_threaded
+
+    if resolve is None:
+        if generated:
+            from .relational.query import wisconsin_resolution
+
+            resolve = wisconsin_resolution
+        else:
+            from .relational.query import natural_resolution
+
+            resolve = natural_resolution
+    return execute_threaded(
+        schedule, relations, timeout=timeout, resolve=resolve
+    )
+
+
+def sweep(spec, **options):
+    """Run a :class:`~repro.runner.SweepSpec` on the parallel runner.
+
+    Thin convenience over :func:`repro.runner.run_sweep`; accepts the
+    same keyword options (``workers``, ``cache``, ``cache_dir``,
+    ``timeout``, ``retries``, ``progress``).
+    """
+    from .runner import run_sweep
+
+    return run_sweep(spec, **options)
+
+
+def _resolve_tree(tree_or_shape: Union[str, Node]) -> Node:
+    if isinstance(tree_or_shape, (Leaf, Join)):
+        return tree_or_shape
+    if isinstance(tree_or_shape, str):
+        if tree_or_shape not in SHAPE_NAMES:
+            raise ValueError(
+                f"unknown shape {tree_or_shape!r}; expected one of "
+                f"{SHAPE_NAMES} or a Node"
+            )
+        return make_shape(
+            tree_or_shape, paper_relation_names(DEFAULT_RELATIONS)
+        )
+    raise TypeError(
+        f"tree_or_shape must be a shape name or a Node, "
+        f"got {type(tree_or_shape).__name__}"
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CARDINALITY",
+    "DEFAULT_RELATIONS",
+    "run",
+    "sweep",
+]

@@ -1,8 +1,13 @@
-"""Sweep runner with in-process caching.
+"""Figure sweeps on the parallel runner, memoized in-process.
 
 The figure benchmarks share sweeps (Figure 14 needs all of Figures
 9–13), so results are memoized per (experiment, config) within the
-process.  Use :func:`clear_cache` between calibration iterations.
+process; the actual computation is delegated to the process-parallel
+sweep runner (:mod:`repro.runner`), whose content-addressed disk cache
+(``.repro_cache/``) makes repeated benchmark runs near-instant across
+processes as well.  Use :func:`clear_cache` between calibration
+iterations (it drops the in-process memo only — the disk cache keys on
+every machine constant, so calibration's config changes never collide).
 """
 
 from __future__ import annotations
@@ -35,12 +40,25 @@ def sweep(
     config: Optional[MachineConfig] = None,
     strategies: Optional[Sequence[str]] = None,
 ) -> SweepResult:
-    """Memoized :func:`~repro.bench.workloads.run_sweep`."""
+    """One experiment's sweep, computed on the parallel runner."""
     if config is None:
         config = MachineConfig.paper()
     key = _key(experiment, config, strategies)
     if key not in _CACHE:
-        _CACHE[key] = run_sweep(experiment, strategies, config)
+        # Imported lazily: repro.runner reaches back into repro.bench
+        # for the SweepResult bridge.
+        from ..core.strategies import strategy_names
+        from ..runner import SweepSpec, run_sweep as run_spec, to_sweep_result
+
+        spec = SweepSpec(
+            shapes=(experiment.shape,),
+            strategies=tuple(strategies) if strategies else tuple(strategy_names()),
+            processors=tuple(experiment.processor_counts),
+            cardinalities=(experiment.cardinality,),
+            configs=(config,),
+        )
+        run = run_spec(spec)
+        _CACHE[key] = to_sweep_result(run.rows(), experiment)
     return _CACHE[key]
 
 

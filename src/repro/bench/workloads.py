@@ -142,13 +142,17 @@ def run_sweep(
     experiment: Experiment,
     strategies: Optional[Sequence[str]] = None,
     config: Optional[MachineConfig] = None,
-    cost_model: CostModel = CostModel(),
+    cost_model: Optional[CostModel] = None,
 ) -> SweepResult:
-    """Run one experiment: all strategies over its processor counts."""
+    """Run one experiment serially, in-process: all strategies over its
+    processor counts.  The parallel, disk-cached counterpart is
+    :func:`repro.bench.runner.sweep` / :func:`repro.runner.run_sweep`."""
     if strategies is None:
         strategies = strategy_names()
     if config is None:
         config = MachineConfig.paper()
+    if cost_model is None:
+        cost_model = CostModel()
     tree = experiment.tree()
     catalog = experiment.catalog()
     series: Dict[str, Series] = {}
@@ -157,7 +161,7 @@ def run_sweep(
         times = []
         for processors in experiment.processor_counts:
             schedule = strategy.schedule(tree, catalog, processors, cost_model)
-            result = simulate(schedule, catalog, config, cost_model)
+            result = simulate(schedule, catalog, config, cost_model=cost_model)
             times.append(result.response_time)
         series[name] = Series(name, experiment.processor_counts, tuple(times))
     return SweepResult(experiment, series)

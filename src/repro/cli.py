@@ -16,6 +16,7 @@ Every major capability of the reproduction behind one entry point::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -85,14 +86,46 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .bench import Experiment, evaluate_claims, run_sweep
+    from .bench import Experiment, evaluate_claims
     from .bench.plot import ascii_plot
+    from .runner import SweepSpec, run_sweep, to_sweep_result
 
     processors = tuple(
         range(args.min_processors, args.processors + 1, args.step)
     )
+    spec = SweepSpec(
+        shapes=(args.shape,),
+        cardinalities=(args.cardinality,),
+        processors=processors,
+        skew_thetas=(args.skew,),
+    )
+
+    def progress(outcome, done, total):
+        if args.quiet:
+            return
+        source = outcome.source
+        timing = "" if source == "cache" else f" {outcome.elapsed:.2f}s"
+        print(
+            f"  [{done}/{total}] {outcome.job.label()} ({source}{timing})",
+            file=sys.stderr,
+        )
+
+    run = run_sweep(
+        spec,
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    jsonl_path = args.jsonl
+    if jsonl_path is None:
+        base = run.cache_dir if run.cache_dir is not None else pathlib.Path(".")
+        jsonl_path = base / f"sweep_{args.shape}_{args.cardinality}.jsonl"
+    run.write_jsonl(jsonl_path)
+
     experiment = Experiment(args.shape, args.cardinality, processors)
-    sweep = run_sweep(experiment)
+    sweep = to_sweep_result(run.rows(), experiment)
     print(sweep.table())
     print()
     print(ascii_plot(sweep, width=args.width))
@@ -101,6 +134,8 @@ def _cmd_sweep(args) -> int:
     if args.claims:
         for outcome in evaluate_claims(sweep):
             print(outcome.line())
+    print(f"runner: {run.summary()}")
+    print(f"results: {jsonl_path}")
     return 0
 
 
@@ -177,11 +212,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="one figure: all strategies × processors")
     _add_common(p, strategy=False)
+    # The paper's 5K sweeps run to 80 processors; "--processors" is the
+    # sweep's upper end here, not a single machine size.
+    p.set_defaults(processors=80)
     p.add_argument("--min-processors", type=int, default=20)
     p.add_argument("--step", type=int, default=10)
+    p.add_argument("--skew", type=float, default=0.0,
+                   help="Zipf partitioning skew for every point")
     p.add_argument("--claims", action="store_true",
                    help="also check the Section 4.4 claims")
     p.add_argument("--width", type=int, default=64)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: fan out over the CPUs)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every point, bypassing .repro_cache/")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: .repro_cache/ "
+                        "or $REPRO_CACHE_DIR)")
+    p.add_argument("--jsonl", default=None,
+                   help="JSONL results path (default: inside the cache dir)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-job timeout in seconds")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress on stderr")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("diagram", help="idealized Figure 3/4/6/7 diagram")

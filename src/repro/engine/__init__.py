@@ -1,19 +1,61 @@
-"""Execution engines: real local execution and machine simulation."""
+"""Execution engines: real local execution and machine simulation.
+
+The four historical front-ends — :func:`simulate_strategy`,
+:func:`execute_schedule`, :func:`execute_threaded` and
+:func:`ideal_simulation` — are still re-exported here for
+compatibility, but as *deprecated aliases*: new code should call the
+unified facade :func:`repro.api.run` (which dispatches between the
+same engines through one signature).  The undecorated implementations
+remain importable from their submodules
+(e.g. :func:`repro.engine.simulate.simulate_strategy`).
+"""
+
+import functools
+import warnings
 
 from ..sim.machine import MachineConfig
 from ..sim.metrics import SimulationResult
-from .ideal import ideal_diagram, ideal_simulation, label_map_for
+from .ideal import ideal_diagram, label_map_for
+from .ideal import ideal_simulation as _ideal_simulation
 from .local import (
     ExecutionResult,
     TaskExecution,
-    execute_schedule,
     reference_result,
 )
+from .local import execute_schedule as _execute_schedule
 from .natural import execute_natural_schedule, natural_reference
-from .simulate import simulate_schedule, simulate_strategy
-from .threaded import ThreadedExecutor, execute_threaded
+from .simulate import simulate_schedule
+from .simulate import simulate_strategy as _simulate_strategy
+from .threaded import ThreadedExecutor
+from .threaded import execute_threaded as _execute_threaded
 from .trace import critical_path, spans_of, task_marks, to_json
 from .utilization import busy_fractions, utilization_diagram
+
+
+def _deprecated_front_end(func):
+    """Alias a legacy front-end, steering callers to repro.api.run."""
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"repro.engine.{func.__name__} is deprecated; use "
+            f"repro.api.run(..., backend=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    wrapper.__doc__ = (
+        f"Deprecated alias of :func:`{func.__module__}.{func.__name__}`; "
+        f"use :func:`repro.api.run`.\n\n{func.__doc__ or ''}"
+    )
+    return wrapper
+
+
+simulate_strategy = _deprecated_front_end(_simulate_strategy)
+execute_schedule = _deprecated_front_end(_execute_schedule)
+execute_threaded = _deprecated_front_end(_execute_threaded)
+ideal_simulation = _deprecated_front_end(_ideal_simulation)
 
 __all__ = [
     "ExecutionResult",

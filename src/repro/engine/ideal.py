@@ -29,25 +29,36 @@ def ideal_simulation(
     processors: int,
     leaf_cardinality: int = 1000,
     batches: int = 64,
+    *,
+    config: Optional[MachineConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    skew_theta: float = 0.0,
 ) -> SimulationResult:
     """Zero-overhead run of ``strategy`` on ``tree``.
 
     ``leaf_cardinality`` only sets the fluid flow granularity; with the
     ideal machine config the response time is in units of work (a join
     labelled ``work=5`` occupies five work-units of processor time in
-    total).
+    total).  ``config`` overrides the zero-overhead machine (for
+    what-if diagrams); ``cost_model`` and ``skew_theta`` thread through
+    exactly as in every other engine front-end.
     """
     if isinstance(strategy, str):
         strategy = get_strategy(strategy)
     names = [leaf.name for leaf in _leaves(tree)]
     catalog = Catalog.regular(names, leaf_cardinality)
-    schedule = strategy.schedule(tree, catalog, processors)
+    schedule = strategy.schedule(
+        tree, catalog, processors, cost_model or CostModel()
+    )
     # With the ideal config, a join carrying an explicit ``work``
     # label occupies exactly that many machine-seconds of CPU in
     # total (the work_scale mechanism of the simulator), so the
     # diagram's time axis is in the figure's relative work units.
-    config = MachineConfig.ideal(batches=batches)
-    return simulate(schedule, catalog, config)
+    if config is None:
+        config = MachineConfig.ideal(batches=batches)
+    return simulate(
+        schedule, catalog, config, cost_model=cost_model, skew_theta=skew_theta
+    )
 
 
 def label_map_for(tree: Node) -> Dict[str, str]:

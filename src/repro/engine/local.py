@@ -64,6 +64,7 @@ class ExecutionResult:
 def execute_schedule(
     schedule: ParallelSchedule,
     relations: Mapping[str, Relation],
+    *,
     key: str = "unique1",
 ) -> ExecutionResult:
     """Execute ``schedule`` on real relations; returns all task results.

@@ -1,4 +1,11 @@
-"""Friendly front-ends over the machine simulation."""
+"""Friendly front-ends over the machine simulation.
+
+Both entry points take the full, uniform execution-context keyword set
+(``config``, ``cost_model``, ``skew_theta``) — keyword-only, with the
+same defaults as every other engine front-end, so callers can switch
+between front-ends (or to :func:`repro.api.run`) without re-spelling
+arguments.
+"""
 
 from __future__ import annotations
 
@@ -16,11 +23,15 @@ from ..sim.run import simulate
 def simulate_schedule(
     schedule: ParallelSchedule,
     catalog: Catalog,
+    *,
     config: Optional[MachineConfig] = None,
-    cost_model: CostModel = CostModel(),
+    cost_model: Optional[CostModel] = None,
+    skew_theta: float = 0.0,
 ) -> SimulationResult:
     """Run one schedule on the simulated machine."""
-    return simulate(schedule, catalog, config, cost_model)
+    return simulate(
+        schedule, catalog, config, cost_model=cost_model, skew_theta=skew_theta
+    )
 
 
 def simulate_strategy(
@@ -28,13 +39,19 @@ def simulate_strategy(
     catalog: Catalog,
     strategy: Union[str, Strategy],
     processors: int,
+    *,
     config: Optional[MachineConfig] = None,
-    cost_model: CostModel = CostModel(),
+    cost_model: Optional[CostModel] = None,
+    skew_theta: float = 0.0,
 ) -> SimulationResult:
     """Plan ``tree`` with ``strategy`` and simulate it in one call —
     the paper's basic experimental step (strategy × tree × processors
     → response time)."""
     if isinstance(strategy, str):
         strategy = get_strategy(strategy)
-    schedule = strategy.schedule(tree, catalog, processors, cost_model)
-    return simulate(schedule, catalog, config, cost_model)
+    schedule = strategy.schedule(
+        tree, catalog, processors, cost_model or CostModel()
+    )
+    return simulate(
+        schedule, catalog, config, cost_model=cost_model, skew_theta=skew_theta
+    )

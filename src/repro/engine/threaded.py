@@ -297,6 +297,7 @@ class ThreadedExecutor:
 def execute_threaded(
     schedule: ParallelSchedule,
     relations: Mapping[str, Relation],
+    *,
     timeout: float = 60.0,
     resolve=natural_resolution,
 ) -> Relation:

@@ -80,7 +80,7 @@ def one_phase_optimize(
                 )
             except ValueError:
                 continue
-            result = simulate(schedule, catalog, config, cost_model)
+            result = simulate(schedule, catalog, config, cost_model=cost_model)
             tried += 1
             times.append(result.response_time)
             if best is None or result.response_time < best.response_time:

@@ -96,7 +96,7 @@ def two_phase_optimize(
         schedule = get_strategy(name).schedule(
             entry.tree, catalog, processors, cost_model
         )
-        result = simulate(schedule, catalog, config, cost_model)
+        result = simulate(schedule, catalog, config, cost_model=cost_model)
         results[name] = result.response_time
         if best_result is None or result.response_time < best_result.response_time:
             best_name = name

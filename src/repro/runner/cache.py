@@ -1,0 +1,88 @@
+"""Content-addressed on-disk result cache.
+
+Each finished job's result row is stored as one small JSON file under
+``.repro_cache/`` (or ``$REPRO_CACHE_DIR``), named by the sha256 of
+the job's complete configuration (:meth:`repro.runner.spec.Job.key`).
+Repeated benchmark runs therefore cost one file read per point, and
+changing *any* parameter — a machine constant, a cost-model
+coefficient, the skew — changes the key and forces recomputation.
+
+Writes are atomic (temp file + rename), so concurrent sweeps sharing a
+cache directory never observe torn entries; a corrupt or unreadable
+entry is treated as a miss and silently recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache/`` in the cwd."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Keyed JSON blobs on disk, fanned into 256 subdirectories."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached row for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                row = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return row if isinstance(row, dict) else None
+
+    def put(self, key: str, row: Dict) -> None:
+        """Store ``row`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(row, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

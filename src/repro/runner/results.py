@@ -1,0 +1,165 @@
+"""Result rows, JSONL emission, and bridges back to the bench types.
+
+A *row* is the deterministic, JSON-able record of one finished job:
+the job's full configuration plus the simulation metrics.  Rows
+deliberately exclude anything nondeterministic (wall-clock timing,
+worker pids) so that a sweep's JSONL output is byte-identical no
+matter how many workers ran it or how many points came from the cache;
+the per-job timing lives next door on :class:`JobOutcome`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Dict, Iterable, List, Optional, Union
+
+from .spec import Job
+
+
+def jsonl_line(row: Dict) -> str:
+    """Canonical single-line JSON for one row (sorted keys)."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(path: Union[str, Path], rows: Iterable[Dict]) -> Path:
+    """Write ``rows`` as JSON Lines; returns the path written."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(jsonl_line(row))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Read back a JSONL result file."""
+    out: List[Dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's result plus how it was obtained.
+
+    ``source`` is ``"cache"`` (disk hit), ``"pool"`` (worker process),
+    or ``"serial"`` (in-process, including the retry fallback).
+    ``elapsed`` is the job's own compute seconds (0 for cache hits) and
+    ``pid`` the process that computed it — diagnostics only, never part
+    of the emitted row.
+    """
+
+    job: Job
+    row: Dict
+    source: str
+    elapsed: float = 0.0
+    pid: int = 0
+    attempts: int = 0
+
+
+@dataclass
+class SweepRun:
+    """Everything one executed sweep produced, in job order."""
+
+    jobs: List[Job]
+    outcomes: List[JobOutcome]
+    workers: int
+    elapsed: float
+    cache_dir: Optional[Path] = None
+
+    def rows(self) -> List[Dict]:
+        """Deterministic result rows, one per job, in job order."""
+        return [outcome.row for outcome in self.outcomes]
+
+    def jsonl(self) -> str:
+        return "".join(jsonl_line(row) + "\n" for row in self.rows())
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        return write_jsonl(path, self.rows())
+
+    # -- timing / provenance ---------------------------------------------
+
+    def cached_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.source == "cache")
+
+    def computed_count(self) -> int:
+        return len(self.outcomes) - self.cached_count()
+
+    def worker_pids(self) -> List[int]:
+        """Distinct worker-process pids that computed pool jobs."""
+        return sorted({o.pid for o in self.outcomes if o.source == "pool"})
+
+    def compute_seconds(self) -> float:
+        """Total per-job compute time (sum over jobs, not wall clock)."""
+        return sum(o.elapsed for o in self.outcomes)
+
+    def slowest(self, count: int = 3) -> List[JobOutcome]:
+        """The ``count`` slowest computed jobs."""
+        computed = [o for o in self.outcomes if o.source != "cache"]
+        return sorted(computed, key=lambda o: -o.elapsed)[:count]
+
+    def summary(self) -> str:
+        """One-line human summary of the run."""
+        pids = self.worker_pids()
+        parts = [
+            f"{len(self.jobs)} jobs",
+            f"{self.cached_count()} cached",
+            f"{self.computed_count()} computed",
+        ]
+        if pids:
+            parts.append(f"{len(pids)} worker processes")
+        parts.append(f"{self.elapsed:.2f}s wall")
+        if self.computed_count():
+            parts.append(f"{self.compute_seconds():.2f}s cpu")
+        return ", ".join(parts)
+
+
+def to_sweep_result(rows: Iterable[Dict], experiment=None):
+    """Regroup runner rows into a :class:`repro.bench.SweepResult`.
+
+    The rows must form one rectangular sweep — a single (shape,
+    cardinality, config, skew) over strategies × processors — which is
+    what a one-shape :class:`~repro.runner.spec.SweepSpec` expands to.
+    """
+    # Imported lazily: repro.bench imports repro.runner for its
+    # parallel sweep, so a module-level import here would be circular.
+    from ..bench.workloads import Experiment, Series, SweepResult
+
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot build a SweepResult from zero rows")
+    by_strategy: Dict[str, List[Dict]] = {}
+    for row in rows:
+        by_strategy.setdefault(row["strategy"], []).append(row)
+    processor_counts = tuple(
+        row["processors"] for row in next(iter(by_strategy.values()))
+    )
+    for strategy, group in by_strategy.items():
+        got = tuple(row["processors"] for row in group)
+        if got != processor_counts:
+            raise ValueError(
+                f"ragged sweep: strategy {strategy} covers processors "
+                f"{got}, expected {processor_counts}"
+            )
+    if experiment is None:
+        first = rows[0]
+        experiment = Experiment(
+            first["shape"], first["cardinality"], processor_counts
+        )
+    series = {
+        strategy: Series(
+            strategy,
+            processor_counts,
+            tuple(row["metrics"]["response_time"] for row in group),
+        )
+        for strategy, group in by_strategy.items()
+    }
+    return SweepResult(experiment, series)

@@ -51,7 +51,7 @@ class ScheduleSimulation:
         schedule: ParallelSchedule,
         catalog: Catalog,
         config: Optional[MachineConfig] = None,
-        cost_model: CostModel = CostModel(),
+        cost_model: Optional[CostModel] = None,
         skew_theta: float = 0.0,
     ):
         """``skew_theta`` relaxes the paper's non-skew assumption: the
@@ -60,6 +60,8 @@ class ScheduleSimulation:
         self.schedule = schedule
         self.catalog = catalog
         self.config = config or MachineConfig.paper()
+        if cost_model is None:
+            cost_model = CostModel()
         self.cost_model = cost_model
         self.skew_theta = skew_theta
         self.clock = SimulationClock()
@@ -275,7 +277,8 @@ def simulate(
     schedule: ParallelSchedule,
     catalog: Catalog,
     config: Optional[MachineConfig] = None,
-    cost_model: CostModel = CostModel(),
+    *,
+    cost_model: Optional[CostModel] = None,
     skew_theta: float = 0.0,
 ) -> SimulationResult:
     """Build and run a :class:`ScheduleSimulation` in one call."""

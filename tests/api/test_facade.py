@@ -1,0 +1,190 @@
+"""The unified repro.api.run facade: golden equivalence with the four
+legacy front-ends, backend dispatch, and argument policing."""
+
+import pytest
+
+from repro import api
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.core.shapes import example_tree
+from repro.engine.ideal import ideal_simulation
+from repro.engine.local import execute_schedule
+from repro.engine.simulate import simulate_strategy
+from repro.engine.threaded import execute_threaded
+from repro.relational.query import wisconsin_resolution
+from repro.sim import MachineConfig
+
+NAMES10 = paper_relation_names(10)
+
+
+class TestGoldenEquivalence:
+    """run() must reproduce each legacy front-end byte for byte."""
+
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    def test_sim_matches_simulate_strategy(self, strategy, fast_config):
+        tree = make_shape("wide_bushy", NAMES10)
+        catalog = Catalog.regular(NAMES10, 2000)
+        legacy = simulate_strategy(
+            tree, catalog, strategy, 20, config=fast_config
+        )
+        facade = api.run(
+            tree, strategy, 20, catalog=catalog, config=fast_config
+        )
+        assert facade.summary() == legacy.summary()
+        assert facade.response_time == legacy.response_time
+        assert facade.events == legacy.events
+
+    def test_sim_shape_name_builds_paper_defaults(self, fast_config):
+        """A shape name means: ten relations, 5K regular catalog."""
+        tree = make_shape("left_linear", NAMES10)
+        catalog = Catalog.regular(NAMES10, 5000)
+        legacy = simulate_strategy(tree, catalog, "SE", 30, config=fast_config)
+        facade = api.run("left_linear", "SE", 30, config=fast_config)
+        assert facade.summary() == legacy.summary()
+
+    def test_sim_skew_threads_through(self, fast_config):
+        tree = make_shape("wide_bushy", NAMES10)
+        catalog = Catalog.regular(NAMES10, 2000)
+        legacy = simulate_strategy(
+            tree, catalog, "SP", 20, config=fast_config, skew_theta=0.7
+        )
+        facade = api.run(
+            tree, "SP", 20, catalog=catalog, config=fast_config,
+            skew_theta=0.7,
+        )
+        assert facade.summary() == legacy.summary()
+        assert facade.response_time > api.run(
+            tree, "SP", 20, catalog=catalog, config=fast_config
+        ).response_time
+
+    def test_ideal_matches_ideal_simulation(self):
+        legacy = ideal_simulation(example_tree(), "FP", 10)
+        facade = api.run(example_tree(), "FP", 10, "ideal", cardinality=1000)
+        assert facade.summary() == legacy.summary()
+        assert facade.config == MachineConfig.ideal()
+
+    def test_local_matches_execute_schedule(self, relations6, catalog6, names6):
+        tree = make_shape("wide_bushy", names6)
+        schedule = get_strategy("SE").schedule(tree, catalog6, 6)
+        legacy = execute_schedule(schedule, relations6)
+        facade = api.run(
+            tree, "SE", 6, "local", catalog=catalog6, relations=relations6
+        )
+        assert facade.relation.same_bag(legacy.relation)
+        assert len(facade.tasks) == len(legacy.tasks)
+
+    def test_threaded_matches_execute_threaded(
+        self, relations6, catalog6, names6
+    ):
+        tree = make_shape("right_bushy", names6)
+        schedule = get_strategy("RD").schedule(tree, catalog6, 5)
+        legacy = execute_threaded(
+            schedule, relations6, timeout=30, resolve=wisconsin_resolution
+        )
+        facade = api.run(
+            tree, "RD", 5, "threaded", catalog=catalog6,
+            relations=relations6, resolve=wisconsin_resolution, timeout=30,
+        )
+        assert facade.same_bag(legacy)
+
+    def test_strategy_instance_accepted(self, fast_config):
+        from repro.core.strategies import FullParallel
+
+        by_name = api.run("wide_bushy", "FP", 20, config=fast_config)
+        by_instance = api.run(
+            "wide_bushy", FullParallel(), 20, config=fast_config
+        )
+        assert by_instance.summary() == by_name.summary()
+
+
+class TestBackendDefaults:
+    def test_sim_default_config_is_paper(self):
+        result = api.run("left_linear", "SP", 20)
+        assert result.config == MachineConfig.paper()
+
+    def test_local_generates_wisconsin_data(self):
+        result = api.run("wide_bushy", "SE", 4, "local", cardinality=100)
+        # Decorrelated Wisconsin joins keep the base cardinality.
+        assert len(result.relation) == 100
+
+    def test_threaded_generated_data_uses_wisconsin_semantics(self):
+        result = api.run("left_linear", "SP", 4, "threaded", cardinality=100)
+        assert len(result) == 100
+
+
+class TestArgumentPolicing:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.run("wide_bushy", "FP", 40, "quantum")
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            api.run("narrow_bushy", "FP", 40)
+
+    def test_tree_type_checked(self):
+        with pytest.raises(TypeError, match="shape name or a Node"):
+            api.run(42, "FP", 40)
+
+    def test_sim_rejects_relations(self, relations6):
+        with pytest.raises(ValueError, match="simulates"):
+            api.run("wide_bushy", "FP", 40, relations=relations6)
+
+    def test_local_rejects_config(self, fast_config):
+        with pytest.raises(ValueError, match="real data"):
+            api.run(
+                "wide_bushy", "SE", 4, "local",
+                cardinality=100, config=fast_config,
+            )
+
+    def test_local_rejects_skew(self):
+        with pytest.raises(ValueError, match="skew"):
+            api.run(
+                "wide_bushy", "SE", 4, "local",
+                cardinality=100, skew_theta=0.5,
+            )
+
+    def test_local_rejects_resolve(self):
+        with pytest.raises(ValueError, match="threaded"):
+            api.run(
+                "wide_bushy", "SE", 4, "local",
+                cardinality=100, resolve=wisconsin_resolution,
+            )
+
+
+class TestDeprecatedAliases:
+    """The old repro.engine names still work, but say so."""
+
+    def test_simulate_strategy_warns(self, fast_config):
+        import repro.engine as engine
+
+        tree = make_shape("wide_bushy", NAMES10)
+        catalog = Catalog.regular(NAMES10, 2000)
+        with pytest.warns(DeprecationWarning, match="repro.api.run"):
+            legacy = engine.simulate_strategy(
+                tree, catalog, "SE", 20, config=fast_config
+            )
+        assert legacy.summary() == api.run(
+            tree, "SE", 20, catalog=catalog, config=fast_config
+        ).summary()
+
+    def test_ideal_simulation_warns(self):
+        import repro.engine as engine
+
+        with pytest.warns(DeprecationWarning, match="repro.api.run"):
+            engine.ideal_simulation(example_tree(), "SP", 10)
+
+    def test_undecorated_implementations_do_not_warn(self, recwarn):
+        simulate_strategy(
+            make_shape("left_linear", NAMES10),
+            Catalog.regular(NAMES10, 1000),
+            "SP",
+            10,
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_top_level_run_is_the_facade(self):
+        import repro
+
+        assert repro.run is api.run
+        assert repro.sweep is api.sweep

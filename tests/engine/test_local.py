@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import SHAPE_NAMES, get_strategy, make_shape
-from repro.engine import execute_schedule, reference_result
+from repro.engine.local import execute_schedule, reference_result
 from repro.relational import Relation, skew
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
-from repro.engine import simulate_schedule, simulate_strategy
+from repro.engine.simulate import simulate_schedule, simulate_strategy
 from repro.sim import MachineConfig
 
 NAMES = paper_relation_names(10)
@@ -13,7 +13,7 @@ CATALOG = Catalog.regular(NAMES, 2000)
 class TestFrontEnds:
     def test_simulate_strategy_by_name(self, fast_config):
         result = simulate_strategy(
-            make_shape("wide_bushy", NAMES), CATALOG, "SE", 20, fast_config
+            make_shape("wide_bushy", NAMES), CATALOG, "SE", 20, config=fast_config
         )
         assert result.strategy == "SE"
         assert result.processors == 20
@@ -23,7 +23,7 @@ class TestFrontEnds:
 
         result = simulate_strategy(
             make_shape("left_linear", NAMES), CATALOG, SequentialParallel(), 20,
-            fast_config,
+            config=fast_config,
         )
         assert result.strategy == "SP"
 
@@ -31,7 +31,7 @@ class TestFrontEnds:
         schedule = get_strategy("FP").schedule(
             make_shape("right_bushy", NAMES), CATALOG, 20
         )
-        result = simulate_schedule(schedule, CATALOG, fast_config)
+        result = simulate_schedule(schedule, CATALOG, config=fast_config)
         assert result.response_time > 0
 
     def test_default_config_is_paper(self):
@@ -47,10 +47,10 @@ class TestPaperPhenomena:
     def test_startup_hurts_sp_more_than_fp(self, fast_config):
         heavy_startup = fast_config.scaled(process_startup=0.1)
         tree = make_shape("wide_bushy", NAMES)
-        sp_light = simulate_strategy(tree, CATALOG, "SP", 40, fast_config)
-        sp_heavy = simulate_strategy(tree, CATALOG, "SP", 40, heavy_startup)
-        fp_light = simulate_strategy(tree, CATALOG, "FP", 40, fast_config)
-        fp_heavy = simulate_strategy(tree, CATALOG, "FP", 40, heavy_startup)
+        sp_light = simulate_strategy(tree, CATALOG, "SP", 40, config=fast_config)
+        sp_heavy = simulate_strategy(tree, CATALOG, "SP", 40, config=heavy_startup)
+        fp_light = simulate_strategy(tree, CATALOG, "FP", 40, config=fast_config)
+        fp_heavy = simulate_strategy(tree, CATALOG, "FP", 40, config=heavy_startup)
         sp_delta = sp_heavy.response_time - sp_light.response_time
         fp_delta = fp_heavy.response_time - fp_light.response_time
         # SP starts 9x the processes, so it pays ~9x the extra startup.
@@ -60,12 +60,12 @@ class TestPaperPhenomena:
         heavy_hs = fast_config.scaled(handshake=0.1)
         tree = make_shape("wide_bushy", NAMES)
         sp_delta = (
-            simulate_strategy(tree, CATALOG, "SP", 40, heavy_hs).response_time
-            - simulate_strategy(tree, CATALOG, "SP", 40, fast_config).response_time
+            simulate_strategy(tree, CATALOG, "SP", 40, config=heavy_hs).response_time
+            - simulate_strategy(tree, CATALOG, "SP", 40, config=fast_config).response_time
         )
         fp_delta = (
-            simulate_strategy(tree, CATALOG, "FP", 40, heavy_hs).response_time
-            - simulate_strategy(tree, CATALOG, "FP", 40, fast_config).response_time
+            simulate_strategy(tree, CATALOG, "FP", 40, config=heavy_hs).response_time
+            - simulate_strategy(tree, CATALOG, "FP", 40, config=fast_config).response_time
         )
         assert sp_delta > 3 * fp_delta
 
@@ -75,17 +75,17 @@ class TestPaperPhenomena:
         slow_net = fast_config.scaled(network_latency=0.8)
         tree = make_shape("right_linear", NAMES)
         fp_delta = (
-            simulate_strategy(tree, CATALOG, "FP", 40, slow_net).response_time
-            - simulate_strategy(tree, CATALOG, "FP", 40, fast_config).response_time
+            simulate_strategy(tree, CATALOG, "FP", 40, config=slow_net).response_time
+            - simulate_strategy(tree, CATALOG, "FP", 40, config=fast_config).response_time
         )
         sp_delta = (
-            simulate_strategy(tree, CATALOG, "SP", 40, slow_net).response_time
-            - simulate_strategy(tree, CATALOG, "SP", 40, fast_config).response_time
+            simulate_strategy(tree, CATALOG, "SP", 40, config=slow_net).response_time
+            - simulate_strategy(tree, CATALOG, "SP", 40, config=fast_config).response_time
         )
         assert fp_delta > sp_delta
 
     def test_fp_beats_sp_at_high_parallelism(self, fast_config):
         tree = make_shape("wide_bushy", NAMES)
-        fp = simulate_strategy(tree, CATALOG, "FP", 80, fast_config)
-        sp = simulate_strategy(tree, CATALOG, "SP", 80, fast_config)
+        fp = simulate_strategy(tree, CATALOG, "FP", 80, config=fast_config)
+        sp = simulate_strategy(tree, CATALOG, "SP", 80, config=fast_config)
         assert fp.response_time < sp.response_time

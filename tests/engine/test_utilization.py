@@ -6,10 +6,10 @@ from repro.core import Catalog, example_tree, get_strategy
 from repro.engine import (
     busy_fractions,
     ideal_diagram,
-    ideal_simulation,
     label_map_for,
     utilization_diagram,
 )
+from repro.engine.ideal import ideal_simulation
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,7 @@ from repro.core import (
     make_shape,
     paper_relation_names,
 )
-from repro.engine import simulate_strategy
+from repro.engine.simulate import simulate_strategy
 from repro.model import Prediction, predict, predict_schedule, relative_error
 from repro.sim import MachineConfig
 
@@ -22,8 +22,8 @@ class TestAgreementWithSimulator:
     @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
     def test_within_tolerance_at_40(self, shape, strategy, fast_config):
         tree = make_shape(shape, NAMES)
-        predicted = predict(tree, CATALOG, strategy, 40, fast_config)
-        simulated = simulate_strategy(tree, CATALOG, strategy, 40, fast_config)
+        predicted = predict(tree, CATALOG, strategy, 40, config=fast_config)
+        simulated = simulate_strategy(tree, CATALOG, strategy, 40, config=fast_config)
         assert relative_error(
             predicted.response_time, simulated.response_time
         ) < 0.30
@@ -32,8 +32,8 @@ class TestAgreementWithSimulator:
         """SP's phase structure has no pipelining, so the model should
         be very close."""
         tree = make_shape("left_linear", NAMES)
-        predicted = predict(tree, CATALOG, "SP", 30, fast_config)
-        simulated = simulate_strategy(tree, CATALOG, "SP", 30, fast_config)
+        predicted = predict(tree, CATALOG, "SP", 30, config=fast_config)
+        simulated = simulate_strategy(tree, CATALOG, "SP", 30, config=fast_config)
         assert relative_error(
             predicted.response_time, simulated.response_time
         ) < 0.05
@@ -102,8 +102,8 @@ class TestModelBehaviours:
         later than capacity alone would suggest."""
         tree = make_shape("left_bushy", NAMES)
         config = MachineConfig.paper()
-        prediction = predict(tree, CATALOG, "FP", 40, config)
-        simulated = simulate_strategy(tree, CATALOG, "FP", 40, config)
+        prediction = predict(tree, CATALOG, "FP", 40, config=config)
+        simulated = simulate_strategy(tree, CATALOG, "FP", 40, config=config)
         assert relative_error(
             prediction.response_time, simulated.response_time
         ) < 0.30

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bench import Experiment, run_sweep
 from repro.core import example_tree
-from repro.engine import ideal_simulation
+from repro.engine.ideal import ideal_simulation
 from repro.report import (
     claims_html,
     figure14_html,

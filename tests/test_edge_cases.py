@@ -16,7 +16,8 @@ from repro.core import (
     make_shape,
     paper_relation_names,
 )
-from repro.engine import execute_schedule, reference_result, simulate_strategy
+from repro.engine.local import execute_schedule, reference_result
+from repro.engine.simulate import simulate_strategy
 from repro.relational import Relation, WISCONSIN_SCHEMA, make_wisconsin
 from repro.sim import MachineConfig
 from repro.sim.run import simulate
@@ -28,7 +29,7 @@ class TestEmptyData:
         catalog = Catalog.regular(names, 0)
         tree = make_shape("wide_bushy", names)
         for strategy in ("SP", "SE", "RD", "FP"):
-            result = simulate_strategy(tree, catalog, strategy, 6, fast_config)
+            result = simulate_strategy(tree, catalog, strategy, 6, config=fast_config)
             assert result.result_tuples == 0.0
             assert result.response_time >= 0.0
 
@@ -59,7 +60,7 @@ class TestEmptyData:
         names = paper_relation_names(4)
         catalog = Catalog.regular(names, 1)
         tree = make_shape("right_bushy", names)
-        result = simulate_strategy(tree, catalog, "FP", 4, fast_config)
+        result = simulate_strategy(tree, catalog, "FP", 4, config=fast_config)
         assert result.result_tuples == pytest.approx(1.0)
 
 
@@ -72,7 +73,7 @@ class TestDegenerateMachines:
             network_latency=0.0, batches=1,
         )
         tree = make_shape("wide_bushy", names)
-        result = simulate_strategy(tree, catalog, "FP", 4, config)
+        result = simulate_strategy(tree, catalog, "FP", 4, config=config)
         assert result.result_tuples == pytest.approx(100.0, rel=1e-6)
 
     def test_zero_tuple_unit(self):
@@ -84,7 +85,7 @@ class TestDegenerateMachines:
             network_latency=0.0, batches=4,
         )
         tree = make_shape("left_linear", names)
-        result = simulate_strategy(tree, catalog, "SP", 2, config)
+        result = simulate_strategy(tree, catalog, "SP", 2, config=config)
         # 3 joins x 2 processors = 6 processes, serial startup.
         assert result.response_time == pytest.approx(6.0, abs=0.01)
 
@@ -93,7 +94,7 @@ class TestDegenerateMachines:
         catalog = Catalog.regular(names, 100)
         config = fast_config.scaled(network_latency=100.0)
         tree = make_shape("right_linear", names)
-        result = simulate_strategy(tree, catalog, "FP", 4, config)
+        result = simulate_strategy(tree, catalog, "FP", 4, config=config)
         assert result.result_tuples == pytest.approx(100.0, rel=1e-6)
 
     def test_single_processor_everything(self, fast_config):
@@ -101,7 +102,7 @@ class TestDegenerateMachines:
         catalog = Catalog.regular(names, 50)
         tree = make_shape("left_linear", names)
         for strategy in ("SP", "SE", "RD"):
-            result = simulate_strategy(tree, catalog, strategy, 1, fast_config)
+            result = simulate_strategy(tree, catalog, strategy, 1, config=fast_config)
             assert result.result_tuples == pytest.approx(50.0, rel=1e-6)
 
 

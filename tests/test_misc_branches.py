@@ -15,7 +15,7 @@ from repro.core import (
 )
 from repro.core.memory import task_memory
 from repro.core.trees import joins_postorder
-from repro.engine import execute_schedule, reference_result
+from repro.engine.local import execute_schedule, reference_result
 from repro.relational import make_wisconsin
 
 

@@ -154,7 +154,7 @@ class TestLocalExecutorProperties:
         self, relations, strategy, processors, seed
     ):
         from repro.core import make_shape, paper_relation_names
-        from repro.engine import execute_schedule, reference_result
+        from repro.engine.local import execute_schedule, reference_result
         from repro.relational import make_query_relations
 
         if processors < relations - 1 and strategy == "FP":
