@@ -1,0 +1,84 @@
+"""Workload throughput — the shared-machine saturation curve.
+
+Beyond the paper: sweep the offered load on one 40-processor shared
+machine serving the Figure 8 query mix, record throughput, utilization
+and tail latency per point, locate the saturation knee, and write the
+table to ``results/workload_throughput.txt``.  One representative
+mid-load workload run is registered with pytest-benchmark.
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_workload_throughput.py
+"""
+
+from __future__ import annotations
+
+from repro.sim import MachineConfig
+from repro.workload import (
+    ExclusivePolicy,
+    QueryMix,
+    WorkloadEngine,
+    curve_knee,
+    open_loop_curve,
+)
+
+from conftest import write_result
+
+#: Coarse batches keep every curve point in the tens of milliseconds.
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+MACHINE_SIZE = 40
+SHARE = 10          # four-way multiprogramming on the 40-node machine
+RATES = (0.2, 0.5, 1.0, 2.0, 4.0, 8.0)
+DURATION = 120.0
+MIX = QueryMix.paper(cardinalities=(1_000,), strategies=("SE", "RD"),
+                     relations=10)
+
+
+def make_engine() -> WorkloadEngine:
+    return WorkloadEngine(
+        MACHINE_SIZE, ExclusivePolicy(SHARE), config=FAST
+    )
+
+
+def table(points, knee) -> str:
+    header = (
+        f"{'rate':>6}  {'thru':>6}  {'util':>5}  {'p50':>7}  {'p95':>7}  "
+        f"{'queue':>7}  {'done':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.load:6.1f}  {p.throughput:6.3f}  {p.utilization:5.1%}  "
+            f"{p.latency_p50:7.2f}  {p.latency_p95:7.2f}  "
+            f"{p.queue_delay_mean:7.2f}  {p.completed:5d}"
+        )
+    lines.append(
+        f"saturation knee: {knee} q/s" if knee is not None
+        else "saturation knee: not reached"
+    )
+    return "\n".join(lines)
+
+
+def test_workload_throughput_curve(benchmark, results_dir):
+    points = open_loop_curve(
+        RATES, MIX, make_engine, duration=DURATION, seed=7
+    )
+    knee = curve_knee(points)
+    write_result(results_dir, "workload_throughput.txt", table(points, knee))
+
+    # Sanity on the curve's shape: load helps until it cannot.
+    assert points[1].throughput > points[0].throughput
+    assert points[-1].latency_p95 > points[0].latency_p95
+    assert knee is not None, "the sweep must drive the machine past its knee"
+
+    # Time one mid-load run (the knee's neighborhood) end to end.
+    mid_rate = RATES[len(RATES) // 2]
+
+    def run_mid_load():
+        return open_loop_curve(
+            (mid_rate,), MIX, make_engine, duration=30.0, seed=7
+        )[0]
+
+    point = benchmark(run_mid_load)
+    assert point.completed > 0

@@ -1,9 +1,10 @@
-"""Regenerate the self-contained HTML report (report.html).
+"""Regenerate the self-contained HTML report.
 
 Runs the full evaluation with the frozen paper configuration and
-writes ``report.html`` at the repository root: the Figure 14 table,
-SVG line charts for Figures 9-13 with per-panel claim checklists, and
-SVG Gantt charts for the idealized Figures 3/4/6/7.
+writes ``benchmarks/results/report.html``: the Figure 14 table, SVG
+line charts for Figures 9-13 with per-panel claim checklists, SVG
+Gantt charts for the idealized Figures 3/4/6/7, and the beyond-paper
+multi-query workload saturation curve.
 
     python benchmarks/generate_report_html.py
 """
@@ -16,8 +17,34 @@ from repro import api
 from repro.bench import all_sweeps
 from repro.core import example_tree
 from repro.report import render_report
+from repro.sim import MachineConfig
+from repro.workload import (
+    ExclusivePolicy,
+    QueryMix,
+    WorkloadEngine,
+    open_loop_curve,
+)
 
-ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Coarse batches keep the workload sweep to a few seconds.
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+
+def workload_points():
+    mix = QueryMix.paper(
+        cardinalities=(1_000,), strategies=("SE", "RD"), relations=10
+    )
+    return open_loop_curve(
+        (0.2, 0.5, 1.0, 2.0, 4.0),
+        mix,
+        lambda: WorkloadEngine(40, ExclusivePolicy(10), config=FAST),
+        duration=120.0,
+        seed=7,
+    )
 
 
 def main() -> None:
@@ -26,8 +53,9 @@ def main() -> None:
         name: api.run(example_tree(), name, 10, "ideal", cardinality=1000)
         for name in ("SP", "SE", "RD", "FP")
     }
-    out = ROOT / "report.html"
-    out.write_text(render_report(sweeps, diagrams))
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "report.html"
+    out.write_text(render_report(sweeps, diagrams, workload_points()))
     print(f"wrote {out}")
 
 

@@ -21,7 +21,9 @@ Quickstart::
                cardinality=200)
 
 Sweeps over many points go through :func:`sweep` (the parallel runner
-of :mod:`repro.runner`).
+of :mod:`repro.runner`), and multi-query traffic on one shared machine
+through :func:`run_workload` (the workload engine of
+:mod:`repro.workload`).
 """
 
 from __future__ import annotations
@@ -57,7 +59,7 @@ def run(
     cardinality: int = DEFAULT_CARDINALITY,
     relations=None,
     resolve=None,
-    timeout: float = 60.0,
+    timeout: Optional[float] = None,
 ):
     """Plan ``tree_or_shape`` with ``strategy`` and execute it on one
     of the four backends.
@@ -90,11 +92,25 @@ def run(
         Join-semantics resolver for ``backend="threaded"`` (defaults
         to natural-join semantics, or Wisconsin semantics when this
         call generated the Wisconsin data itself).
+    ``timeout``
+        Wall-clock bound in seconds for ``backend="threaded"`` — the
+        only backend that can be abandoned mid-run (its dataflow
+        threads are daemons); defaults to 60 seconds there.  The other
+        backends run to completion on the calling thread and cannot
+        honor a wall-clock bound, so they reject the parameter instead
+        of silently ignoring it.
     """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    if timeout is not None and backend != "threaded":
+        raise ValueError(
+            f"'timeout' applies to backend='threaded' only; backend "
+            f"{backend!r} runs to completion on the calling thread"
+        )
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive")
     tree = _resolve_tree(tree_or_shape)
     names = [leaf.name for leaf in leaves(tree)]
     if catalog is None:
@@ -161,7 +177,10 @@ def run(
 
             resolve = natural_resolution
     return execute_threaded(
-        schedule, relations, timeout=timeout, resolve=resolve
+        schedule,
+        relations,
+        timeout=timeout if timeout is not None else 60.0,
+        resolve=resolve,
     )
 
 
@@ -175,6 +194,93 @@ def sweep(spec, **options):
     from .runner import run_sweep
 
     return run_sweep(spec, **options)
+
+
+def run_workload(
+    mix_or_shape="wide_bushy",
+    *,
+    arrivals: str = "poisson",
+    rate: float = 1.0,
+    duration: float = 60.0,
+    seed: int = 0,
+    machine_size: int = 40,
+    policy: str = "exclusive",
+    share: Optional[int] = None,
+    strategy: str = "FP",
+    cardinality: int = DEFAULT_CARDINALITY,
+    relations: int = DEFAULT_RELATIONS,
+    clients: int = 4,
+    think_time: float = 0.0,
+    queries_per_client: Optional[int] = None,
+    max_concurrent: Optional[int] = None,
+    queue_limit: Optional[int] = None,
+    memory_budget_bytes: Optional[float] = None,
+    config: Optional[MachineConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    skew_theta: float = 0.0,
+):
+    """Serve a stream of queries on one shared simulated machine.
+
+    ``mix_or_shape``
+        A :class:`~repro.workload.QueryMix`, one of the paper's shape
+        names (a single-spec mix over ``strategy``/``cardinality``),
+        or ``"paper"`` for the uniform mix over all five shapes and
+        the four strategies at ``cardinality``.
+    ``arrivals``
+        ``"poisson"`` / ``"fixed"`` — open loop at ``rate`` queries
+        per simulated second for ``duration`` seconds; ``"closed"`` —
+        ``clients`` users with ``think_time``, stopping at
+        ``queries_per_client`` or the ``duration`` horizon.
+    ``policy`` / ``share``
+        Allocation policy name (:data:`repro.workload.POLICY_NAMES`)
+        and its per-query processor share (policy-specific default).
+
+    Returns a :class:`~repro.workload.WorkloadResult`; its
+    ``write_jsonl`` emits one deterministic row per query.
+    """
+    from .workload import (
+        QueryMix,
+        QuerySpec,
+        WorkloadEngine,
+        make_arrivals,
+        make_policy,
+        sample_specs,
+    )
+
+    if isinstance(mix_or_shape, QueryMix):
+        mix = mix_or_shape
+    elif mix_or_shape == "paper":
+        mix = QueryMix.paper(
+            cardinalities=(cardinality,),
+            strategies=(strategy,) if strategy != "auto" else ("auto",),
+            relations=relations,
+        )
+    else:
+        mix = QueryMix.single(
+            QuerySpec(mix_or_shape, cardinality, strategy, relations)
+        )
+    engine = WorkloadEngine(
+        machine_size,
+        make_policy(policy, share),
+        config=config,
+        cost_model=cost_model,
+        skew_theta=skew_theta,
+        max_concurrent=max_concurrent,
+        queue_limit=queue_limit,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    if arrivals == "closed":
+        return engine.run_closed(
+            mix,
+            clients,
+            think_time=think_time,
+            queries_per_client=queries_per_client,
+            duration=duration,
+            seed=seed,
+        )
+    times = make_arrivals(arrivals, rate, duration, seed)
+    specs = sample_specs(mix, len(times), seed)
+    return engine.run_open(list(zip(times, specs)))
 
 
 def _resolve_tree(tree_or_shape: Union[str, Node]) -> Node:
@@ -200,5 +306,6 @@ __all__ = [
     "DEFAULT_CARDINALITY",
     "DEFAULT_RELATIONS",
     "run",
+    "run_workload",
     "sweep",
 ]

@@ -11,6 +11,9 @@ Every major capability of the reproduction behind one entry point::
     python -m repro memory   --shape wide_bushy --cardinality 40000 \\
                              --strategy FP --processors 30
     python -m repro optimize --relations 10 --cardinality 5000 --processors 40
+    python -m repro workload --shape wide_bushy --arrivals poisson \\
+                             --rate 5 --duration 60 --seed 1
+    python -m repro serve    < requests.jsonl
 """
 
 from __future__ import annotations
@@ -189,6 +192,57 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _cmd_workload(args) -> int:
+    from .api import run_workload
+
+    result = run_workload(
+        args.shape if not args.paper_mix else "paper",
+        arrivals=args.arrivals,
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        machine_size=args.machine_size,
+        policy=args.policy,
+        share=args.share,
+        strategy=args.strategy,
+        cardinality=args.cardinality,
+        relations=args.relations,
+        clients=args.clients,
+        think_time=args.think,
+        queries_per_client=args.queries_per_client,
+        max_concurrent=args.max_concurrent,
+        queue_limit=args.queue_limit,
+        memory_budget_bytes=(
+            args.memory_budget_mb * 1024 * 1024
+            if args.memory_budget_mb is not None else None
+        ),
+        skew_theta=args.skew,
+    )
+    jsonl_path = args.jsonl
+    if jsonl_path is None:
+        jsonl_path = pathlib.Path(
+            f"workload_{args.shape}_{args.arrivals}.jsonl"
+        )
+    result.write_jsonl(jsonl_path)
+    if not args.quiet:
+        print(result.summary())
+        print(f"results: {jsonl_path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import serve
+
+    if args.requests is not None:
+        with open(args.requests, "r", encoding="utf-8") as in_stream:
+            served = serve(in_stream, sys.stdout)
+    else:
+        served = serve(sys.stdin, sys.stdout)
+    if not args.quiet:
+        print(f"served {served} requests", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,6 +314,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--guidelines", action="store_true",
                    help="use the Section 5 rules instead of simulation")
     p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser(
+        "workload", help="serve a multi-query workload on one shared machine"
+    )
+    p.add_argument("--shape", choices=SHAPE_NAMES, default="wide_bushy",
+                   help="query tree shape (Figure 8)")
+    p.add_argument("--paper-mix", action="store_true",
+                   help="draw from all five shapes instead of --shape")
+    p.add_argument("--relations", type=int, default=10)
+    p.add_argument("--cardinality", type=int, default=5000)
+    p.add_argument("--strategy",
+                   choices=["SP", "SE", "RD", "FP", "auto"], default="FP",
+                   help="execution strategy ('auto': Section 5 guideline)")
+    p.add_argument("--arrivals", choices=["poisson", "fixed", "closed"],
+                   default="poisson",
+                   help="open-loop arrival process, or a closed loop")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="open-loop arrival rate (queries/second)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="simulated arrival horizon in seconds")
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop client population")
+    p.add_argument("--think", type=float, default=0.0,
+                   help="closed-loop think time between queries")
+    p.add_argument("--queries-per-client", type=int, default=None,
+                   help="closed-loop per-client query budget")
+    p.add_argument("--machine-size", type=int, default=40,
+                   help="processors in the shared pool")
+    p.add_argument("--policy",
+                   choices=["exclusive", "round_robin", "guideline"],
+                   default="exclusive", help="processor allocation policy")
+    p.add_argument("--share", type=int, default=None,
+                   help="processors per query (policy-specific default)")
+    p.add_argument("--max-concurrent", type=int, default=None,
+                   help="admission gate: concurrent query bound")
+    p.add_argument("--queue-limit", type=int, default=None,
+                   help="admission queue bound (extra arrivals rejected)")
+    p.add_argument("--memory-budget-mb", type=float, default=None,
+                   help="admission gate: analytic memory budget (MB)")
+    p.add_argument("--skew", type=float, default=0.0,
+                   help="Zipf partitioning skew for every query")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for arrivals, mix sampling and think loops")
+    p.add_argument("--jsonl", default=None,
+                   help="per-query JSONL path "
+                        "(default: workload_<shape>_<arrivals>.jsonl)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the summary line")
+    p.set_defaults(fn=_cmd_workload)
+
+    p = sub.add_parser(
+        "serve", help="JSONL query service: one request per line on stdin"
+    )
+    p.add_argument("--requests", default=None,
+                   help="read requests from this file instead of stdin")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the served-count line on stderr")
+    p.set_defaults(fn=_cmd_serve)
 
     return parser
 

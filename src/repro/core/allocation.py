@@ -99,6 +99,23 @@ def allocate_ranges(
     return out
 
 
+def claim_lowest(free: Sequence[int], count: int) -> Tuple[int, ...]:
+    """Deterministically pick the ``count`` lowest ids from ``free``.
+
+    The shared-machine scheduler's claim rule: always the smallest
+    free processor ids, so identical workloads claim identical
+    processors regardless of release order.  Raises ``ValueError``
+    when fewer than ``count`` ids are free.
+    """
+    if count < 1:
+        raise ValueError("must claim at least one processor")
+    if len(free) < count:
+        raise ValueError(
+            f"cannot claim {count} processors from {len(free)} free"
+        )
+    return tuple(sorted(free)[:count])
+
+
 def discretization_error(weights: Sequence[float], counts: Sequence[int]) -> float:
     """Load-imbalance factor of an allocation, ≥ 1.0.
 

@@ -10,6 +10,7 @@ from .enumerate import (
 from .graph import QueryGraph
 from .guidelines import (
     Advice,
+    advise_parallelism,
     advise_strategy,
     apply_advice,
     sp_processor_threshold,
@@ -27,6 +28,7 @@ __all__ = [
     "OptimizedPlan",
     "PlanEntry",
     "QueryGraph",
+    "advise_parallelism",
     "advise_strategy",
     "all_trees",
     "apply_advice",

@@ -151,6 +151,36 @@ def advise_strategy(
     )
 
 
+#: Calibrated companion of :data:`SP_THRESHOLD_COEFFICIENT`: the
+#: processor count past which added parallelism stops paying for the
+#: 5K query lands near the paper's best cells (30-50 processors).
+PARALLELISM_COEFFICIENT = 0.08
+
+
+def advise_parallelism(
+    tree: Node,
+    catalog: Catalog,
+    machine_size: int,
+    cost_model: CostModel = CostModel(),
+    coefficient: float = PARALLELISM_COEFFICIENT,
+) -> int:
+    """Recommended degree of parallelism for one query of a workload.
+
+    The [WFA92] square-root law again (Section 2.3.1): the optimal
+    degree of parallelism grows with √(problem size), so a shared
+    machine should hand each query ``coefficient · √(total work)``
+    processors rather than the whole pool.  Clamped to
+    ``[num_joins(tree), machine_size]`` so every strategy's plan is
+    constructible on the allocation.
+    """
+    if machine_size < 1:
+        raise ValueError("machine_size must be positive")
+    total = cost_model.total_cost(tree, catalog)
+    ideal = int(round(coefficient * sqrt(max(total, 0.0))))
+    floor = min(num_joins(tree), machine_size)
+    return max(1, floor, min(machine_size, ideal))
+
+
 def apply_advice(tree: Node, advice: Advice) -> Node:
     """The tree the advised strategy should run on (mirrored if advised)."""
     return mirror(tree) if advice.mirrored else tree

@@ -1,6 +1,14 @@
 """Dependency-free SVG/HTML report generation."""
 
-from .html import claims_html, figure14_html, render_report, sweep_chart, utilization_gantt
+from .html import (
+    claims_html,
+    figure14_html,
+    render_report,
+    sweep_chart,
+    utilization_gantt,
+    workload_chart,
+    workload_html,
+)
 from .svg import GanttChart, LineChart, Series2D, color_for
 
 __all__ = [
@@ -13,4 +21,6 @@ __all__ = [
     "render_report",
     "sweep_chart",
     "utilization_gantt",
+    "workload_chart",
+    "workload_html",
 ]

@@ -84,9 +84,55 @@ def claims_html(sweep: SweepResult) -> str:
     return "<ul>" + "".join(items) + "</ul>"
 
 
+def workload_chart(points: List, title: str) -> str:
+    """A latency-versus-offered-load panel from workload
+    :class:`~repro.workload.LoadPoint` rows (mean, p95 and queueing
+    delay against offered load)."""
+    chart = LineChart(
+        title, x_label="offered load", y_label="latency (s)"
+    )
+    chart.add_series("mean", [(p.load, p.latency_mean) for p in points])
+    chart.add_series("p95", [(p.load, p.latency_p95) for p in points])
+    chart.add_series(
+        "queueing", [(p.load, p.queue_delay_mean) for p in points]
+    )
+    return chart.to_svg()
+
+
+def workload_html(points: List, knee: Optional[float]) -> str:
+    """The multi-query workload section: saturation chart + summary
+    table (beyond the paper: the shared-machine service regime)."""
+    parts = [
+        "<h2>Beyond the paper — multi-query workload saturation</h2>",
+        "<p>One shared simulated machine serving a stream of Figure 8 "
+        "queries behind admission control; the knee of the "
+        "latency-versus-load curve is the machine's capacity.</p>",
+        "<figure>",
+        workload_chart(points, "Latency versus offered load"),
+        "</figure>",
+        "<table><tr><th>load</th><th>throughput</th><th>utilization</th>"
+        "<th>p50</th><th>p95</th><th>queueing</th></tr>",
+    ]
+    for p in points:
+        parts.append(
+            f"<tr><td>{p.load:.2f}</td><td>{p.throughput:.3f}</td>"
+            f"<td>{p.utilization:.0%}</td><td>{p.latency_p50:.2f}s</td>"
+            f"<td>{p.latency_p95:.2f}s</td>"
+            f"<td>{p.queue_delay_mean:.2f}s</td></tr>"
+        )
+    parts.append("</table>")
+    parts.append(
+        f"<p>Saturation knee: <b>{knee:g}</b> offered load.</p>"
+        if knee is not None
+        else "<p>The sweep never saturated the machine.</p>"
+    )
+    return "\n".join(parts)
+
+
 def render_report(
     sweeps: Dict[Tuple[str, str], SweepResult],
     diagrams: Optional[Dict[str, SimulationResult]] = None,
+    workload_points: Optional[List] = None,
 ) -> str:
     """The full HTML document."""
     parts = [
@@ -123,5 +169,9 @@ def render_report(
         )
         parts.append(claims_html(sweep))
         parts.append("</figure>")
+    if workload_points:
+        from ..workload import curve_knee
+
+        parts.append(workload_html(workload_points, curve_knee(workload_points)))
     parts.append("</body></html>")
     return "\n".join(parts)

@@ -1,0 +1,15 @@
+"""The JSONL query service front-end.
+
+One request per line in, one response per line out — the thinnest
+possible "database server" over the reproduction.  A
+:class:`~repro.service.frontend.QueryService` accepts ``op: "query"``
+requests (one query through :func:`repro.api.run`, simulating backends
+only) and ``op: "workload"`` requests (a whole traffic run through
+:func:`repro.api.run_workload`), and :func:`~repro.service.frontend.serve`
+pumps a line-delimited JSON stream through it.  ``python -m repro
+serve`` wires that loop to stdin/stdout.
+"""
+
+from .frontend import QueryService, serve
+
+__all__ = ["QueryService", "serve"]

@@ -1,0 +1,154 @@
+"""Request handling for the JSONL query service.
+
+Requests and responses are plain dicts so the service is trivially
+testable without any I/O; :func:`serve` adds the line-delimited JSON
+transport.  Every response carries ``"ok"``; failures come back as
+``{"ok": False, "error": ...}`` instead of raising, so one malformed
+request never kills the stream.
+
+Only the simulating backends (``sim`` / ``ideal``) are served: they
+are deterministic, run in simulated time, and cannot be wedged by a
+request — a network-facing front-end must not fork real-data executor
+threads per request.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Optional
+
+from ..core.shapes import SHAPE_NAMES
+
+#: Backends a service request may ask for.
+SERVICE_BACKENDS = ("sim", "ideal")
+
+#: Keys an ``op: "workload"`` request may pass through to
+#: :func:`repro.api.run_workload`.
+_WORKLOAD_KEYS = (
+    "arrivals", "rate", "duration", "seed", "machine_size", "policy",
+    "share", "strategy", "cardinality", "relations", "clients",
+    "think_time", "queries_per_client", "max_concurrent", "queue_limit",
+    "memory_budget_bytes", "skew_theta",
+)
+
+
+class QueryService:
+    """Stateless handler mapping request dicts to response dicts."""
+
+    def handle(self, request) -> Dict:
+        """Serve one request; never raises on bad input."""
+        if not isinstance(request, dict):
+            return self._error("request must be a JSON object")
+        op = request.get("op")
+        try:
+            if op == "query":
+                return self._query(request)
+            if op == "workload":
+                return self._workload(request)
+        except (ValueError, TypeError, KeyError) as exc:
+            return self._error(str(exc))
+        return self._error(
+            f"unknown op {op!r}; expected 'query' or 'workload'"
+        )
+
+    # -- the two operations -----------------------------------------------
+
+    def _query(self, request: Dict) -> Dict:
+        from ..api import DEFAULT_CARDINALITY, run
+
+        shape = request.get("shape", "wide_bushy")
+        if shape not in SHAPE_NAMES:
+            return self._error(
+                f"unknown shape {shape!r}; expected one of {SHAPE_NAMES}"
+            )
+        backend = request.get("backend", "sim")
+        if backend not in SERVICE_BACKENDS:
+            return self._error(
+                f"service backends are {SERVICE_BACKENDS}; got {backend!r}"
+            )
+        result = run(
+            shape,
+            request.get("strategy", "FP"),
+            request.get("processors", 40),
+            backend,
+            cardinality=request.get("cardinality", DEFAULT_CARDINALITY),
+            skew_theta=request.get("skew_theta", 0.0),
+        )
+        return {
+            "ok": True,
+            "op": "query",
+            "shape": shape,
+            "strategy": result.strategy,
+            "processors": result.processors,
+            "backend": backend,
+            "response_time": result.response_time,
+            "busy_time": result.busy_time(),
+            "utilization": result.utilization(),
+            "events": result.events,
+            "result_tuples": result.result_tuples,
+        }
+
+    def _workload(self, request: Dict) -> Dict:
+        from ..api import run_workload
+
+        unknown = sorted(
+            key for key in request
+            if key not in _WORKLOAD_KEYS + ("op", "shape", "rows")
+        )
+        if unknown:
+            return self._error(f"unknown workload parameters {unknown}")
+        options = {
+            key: request[key] for key in _WORKLOAD_KEYS if key in request
+        }
+        result = run_workload(request.get("shape", "wide_bushy"), **options)
+        response = {
+            "ok": True,
+            "op": "workload",
+            "policy": result.policy,
+            "machine_size": result.machine_size,
+            "submitted": len(result.records),
+            "completed": len(result.completed()),
+            "rejected": result.rejected_count(),
+            "makespan": result.makespan,
+            "throughput": result.throughput(),
+            "utilization": result.utilization(),
+            "latency": result.latency_stats(),
+            "queue_delay_mean": result.mean_queue_delay(),
+            "peak_in_flight": result.peak_in_flight,
+        }
+        if request.get("rows"):
+            response["rows"] = result.rows()
+        return response
+
+    @staticmethod
+    def _error(message: str) -> Dict:
+        return {"ok": False, "error": message}
+
+
+def serve(
+    in_stream: IO[str],
+    out_stream: IO[str],
+    service: Optional[QueryService] = None,
+) -> int:
+    """Pump line-delimited JSON requests through a service.
+
+    Blank lines are skipped; unparseable lines produce an error
+    response on their line rather than aborting the stream.  Returns
+    the number of requests served.
+    """
+    service = service or QueryService()
+    served = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = {"ok": False, "error": f"bad JSON: {exc}"}
+        else:
+            response = service.handle(request)
+        out_stream.write(json.dumps(response, sort_keys=True) + "\n")
+        out_stream.flush()
+        served += 1
+    return served

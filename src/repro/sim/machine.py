@@ -177,3 +177,15 @@ class Processor:
     def busy_time_for(self, label: str) -> float:
         """CPU-busy seconds attributed to ``label``."""
         return sum(end - start for start, end, lbl in self.intervals if lbl == label)
+
+    def busy_time_between(self, start: float, end: float) -> float:
+        """CPU-busy seconds within the window ``[start, end]``.
+
+        The utilization measure of a shared machine hosting many
+        queries: clip every busy interval to the window and sum.
+        """
+        if end < start:
+            raise ValueError("window end before start")
+        return sum(
+            max(0.0, min(e, end) - max(s, start)) for s, e, _ in self.intervals
+        )

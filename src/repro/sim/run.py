@@ -6,12 +6,22 @@ This is the simulated counterpart of PRISMA's query execution engine
 operation process per (join, processor) pair, the processes coordinate
 among themselves through tuple streams, and the run ends when the last
 process finishes.
+
+A :class:`ScheduleSimulation` normally owns its clock and processors —
+one query on a dedicated machine, exactly the paper's setting.  It can
+instead be *hosted*: handed an external clock, a mapping of logical to
+shared physical processors, a start time, and a completion callback,
+so several queries run concurrently on one machine (the substrate of
+:mod:`repro.workload`).  A hosted run with the identity mapping
+starting at time zero takes the same code path and produces the same
+event sequence as an owned run, which is what keeps single-query
+results bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.cost import Catalog, CostModel, JoinCost
 from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
@@ -53,10 +63,27 @@ class ScheduleSimulation:
         config: Optional[MachineConfig] = None,
         cost_model: Optional[CostModel] = None,
         skew_theta: float = 0.0,
+        *,
+        clock: Optional[SimulationClock] = None,
+        processor_pool: Optional[Mapping[int, Processor]] = None,
+        start_at: float = 0.0,
+        label_prefix: str = "",
+        on_complete: Optional[Callable[["ScheduleSimulation"], None]] = None,
+        network: Optional[NetworkLink] = None,
     ):
         """``skew_theta`` relaxes the paper's non-skew assumption: the
         fragments of every operand follow Zipf(theta) shares instead of
-        a uniform split (0.0 reproduces the paper)."""
+        a uniform split (0.0 reproduces the paper).
+
+        The keyword-only arguments host the run on a shared machine:
+        ``clock`` is an external event loop (the run no longer drives
+        it — call :meth:`result` from ``on_complete`` instead of
+        :meth:`run`), ``processor_pool`` maps this schedule's logical
+        processor ids to shared physical :class:`Processor` objects,
+        ``start_at`` is the simulated time the scheduler begins
+        claiming processes, and ``label_prefix`` distinguishes this
+        query's busy intervals on shared processor traces.
+        """
         self.schedule = schedule
         self.catalog = catalog
         self.config = config or MachineConfig.paper()
@@ -64,9 +91,20 @@ class ScheduleSimulation:
             cost_model = CostModel()
         self.cost_model = cost_model
         self.skew_theta = skew_theta
-        self.clock = SimulationClock()
+        self._owns_clock = clock is None
+        self.clock = clock if clock is not None else SimulationClock()
+        self._pool = processor_pool
+        self.start_at = start_at
+        self.label_prefix = label_prefix
+        self.on_complete = on_complete
+        self.finished_at: Optional[float] = None
+        self._completed_tasks = 0
         self.processors: Dict[int, Processor] = {}
-        self.network = NetworkLink(self.config.network_bandwidth)
+        self.network = (
+            network
+            if network is not None
+            else NetworkLink(self.config.network_bandwidth)
+        )
         annotation = cost_model.annotate(schedule.tree, catalog)
         self.runtimes: List[_TaskRuntime] = [
             _TaskRuntime(task=task, cost=annotation[task.join])
@@ -78,7 +116,10 @@ class ScheduleSimulation:
 
     def _processor(self, ident: int) -> Processor:
         if ident not in self.processors:
-            self.processors[ident] = Processor(ident)
+            if self._pool is not None:
+                self.processors[ident] = self._pool[ident]
+            else:
+                self.processors[ident] = Processor(ident)
         return self.processors[ident]
 
     def _build(self) -> None:
@@ -146,13 +187,14 @@ class ScheduleSimulation:
             for process in runtime.processes:
                 sequence += 1
                 self.clock.at(
-                    sequence * self.config.process_startup, process.init_ready
+                    self.start_at + sequence * self.config.process_startup,
+                    process.init_ready,
                 )
 
         # Release unbarriered tasks at query start.
         for runtime in self.runtimes:
             if runtime.remaining_deps == 0:
-                self.clock.at(0.0, self._release, runtime)
+                self.clock.at(self.start_at, self._release, runtime)
 
     def _make_port(
         self, runtime: _TaskRuntime, side: str, spec: InputSpec, share: float
@@ -188,7 +230,7 @@ class ScheduleSimulation:
         )
         work_scale = cost.cost / natural if natural > 0 else 1.0
         common = dict(
-            name=f"J{task.index}",
+            name=f"{self.label_prefix}J{task.index}",
             processor=self._processor(proc_id),
             clock=self.clock,
             config=self.config,
@@ -228,19 +270,40 @@ class ScheduleSimulation:
             dependent.remaining_deps -= 1
             if dependent.remaining_deps == 0:
                 self._release(dependent)
+        self._completed_tasks += 1
+        if self._completed_tasks == len(self.runtimes):
+            self.finished_at = self.clock.now
+            if self.on_complete is not None:
+                self.on_complete(self)
 
     # -- execution ------------------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Run to completion and package the result."""
+        if not self._owns_clock:
+            raise RuntimeError(
+                "hosted simulations share an external clock; drive that "
+                "clock and collect the result from on_complete/result()"
+            )
         self.clock.run()
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Package the finished run as a :class:`SimulationResult`.
+
+        Response time is relative to ``start_at`` — for an owned run
+        exactly the paper's measure, for a hosted run the query's
+        service time on the shared machine.  On shared processors only
+        the busy intervals carrying this run's ``label_prefix`` are
+        attributed to the query.
+        """
         unfinished = [rt.task.index for rt in self.runtimes if rt.completion is None]
         if unfinished:
             raise RuntimeError(
                 f"simulation drained its event queue with tasks {unfinished} "
                 "incomplete; schedule wiring bug"
             )
-        response = max(rt.completion for rt in self.runtimes)
+        response = max(rt.completion for rt in self.runtimes) - self.start_at
         timings = []
         for runtime in self.runtimes:
             starts = [
@@ -263,7 +326,7 @@ class ScheduleSimulation:
             config=self.config,
             task_timings=timings,
             intervals={
-                ident: list(proc.intervals)
+                ident: self._attributed_intervals(proc)
                 for ident, proc in sorted(self.processors.items())
             },
             operation_processes=self.schedule.operation_processes(),
@@ -271,6 +334,22 @@ class ScheduleSimulation:
             events=self.clock.events_dispatched,
             result_tuples=sum(p.out_total for p in root.processes),
         )
+
+    def _attributed_intervals(
+        self, processor: Processor
+    ) -> List[Tuple[float, float, str]]:
+        """The processor's busy intervals belonging to this run.
+
+        An owned run is alone on its processors, so everything is its
+        own; on a shared pool the ``label_prefix`` identifies it.
+        """
+        if self._pool is None:
+            return list(processor.intervals)
+        return [
+            span
+            for span in processor.intervals
+            if span[2].startswith(self.label_prefix)
+        ]
 
 
 def simulate(

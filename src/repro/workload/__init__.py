@@ -1,0 +1,89 @@
+"""Multi-query workloads on one shared simulated machine.
+
+The paper evaluates one multi-join query at a time on a dedicated
+machine; this package turns that reproduction into a traffic-serving
+system.  A :class:`WorkloadEngine` hosts N concurrent query runs on a
+single :class:`~repro.sim.events.SimulationClock` and processor pool,
+behind an admission controller (bounded queue, concurrency and memory
+gates) and a pluggable allocation policy; :mod:`~repro.workload.mix`
+and :mod:`~repro.workload.arrivals` generate seeded traffic, and
+:mod:`~repro.workload.metrics` / :mod:`~repro.workload.curve` report
+tail latency, throughput, utilization and the saturation knee.
+
+Quickstart::
+
+    from repro.workload import (
+        ExclusivePolicy, QueryMix, QuerySpec, WorkloadEngine,
+        make_arrivals, sample_specs,
+    )
+
+    mix = QueryMix.single(QuerySpec("wide_bushy", 5_000, "FP"))
+    times = make_arrivals("poisson", rate=0.05, duration=600, seed=1)
+    engine = WorkloadEngine(machine_size=40, policy=ExclusivePolicy(20))
+    result = engine.run_open(list(zip(times, sample_specs(mix, len(times), 1))))
+    print(result.summary())
+
+The CLI front-ends are ``python -m repro workload`` (this engine) and
+``python -m repro serve`` (the JSONL query service of
+:mod:`repro.service`).
+"""
+
+from .arrivals import (
+    ARRIVAL_KINDS,
+    fixed_arrivals,
+    make_arrivals,
+    poisson_arrivals,
+)
+from .curve import (
+    LoadPoint,
+    closed_loop_curve,
+    curve_knee,
+    open_loop_curve,
+)
+from .engine import SharedMachine, WorkloadEngine
+from .metrics import (
+    QueryRecord,
+    WorkloadResult,
+    percentile,
+    saturation_knee,
+)
+from .mix import STRATEGY_CHOICES, QueryMix, QuerySpec, sample_specs
+from .policies import (
+    POLICY_NAMES,
+    Allocation,
+    AllocationPolicy,
+    ExclusivePolicy,
+    GuidelinePolicy,
+    MachineView,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "Allocation",
+    "AllocationPolicy",
+    "ExclusivePolicy",
+    "GuidelinePolicy",
+    "LoadPoint",
+    "MachineView",
+    "POLICY_NAMES",
+    "QueryMix",
+    "QueryRecord",
+    "QuerySpec",
+    "RoundRobinPolicy",
+    "STRATEGY_CHOICES",
+    "SharedMachine",
+    "WorkloadEngine",
+    "WorkloadResult",
+    "closed_loop_curve",
+    "curve_knee",
+    "fixed_arrivals",
+    "make_arrivals",
+    "make_policy",
+    "open_loop_curve",
+    "percentile",
+    "poisson_arrivals",
+    "sample_specs",
+    "saturation_knee",
+]

@@ -1,0 +1,208 @@
+"""Workload-level metrics: per-query records, latency percentiles,
+throughput, utilization, and saturation-knee detection.
+
+Single-query metrics (:mod:`repro.sim.metrics`) describe one run on a
+dedicated machine; these describe a *population* of queries on a
+shared one.  Latency decomposes exactly as queueing theory wants it:
+``latency = queue_delay + service_time``, with the queueing delay
+measured from arrival to admission and the service time from
+admission to the last operation process finishing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.metrics import SimulationResult
+from .mix import QuerySpec
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100), linear interpolation between
+    order statistics — deterministic, dependency-free."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+@dataclass
+class QueryRecord:
+    """Lifecycle of one query through the workload engine."""
+
+    index: int
+    spec: QuerySpec
+    arrival: float
+    client: Optional[int] = None          # closed-loop client id
+    admitted: Optional[float] = None      # left the admission queue
+    completed: Optional[float] = None     # last operation process done
+    strategy: Optional[str] = None        # resolved (never "auto")
+    processors: Tuple[int, ...] = ()
+    rejected: bool = False
+    result: Optional[SimulationResult] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Arrival to completion — what the user of the service sees."""
+        if self.completed is None:
+            return None
+        return self.completed - self.arrival
+
+    @property
+    def queue_delay(self) -> Optional[float]:
+        if self.admitted is None:
+            return None
+        return self.admitted - self.arrival
+
+    @property
+    def service_time(self) -> Optional[float]:
+        if self.completed is None or self.admitted is None:
+            return None
+        return self.completed - self.admitted
+
+    def row(self) -> Dict:
+        """Deterministic JSONL row (no wall-clock, no object refs)."""
+        return {
+            "query": self.index,
+            "client": self.client,
+            "shape": self.spec.shape,
+            "cardinality": self.spec.cardinality,
+            "relations": self.spec.relations,
+            "strategy_requested": self.spec.strategy,
+            "strategy": self.strategy,
+            "processors": list(self.processors),
+            "arrival": self.arrival,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "latency": self.latency,
+            "queue_delay": self.queue_delay,
+            "service_time": self.service_time,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass
+class WorkloadResult:
+    """Everything one workload run produced."""
+
+    records: List[QueryRecord]
+    machine_size: int
+    policy: str
+    makespan: float          # simulated time until the machine drained
+    busy_seconds: float      # total CPU-busy seconds over the pool
+    peak_in_flight: int
+
+    # -- populations ------------------------------------------------------
+
+    def completed(self) -> List[QueryRecord]:
+        return [r for r in self.records if r.completed is not None]
+
+    def rejected_count(self) -> int:
+        return sum(1 for r in self.records if r.rejected)
+
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.completed()]
+
+    def queue_delays(self) -> List[float]:
+        return [r.queue_delay for r in self.completed()]
+
+    def service_times(self) -> List[float]:
+        return [r.service_time for r in self.completed()]
+
+    # -- headline numbers -------------------------------------------------
+
+    def latency_stats(self) -> Dict[str, float]:
+        """Mean / p50 / p95 / p99 latency over completed queries."""
+        values = self.latencies()
+        if not values:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+        }
+
+    def throughput(self) -> float:
+        """Completed queries per simulated second (sustained rate)."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.completed()) / self.makespan
+
+    def utilization(self) -> float:
+        """Mean busy fraction of the whole pool over the makespan."""
+        if self.makespan <= 0 or self.machine_size == 0:
+            return 0.0
+        return self.busy_seconds / (self.machine_size * self.makespan)
+
+    def mean_queue_delay(self) -> float:
+        values = self.queue_delays()
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_service_time(self) -> float:
+        values = self.service_times()
+        return sum(values) / len(values) if values else 0.0
+
+    # -- emission ---------------------------------------------------------
+
+    def rows(self) -> List[Dict]:
+        """Per-query JSONL rows, in submission order."""
+        return [record.row() for record in self.records]
+
+    def write_jsonl(self, path):
+        """Emit the rows through the runner's deterministic writer."""
+        from ..runner.results import write_jsonl
+
+        return write_jsonl(path, self.rows())
+
+    def summary(self) -> str:
+        stats = self.latency_stats()
+        return (
+            f"{self.policy}@{self.machine_size}p: "
+            f"{len(self.completed())}/{len(self.records)} completed "
+            f"({self.rejected_count()} rejected), "
+            f"makespan {self.makespan:.1f}s, "
+            f"throughput {self.throughput():.3f} q/s, "
+            f"utilization {self.utilization():.0%}, "
+            f"latency mean {stats['mean']:.2f}s "
+            f"p50 {stats['p50']:.2f}s p95 {stats['p95']:.2f}s "
+            f"p99 {stats['p99']:.2f}s, "
+            f"queue delay {self.mean_queue_delay():.2f}s, "
+            f"peak in-flight {self.peak_in_flight}"
+        )
+
+
+def saturation_knee(
+    loads: Sequence[float],
+    latencies: Sequence[float],
+    factor: float = 2.0,
+) -> Optional[float]:
+    """The offered load at which latency leaves the flat region.
+
+    The classic throughput-latency curve is flat while the machine
+    keeps up and turns sharply once queueing dominates; the knee is
+    the first load whose latency exceeds ``factor`` times the
+    lightest-load latency.  Returns ``None`` when the curve never
+    leaves the flat region (the machine was never saturated).
+    """
+    if len(loads) != len(latencies):
+        raise ValueError("loads and latencies must have equal length")
+    if not loads:
+        return None
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1.0")
+    points = sorted(zip(loads, latencies))
+    baseline = points[0][1]
+    for load, latency in points:
+        if latency > factor * baseline:
+            return load
+    return None

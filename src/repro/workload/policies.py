@@ -1,0 +1,204 @@
+"""Processor-allocation policies of the shared machine.
+
+When several queries compete for one pool of processors, somebody has
+to decide how many — and which — processors each admitted query gets.
+Three policies span the design space the paper's Section 5 leaves
+open:
+
+* :class:`ExclusivePolicy` — each query gets a dedicated partition of
+  ``share`` processors (the whole machine by default, which is exactly
+  the paper's one-query-at-a-time regime run back to back).
+* :class:`RoundRobinPolicy` — each query gets ``share`` processors
+  picked round-robin over the whole pool, *without* claiming them:
+  queries time-share processors, the machine never refuses work.
+* :class:`GuidelinePolicy` — predictive sizing: the Section 2.3.1
+  square-root law (:func:`repro.optimizer.guidelines.advise_parallelism`)
+  sizes the partition from the analytic cost model, and specs with
+  ``strategy="auto"`` are resolved through the Section 5 guidelines
+  (:func:`~repro.optimizer.guidelines.advise_strategy`).
+
+A policy returns ``None`` from :meth:`~AllocationPolicy.allocate` when
+the query must wait (not enough free processors); the engine keeps it
+queued and retries on every completion.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.allocation import claim_lowest
+from ..core.cost import Catalog, CostModel
+from ..core.trees import Node, num_joins
+from ..optimizer.guidelines import (
+    advise_parallelism,
+    advise_strategy,
+    apply_advice,
+)
+from .mix import QuerySpec
+
+#: Policy names the CLI accepts.
+POLICY_NAMES = ("exclusive", "round_robin", "guideline")
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One admitted query's processors and resolved plan inputs."""
+
+    processors: Tuple[int, ...]   # physical processor ids
+    strategy: str                 # resolved (never "auto")
+    tree: Node                    # possibly mirrored by the guidelines
+    exclusive: bool               # True: ids are claimed until completion
+
+
+class MachineView(ABC):
+    """What a policy may see of the machine (implemented by the engine's
+    shared machine): total size and the sorted free-processor ids."""
+
+    size: int
+
+    @abstractmethod
+    def free_ids(self) -> Tuple[int, ...]:
+        """Currently unclaimed processor ids, ascending."""
+
+
+class AllocationPolicy(ABC):
+    """Strategy + processor-set decision for one queued query."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def allocate(
+        self,
+        spec: QuerySpec,
+        tree: Node,
+        catalog: Catalog,
+        machine: MachineView,
+        cost_model: CostModel,
+    ) -> Optional[Allocation]:
+        """Allocation for ``spec``, or ``None`` to keep it waiting."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _resolve(
+        self,
+        spec: QuerySpec,
+        tree: Node,
+        catalog: Catalog,
+        processors: int,
+        cost_model: CostModel,
+    ) -> Tuple[Node, str]:
+        """Resolve ``strategy="auto"`` through the Section 5 rules."""
+        if spec.strategy != "auto":
+            return tree, spec.strategy
+        advice = advise_strategy(tree, catalog, processors, cost_model)
+        return apply_advice(tree, advice), advice.strategy
+
+    def _check_feasible(self, strategy: str, tree: Node, share: int) -> None:
+        if strategy == "FP" and share < num_joins(tree):
+            raise ValueError(
+                f"policy {self.name!r} grants {share} processors but FP "
+                f"needs at least one per join ({num_joins(tree)}); "
+                "raise the share or pick another strategy"
+            )
+
+
+class ExclusivePolicy(AllocationPolicy):
+    """Dedicated partition of ``share`` processors per query (whole
+    machine when ``share`` is None — the paper's regime, serialized)."""
+
+    name = "exclusive"
+
+    def __init__(self, share: Optional[int] = None):
+        if share is not None and share < 1:
+            raise ValueError("share must be positive")
+        self.share = share
+
+    def allocate(self, spec, tree, catalog, machine, cost_model):
+        share = min(self.share or machine.size, machine.size)
+        free = machine.free_ids()
+        if len(free) < share:
+            return None
+        tree, strategy = self._resolve(spec, tree, catalog, share, cost_model)
+        self._check_feasible(strategy, tree, share)
+        return Allocation(
+            processors=claim_lowest(free, share),
+            strategy=strategy,
+            tree=tree,
+            exclusive=True,
+        )
+
+
+class RoundRobinPolicy(AllocationPolicy):
+    """Time-shared slices: ``share`` processors per query, assigned
+    round-robin over the pool without claiming them.  Concurrent
+    queries overlap on processors and queue behind each other at chunk
+    granularity — admission is bounded only by the engine's gates."""
+
+    name = "round_robin"
+
+    def __init__(self, share: int):
+        if share < 1:
+            raise ValueError("share must be positive")
+        self.share = share
+        self._cursor = 0
+
+    def allocate(self, spec, tree, catalog, machine, cost_model):
+        share = min(self.share, machine.size)
+        tree, strategy = self._resolve(spec, tree, catalog, share, cost_model)
+        self._check_feasible(strategy, tree, share)
+        ids = tuple(
+            (self._cursor + offset) % machine.size for offset in range(share)
+        )
+        self._cursor = (self._cursor + share) % machine.size
+        return Allocation(
+            processors=ids, strategy=strategy, tree=tree, exclusive=False
+        )
+
+
+class GuidelinePolicy(AllocationPolicy):
+    """Predictive sizing from the analytic cost model: each query gets
+    the √(problem size) partition of Section 2.3.1, capped by
+    ``max_share``, claimed exclusively."""
+
+    name = "guideline"
+
+    def __init__(self, max_share: Optional[int] = None):
+        if max_share is not None and max_share < 1:
+            raise ValueError("max_share must be positive")
+        self.max_share = max_share
+
+    def allocate(self, spec, tree, catalog, machine, cost_model):
+        cap = min(self.max_share or machine.size, machine.size)
+        share = min(advise_parallelism(tree, catalog, cap, cost_model), cap)
+        share = max(share, min(num_joins(tree), cap))
+        free = machine.free_ids()
+        if len(free) < share:
+            return None
+        tree, strategy = self._resolve(spec, tree, catalog, share, cost_model)
+        self._check_feasible(strategy, tree, share)
+        return Allocation(
+            processors=claim_lowest(free, share),
+            strategy=strategy,
+            tree=tree,
+            exclusive=True,
+        )
+
+
+def make_policy(
+    name: str,
+    share: Optional[int] = None,
+) -> AllocationPolicy:
+    """Policy factory used by the CLI and the api facade."""
+    if name == "exclusive":
+        return ExclusivePolicy(share)
+    if name == "round_robin":
+        if share is None:
+            raise ValueError("round_robin needs an explicit per-query share")
+        return RoundRobinPolicy(share)
+    if name == "guideline":
+        return GuidelinePolicy(share)
+    raise ValueError(
+        f"unknown policy {name!r}; expected one of {POLICY_NAMES}"
+    )

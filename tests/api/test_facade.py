@@ -150,6 +150,60 @@ class TestArgumentPolicing:
             )
 
 
+class TestTimeout:
+    """``timeout`` is honored where it can be and rejected where it
+    can't — never silently ignored (regression: it used to be accepted
+    and dropped by every backend but 'threaded')."""
+
+    @pytest.mark.parametrize("backend", ["sim", "ideal", "local"])
+    def test_non_threaded_backends_reject_timeout(self, backend):
+        with pytest.raises(ValueError, match="threaded"):
+            api.run(
+                "wide_bushy", "SE", 4, backend,
+                cardinality=100, timeout=5.0,
+            )
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            api.run(
+                "left_linear", "SP", 4, "threaded",
+                cardinality=100, timeout=0.0,
+            )
+
+    def test_threaded_receives_the_bound(self, monkeypatch):
+        """The value reaches the executor verbatim (it used to be
+        dropped on the floor)."""
+        import repro.engine.threaded as threaded
+
+        seen = {}
+
+        def fake(schedule, relations, timeout, resolve):
+            seen["timeout"] = timeout
+            raise TimeoutError("as if the bound fired")
+
+        monkeypatch.setattr(threaded, "execute_threaded", fake)
+        with pytest.raises(TimeoutError):
+            api.run(
+                "left_linear", "SP", 4, "threaded",
+                cardinality=50, timeout=2.5,
+            )
+        assert seen["timeout"] == 2.5
+
+    def test_threaded_defaults_to_sixty_seconds(self, monkeypatch):
+        import repro.engine.threaded as threaded
+
+        seen = {}
+
+        def fake(schedule, relations, timeout, resolve):
+            seen["timeout"] = timeout
+            raise TimeoutError("captured")
+
+        monkeypatch.setattr(threaded, "execute_threaded", fake)
+        with pytest.raises(TimeoutError):
+            api.run("left_linear", "SP", 4, "threaded", cardinality=50)
+        assert seen["timeout"] == 60.0
+
+
 class TestDeprecatedAliases:
     """The old repro.engine names still work, but say so."""
 

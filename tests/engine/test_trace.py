@@ -88,3 +88,49 @@ class TestJson:
     def test_from_json_validates(self):
         with pytest.raises(ValueError, match="missing"):
             from_json('{"meta": {}}')
+
+    def test_exported_spans_match_intervals(self, sp_result):
+        """export → json.loads → the spans are exactly the simulation's
+        busy intervals, label included (task + kind reconstructs it)."""
+        payload = json.loads(to_json(sp_result))
+        exported = sorted(
+            (
+                s["processor"],
+                s["start"],
+                s["end"],
+                s["task"] + (":hs" if s["kind"] == "handshake" else ""),
+            )
+            for s in payload["spans"]
+        )
+        actual = sorted(
+            (processor, start, end, label)
+            for processor, intervals in sp_result.intervals.items()
+            for start, end, label in intervals
+        )
+        assert exported == actual
+
+    def test_meta_matches_result(self, fp_result):
+        payload = json.loads(to_json(fp_result))
+        assert payload["meta"]["processors"] == fp_result.processors
+        assert payload["meta"]["events"] == fp_result.events
+        assert payload["meta"]["utilization"] == pytest.approx(
+            fp_result.utilization()
+        )
+
+
+class TestGanttConsistency:
+    @pytest.mark.parametrize("which", ["sp_result", "fp_result"])
+    def test_spans_non_overlapping_per_processor(self, which, request):
+        """A processor does one thing at a time: its Gantt spans never
+        overlap (a hosted/shared-pool regression guard)."""
+        result = request.getfixturevalue(which)
+        by_processor = {}
+        for span in spans_of(result):
+            by_processor.setdefault(span.processor, []).append(span)
+        for spans in by_processor.values():
+            spans.sort(key=lambda s: s.start)
+            for before, after in zip(spans, spans[1:]):
+                assert before.end <= after.start + 1e-9
+
+    def test_spans_have_positive_duration(self, sp_result):
+        assert all(s.duration > 0 for s in spans_of(sp_result))

@@ -13,6 +13,8 @@ from repro.report import (
     render_report,
     sweep_chart,
     utilization_gantt,
+    workload_chart,
+    workload_html,
 )
 
 
@@ -63,3 +65,44 @@ class TestDocument:
         html = render_report(sweeps)
         assert "Figures 3, 4, 6, 7" not in html
         assert "Figure 14" in html
+
+
+@pytest.fixture(scope="module")
+def load_points(fast_config):
+    from repro.workload import (
+        ExclusivePolicy,
+        QueryMix,
+        QuerySpec,
+        WorkloadEngine,
+        closed_loop_curve,
+    )
+
+    return closed_loop_curve(
+        [1, 4, 8],
+        QueryMix.single(QuerySpec("wide_bushy", 200, "SE", 4)),
+        lambda: WorkloadEngine(8, ExclusivePolicy(), config=fast_config),
+        queries_per_client=2,
+        seed=0,
+    )
+
+
+class TestWorkloadSection:
+    def test_chart_is_svg(self, load_points):
+        svg = workload_chart(load_points, "Latency versus offered load")
+        assert ET.fromstring(svg).tag.endswith("svg")
+        assert "p95" in svg
+
+    def test_section_summarizes_the_curve(self, load_points):
+        html = workload_html(load_points, knee=4.0)
+        assert "saturation" in html.lower()
+        assert "<table>" in html
+        assert "Saturation knee: <b>4</b>" in html
+        assert "never saturated" in workload_html(load_points, knee=None)
+
+    def test_document_with_workload_points(self, sweeps, load_points):
+        html = render_report(sweeps, workload_points=load_points)
+        assert "multi-query workload saturation" in html
+        assert html.rstrip().endswith("</html>")
+
+    def test_document_without_workload_points(self, sweeps):
+        assert "workload" not in render_report(sweeps)

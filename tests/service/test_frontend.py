@@ -1,0 +1,122 @@
+"""The JSONL query service."""
+
+import io
+import json
+
+import pytest
+
+from repro.api import run
+from repro.service import QueryService, serve
+
+SERVICE = QueryService()
+
+
+class TestQueryOp:
+    def test_matches_the_facade(self):
+        response = SERVICE.handle({
+            "op": "query", "shape": "left_linear", "strategy": "SP",
+            "processors": 10, "cardinality": 500,
+        })
+        single = run("left_linear", "SP", 10, "sim", cardinality=500)
+        assert response["ok"]
+        assert response["response_time"] == single.response_time
+        assert response["events"] == single.events
+        assert response["strategy"] == "SP"
+
+    def test_ideal_backend_allowed(self):
+        response = SERVICE.handle({
+            "op": "query", "backend": "ideal", "processors": 10,
+            "cardinality": 500,
+        })
+        assert response["ok"]
+
+    @pytest.mark.parametrize("backend", ["local", "threaded", "warp"])
+    def test_real_data_backends_refused(self, backend):
+        response = SERVICE.handle({"op": "query", "backend": backend})
+        assert not response["ok"]
+        assert "backend" in response["error"]
+
+    def test_unknown_shape(self):
+        response = SERVICE.handle({"op": "query", "shape": "spiral"})
+        assert not response["ok"]
+        assert "spiral" in response["error"]
+
+    def test_bad_parameter_becomes_an_error_dict(self):
+        response = SERVICE.handle({"op": "query", "strategy": "XX"})
+        assert not response["ok"]
+
+
+class TestWorkloadOp:
+    REQUEST = {
+        "op": "workload", "shape": "wide_bushy", "cardinality": 200,
+        "relations": 4, "strategy": "SE", "machine_size": 8,
+        "rate": 0.05, "duration": 60, "seed": 1,
+    }
+
+    def test_summarizes_the_run(self):
+        response = SERVICE.handle(dict(self.REQUEST))
+        assert response["ok"]
+        assert response["policy"] == "exclusive"
+        assert response["completed"] == response["submitted"]
+        assert response["latency"]["p95"] >= response["latency"]["p50"]
+        assert "rows" not in response
+
+    def test_rows_on_request(self):
+        response = SERVICE.handle(dict(self.REQUEST, rows=True))
+        assert len(response["rows"]) == response["submitted"]
+
+    def test_deterministic(self):
+        assert SERVICE.handle(dict(self.REQUEST)) == SERVICE.handle(
+            dict(self.REQUEST)
+        )
+
+    def test_unknown_parameter_refused(self):
+        response = SERVICE.handle(dict(self.REQUEST, verbosity=3))
+        assert not response["ok"]
+        assert "verbosity" in response["error"]
+
+
+class TestDispatch:
+    def test_unknown_op(self):
+        response = SERVICE.handle({"op": "drop_tables"})
+        assert not response["ok"]
+        assert "drop_tables" in response["error"]
+
+    def test_non_object_request(self):
+        assert not SERVICE.handle([1, 2, 3])["ok"]
+
+
+class TestServe:
+    def pump(self, *lines):
+        out = io.StringIO()
+        served = serve(io.StringIO("\n".join(lines) + "\n"), out)
+        return served, [json.loads(l) for l in out.getvalue().splitlines()]
+
+    def test_one_response_per_request(self):
+        served, responses = self.pump(
+            json.dumps({"op": "query", "processors": 10,
+                        "cardinality": 500}),
+            "",
+            json.dumps({"op": "nope"}),
+        )
+        assert served == 2  # the blank line is skipped
+        assert responses[0]["ok"]
+        assert not responses[1]["ok"]
+
+    def test_bad_json_does_not_kill_the_stream(self):
+        served, responses = self.pump(
+            "{not json",
+            json.dumps({"op": "query", "processors": 10,
+                        "cardinality": 500}),
+        )
+        assert served == 2
+        assert not responses[0]["ok"]
+        assert "bad JSON" in responses[0]["error"]
+        assert responses[1]["ok"]
+
+    def test_responses_are_sorted_key_json(self):
+        _, _ = self.pump(json.dumps({"op": "nope"}))
+        out = io.StringIO()
+        serve(io.StringIO('{"op": "nope"}\n'), out)
+        line = out.getvalue().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)

@@ -118,6 +118,66 @@ class TestOptimize:
         assert "phase 1" in out and "phase 2" in out
 
 
+class TestWorkload:
+    ARGS = (
+        "workload", "--shape", "wide_bushy", "--cardinality", "200",
+        "--relations", "4", "--strategy", "SE", "--machine-size", "8",
+        "--arrivals", "poisson", "--rate", "0.05", "--duration", "60",
+        "--seed", "1",
+    )
+
+    def test_open_loop_writes_jsonl(self, capsys, tmp_path):
+        jsonl = tmp_path / "w.jsonl"
+        code, out = run_cli(capsys, *self.ARGS, "--jsonl", str(jsonl))
+        assert code == 0
+        assert "exclusive@8p" in out
+        assert str(jsonl) in out
+        assert jsonl.read_text().count("\n") >= 1
+
+    def test_repeat_runs_byte_identical(self, capsys, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_cli(capsys, *self.ARGS, "--jsonl", str(first), "--quiet")
+        run_cli(capsys, *self.ARGS, "--jsonl", str(second), "--quiet")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_closed_loop(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "workload", "--shape", "left_linear",
+            "--cardinality", "200", "--relations", "4", "--strategy", "SP",
+            "--machine-size", "8", "--arrivals", "closed", "--clients", "2",
+            "--queries-per-client", "2", "--think", "1.0",
+            "--jsonl", str(tmp_path / "c.jsonl"),
+        )
+        assert code == 0
+        assert "4/4 completed" in out
+
+    def test_quiet_suppresses_summary(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, *self.ARGS, "--jsonl", str(tmp_path / "q.jsonl"),
+            "--quiet",
+        )
+        assert code == 0
+        assert out == ""
+
+
+class TestServe:
+    def test_requests_file(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"op": "query", "shape": "left_linear", "strategy": "SP", '
+            '"processors": 10, "cardinality": 500}\n'
+            '{"op": "bogus"}\n'
+        )
+        code, out = run_cli(
+            capsys, "serve", "--requests", str(requests), "--quiet"
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert '"ok": true' in lines[0]
+        assert '"ok": false' in lines[1]
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -146,6 +146,68 @@ class TestXRAProperties:
             assert a.algorithm == b.algorithm
 
 
+class TestWorkloadProperties:
+    """Seed-determinism audit: every stochastic workload entry point
+    takes an explicit seed, and equal seeds give identical traffic."""
+
+    @given(st.integers(0, 10**6), st.floats(0.05, 2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_poisson_arrivals_deterministic(self, seed, rate):
+        from repro.workload import poisson_arrivals
+
+        first = poisson_arrivals(rate, 50.0, seed=seed)
+        second = poisson_arrivals(rate, 50.0, seed=seed)
+        assert first == second
+        assert all(0.0 <= t < 50.0 for t in first)
+        assert first == sorted(first)
+
+    @given(st.integers(0, 10**6), st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_mix_sampling_deterministic(self, seed, count):
+        from repro.workload import QueryMix, sample_specs
+
+        mix = QueryMix.paper(cardinalities=(200,), relations=4)
+        assert sample_specs(mix, count, seed) == sample_specs(mix, count, seed)
+        assert all(s in mix.specs for s in sample_specs(mix, count, seed))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=5, deadline=None)
+    def test_property_same_seed_same_workload_rows(self, seed):
+        """Two identically-seeded engine runs emit identical JSONL
+        rows — the whole pipeline is deterministic end to end."""
+        from repro.workload import (
+            QueryMix,
+            WorkloadEngine,
+            make_arrivals,
+            sample_specs,
+        )
+
+        def run_once():
+            mix = QueryMix.paper(
+                cardinalities=(200,), strategies=("SP", "SE"), relations=4
+            )
+            times = make_arrivals("poisson", 0.5, 30.0, seed)
+            specs = sample_specs(mix, len(times), seed)
+            engine = WorkloadEngine(8, config=FAST)
+            return engine.run_open(list(zip(times, specs))).rows()
+
+        assert run_once() == run_once()
+
+    @given(st.integers(0, 10**6), st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=5, deadline=None)
+    def test_property_closed_loop_budget_respected(
+        self, seed, clients, budget
+    ):
+        from repro.workload import QueryMix, QuerySpec, WorkloadEngine
+
+        mix = QueryMix.single(QuerySpec("left_linear", 200, "SE", 4))
+        result = WorkloadEngine(8, config=FAST).run_closed(
+            mix, clients, queries_per_client=budget, seed=seed
+        )
+        assert len(result.records) == clients * budget
+        assert all(r.completed is not None for r in result.records)
+
+
 class TestLocalExecutorProperties:
     @given(st.integers(2, 6), st.sampled_from(STRATEGIES), st.integers(1, 9),
            st.integers(0, 10**6))

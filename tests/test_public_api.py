@@ -18,6 +18,8 @@ PUBLIC_MODULES = [
     "repro.model",
     "repro.optimizer",
     "repro.xra",
+    "repro.workload",
+    "repro.service",
 ]
 
 
@@ -58,7 +60,8 @@ def test_facade_signature_snapshot():
         "config: 'Optional[MachineConfig]' = None, "
         "cost_model: 'Optional[CostModel]' = None, "
         "skew_theta: 'float' = 0.0, cardinality: 'int' = 5000, "
-        "relations=None, resolve=None, timeout: 'float' = 60.0)"
+        "relations=None, resolve=None, "
+        "timeout: 'Optional[float]' = None)"
     )
 
 
@@ -66,6 +69,21 @@ def test_facade_backends_are_stable():
     from repro import api
 
     assert api.BACKENDS == ("sim", "local", "threaded", "ideal")
+
+
+def test_workload_facade_signature_snapshot():
+    """The workload entry point's keyword surface is API too."""
+    from repro import api
+
+    params = inspect.signature(api.run_workload).parameters
+    assert list(params)[0] == "mix_or_shape"
+    for name in ("arrivals", "rate", "duration", "seed", "machine_size",
+                 "policy", "share", "strategy", "cardinality", "clients",
+                 "think_time", "queries_per_client", "max_concurrent",
+                 "queue_limit", "memory_budget_bytes", "config",
+                 "cost_model", "skew_theta"):
+        assert name in params, f"run_workload lost {name!r}"
+        assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
 
 
 def test_simulating_front_ends_share_keyword_surface():

@@ -1,0 +1,88 @@
+"""Query specs and seeded mixes."""
+
+import random
+
+import pytest
+
+from repro.core import leaf_names
+from repro.workload import QueryMix, QuerySpec, sample_specs
+
+
+class TestQuerySpec:
+    def test_defaults_are_the_paper_point(self):
+        spec = QuerySpec("wide_bushy")
+        assert (spec.cardinality, spec.strategy, spec.relations) == (
+            5_000, "FP", 10
+        )
+
+    def test_tree_and_catalog(self):
+        spec = QuerySpec("left_linear", 300, "SP", 4)
+        tree = spec.tree()
+        assert len(leaf_names(tree)) == 4
+        assert spec.catalog().cardinality_of(leaf_names(tree)[0]) == 300
+
+    def test_label(self):
+        assert QuerySpec("right_bushy", 40_000, "RD").label() == (
+            "right_bushy/40000/RD"
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shape": "mystery"},
+            {"shape": "wide_bushy", "strategy": "XX"},
+            {"shape": "wide_bushy", "cardinality": 0},
+            {"shape": "wide_bushy", "relations": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QuerySpec(**kwargs)
+
+
+class TestQueryMix:
+    def test_single_always_samples_itself(self):
+        spec = QuerySpec("left_bushy", 200, "SE", 4)
+        mix = QueryMix.single(spec)
+        rng = random.Random(0)
+        assert all(mix.sample(rng) is spec for _ in range(20))
+
+    def test_zero_weight_never_drawn(self):
+        never = QuerySpec("left_linear", 200, "SP", 4)
+        always = QuerySpec("wide_bushy", 200, "FP", 4)
+        mix = QueryMix(specs=(never, always), weights=(0.0, 1.0))
+        rng = random.Random(1)
+        assert all(mix.sample(rng) is always for _ in range(50))
+
+    def test_paper_grid_size(self):
+        mix = QueryMix.paper(cardinalities=(5_000, 40_000))
+        assert len(mix.specs) == 5 * 2 * 4
+
+    @pytest.mark.parametrize(
+        "specs,weights",
+        [
+            ((), None),
+            ((QuerySpec("wide_bushy"),), (1.0, 2.0)),
+            ((QuerySpec("wide_bushy"),), (-1.0,)),
+            ((QuerySpec("wide_bushy"),), (0.0,)),
+        ],
+    )
+    def test_validation(self, specs, weights):
+        with pytest.raises(ValueError):
+            QueryMix(specs=specs, weights=weights)
+
+
+class TestSampleSpecs:
+    def test_deterministic(self):
+        mix = QueryMix.paper(cardinalities=(200,), relations=4)
+        assert sample_specs(mix, 30, seed=5) == sample_specs(mix, 30, seed=5)
+
+    def test_count_and_membership(self):
+        mix = QueryMix.paper(cardinalities=(200,), relations=4)
+        drawn = sample_specs(mix, 25, seed=2)
+        assert len(drawn) == 25
+        assert set(drawn) <= set(mix.specs)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            sample_specs(QueryMix.paper(), -1)

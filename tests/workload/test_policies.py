@@ -1,0 +1,109 @@
+"""Allocation policies against a live shared machine."""
+
+import pytest
+
+from repro.core import CostModel, num_joins
+from repro.sim import MachineConfig
+from repro.workload import (
+    ExclusivePolicy,
+    GuidelinePolicy,
+    QuerySpec,
+    RoundRobinPolicy,
+    SharedMachine,
+    make_policy,
+)
+
+MODEL = CostModel()
+
+
+def machine(size=8):
+    return SharedMachine(size, MachineConfig.paper())
+
+
+def allocate(policy, spec, m):
+    return policy.allocate(spec, spec.tree(), spec.catalog(), m, MODEL)
+
+
+SPEC = QuerySpec("wide_bushy", 200, "SE", 4)
+
+
+class TestExclusive:
+    def test_whole_machine_by_default(self):
+        allocation = allocate(ExclusivePolicy(), SPEC, machine())
+        assert allocation.processors == tuple(range(8))
+        assert allocation.exclusive
+
+    def test_claims_lowest_free_ids(self):
+        m = machine()
+        m.claim([0, 2])
+        allocation = allocate(ExclusivePolicy(3), SPEC, m)
+        assert allocation.processors == (1, 3, 4)
+
+    def test_waits_when_short_of_processors(self):
+        m = machine()
+        m.claim(range(6))
+        assert allocate(ExclusivePolicy(4), SPEC, m) is None
+
+    def test_fp_needs_one_processor_per_join(self):
+        fp = QuerySpec("wide_bushy", 200, "FP", 10)  # nine joins
+        with pytest.raises(ValueError, match="FP"):
+            allocate(ExclusivePolicy(4), fp, machine())
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            ExclusivePolicy(0)
+
+
+class TestRoundRobin:
+    def test_never_refuses_and_time_shares(self):
+        policy = RoundRobinPolicy(3)
+        m = machine()
+        first = allocate(policy, SPEC, m)
+        second = allocate(policy, SPEC, m)
+        third = allocate(policy, SPEC, m)
+        assert first.processors == (0, 1, 2)
+        assert second.processors == (3, 4, 5)
+        assert third.processors == (6, 7, 0)  # wraps around the pool
+        assert not first.exclusive
+
+    def test_share_clipped_to_machine(self):
+        allocation = allocate(RoundRobinPolicy(64), SPEC, machine(4))
+        assert len(allocation.processors) == 4
+
+    def test_share_required_and_positive(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy(0)
+        with pytest.raises(ValueError, match="share"):
+            make_policy("round_robin")
+
+
+class TestGuideline:
+    def test_sizes_from_the_square_root_law(self):
+        allocation = allocate(GuidelinePolicy(), SPEC, machine(16))
+        assert 1 <= len(allocation.processors) <= 16
+        assert allocation.exclusive
+
+    def test_resolves_auto_strategy(self):
+        auto = QuerySpec("wide_bushy", 200, "auto", 4)
+        allocation = allocate(GuidelinePolicy(), auto, machine(16))
+        assert allocation.strategy in ("SP", "SE", "RD", "FP")
+
+    def test_grants_at_least_the_join_count_when_it_fits(self):
+        allocation = allocate(GuidelinePolicy(), SPEC, machine(16))
+        assert len(allocation.processors) >= min(num_joins(SPEC.tree()), 16)
+
+    def test_waits_when_short(self):
+        m = machine(16)
+        m.claim(range(15))
+        assert allocate(GuidelinePolicy(), SPEC, m) is None
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_policy("exclusive").name == "exclusive"
+        assert make_policy("round_robin", 4).name == "round_robin"
+        assert make_policy("guideline").name == "guideline"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("lottery")

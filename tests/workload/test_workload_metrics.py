@@ -1,0 +1,123 @@
+"""Workload metrics: percentiles, result aggregates, knee detection."""
+
+import pytest
+
+from repro.workload import (
+    QueryRecord,
+    QuerySpec,
+    WorkloadResult,
+    percentile,
+    saturation_knee,
+)
+
+SPEC = QuerySpec("wide_bushy", 200, "SE", 4)
+
+
+class TestPercentile:
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+def record(index, arrival, admitted, completed, rejected=False):
+    return QueryRecord(
+        index=index, spec=SPEC, arrival=arrival,
+        admitted=admitted, completed=completed, rejected=rejected,
+    )
+
+
+class TestQueryRecord:
+    def test_latency_decomposition(self):
+        r = record(0, 1.0, 3.0, 10.0)
+        assert r.latency == 9.0
+        assert r.queue_delay == 2.0
+        assert r.service_time == 7.0
+        assert r.latency == r.queue_delay + r.service_time
+
+    def test_unfinished_is_none(self):
+        r = QueryRecord(index=0, spec=SPEC, arrival=1.0)
+        assert r.latency is None
+        assert r.queue_delay is None
+        assert r.service_time is None
+
+    def test_row_is_json_scalars_only(self):
+        row = record(3, 1.0, 2.0, 5.0).row()
+        assert row["query"] == 3
+        assert row["shape"] == "wide_bushy"
+        assert row["strategy_requested"] == "SE"
+        for value in row.values():
+            assert isinstance(value, (int, float, str, bool, list, type(None)))
+
+
+class TestWorkloadResult:
+    def make(self):
+        records = [
+            record(0, 0.0, 0.0, 4.0),
+            record(1, 1.0, 4.0, 10.0),
+            record(2, 2.0, None, None, rejected=True),
+        ]
+        return WorkloadResult(
+            records=records, machine_size=4, policy="exclusive",
+            makespan=10.0, busy_seconds=20.0, peak_in_flight=1,
+        )
+
+    def test_populations(self):
+        result = self.make()
+        assert len(result.completed()) == 2
+        assert result.rejected_count() == 1
+
+    def test_headline_numbers(self):
+        result = self.make()
+        assert result.throughput() == pytest.approx(0.2)
+        assert result.utilization() == pytest.approx(0.5)
+        assert result.latency_stats()["mean"] == pytest.approx(6.5)
+        assert result.mean_queue_delay() == pytest.approx(1.5)
+        assert result.mean_service_time() == pytest.approx(5.0)
+
+    def test_empty_stats_are_zero(self):
+        result = WorkloadResult(
+            records=[], machine_size=4, policy="exclusive",
+            makespan=0.0, busy_seconds=0.0, peak_in_flight=0,
+        )
+        assert result.latency_stats() == {
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0
+        }
+        assert result.throughput() == 0.0
+        assert result.utilization() == 0.0
+
+    def test_summary_mentions_the_headlines(self):
+        text = self.make().summary()
+        assert "exclusive@4p" in text
+        assert "2/3 completed" in text
+        assert "1 rejected" in text
+
+
+class TestSaturationKnee:
+    def test_flat_curve_has_no_knee(self):
+        assert saturation_knee([1, 2, 4], [1.0, 1.1, 1.2]) is None
+
+    def test_first_load_past_the_factor(self):
+        assert saturation_knee([1, 2, 4, 8], [1.0, 1.5, 2.5, 9.0]) == 4
+
+    def test_order_independent(self):
+        assert saturation_knee([8, 1, 4, 2], [9.0, 1.0, 2.5, 1.5]) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturation_knee([1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            saturation_knee([1], [1.0], factor=1.0)
+        assert saturation_knee([], []) is None
