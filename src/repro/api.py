@@ -28,6 +28,7 @@ through :func:`run_workload` (the workload engine of
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Optional, Union
 
 from .core.cost import Catalog, CostModel
@@ -97,18 +98,26 @@ def run(
         only backend that can be abandoned mid-run (its dataflow
         threads are daemons); defaults to 60 seconds there.  The other
         backends run to completion on the calling thread and cannot
-        honor a wall-clock bound, so they reject the parameter instead
-        of silently ignoring it.
+        honor a wall-clock bound; passing ``timeout`` with them emits
+        a :class:`DeprecationWarning` (it used to be silently ignored,
+        and will become an error).
     """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     if timeout is not None and backend != "threaded":
-        raise ValueError(
+        # Pre-facade callers passed the old default (timeout=60.0) to
+        # every backend and it was silently dropped; warn for now
+        # instead of hard-breaking them.
+        warnings.warn(
             f"'timeout' applies to backend='threaded' only; backend "
-            f"{backend!r} runs to completion on the calling thread"
+            f"{backend!r} runs to completion on the calling thread and "
+            f"ignores it (this will become an error)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        timeout = None
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive")
     tree = _resolve_tree(tree_or_shape)

@@ -91,8 +91,15 @@ def workload_chart(points: List, title: str) -> str:
     chart = LineChart(
         title, x_label="offered load", y_label="latency (s)"
     )
-    chart.add_series("mean", [(p.load, p.latency_mean) for p in points])
-    chart.add_series("p95", [(p.load, p.latency_p95) for p in points])
+    # Fully rejected load points have no latency (None) — skip them.
+    mean = [(p.load, p.latency_mean) for p in points
+            if p.latency_mean is not None]
+    p95 = [(p.load, p.latency_p95) for p in points
+           if p.latency_p95 is not None]
+    if mean:
+        chart.add_series("mean", mean)
+    if p95:
+        chart.add_series("p95", p95)
     chart.add_series(
         "queueing", [(p.load, p.queue_delay_mean) for p in points]
     )
@@ -113,11 +120,14 @@ def workload_html(points: List, knee: Optional[float]) -> str:
         "<table><tr><th>load</th><th>throughput</th><th>utilization</th>"
         "<th>p50</th><th>p95</th><th>queueing</th></tr>",
     ]
+    def seconds(value):
+        return "n/a" if value is None else f"{value:.2f}s"
+
     for p in points:
         parts.append(
             f"<tr><td>{p.load:.2f}</td><td>{p.throughput:.3f}</td>"
-            f"<td>{p.utilization:.0%}</td><td>{p.latency_p50:.2f}s</td>"
-            f"<td>{p.latency_p95:.2f}s</td>"
+            f"<td>{p.utilization:.0%}</td><td>{seconds(p.latency_p50)}</td>"
+            f"<td>{seconds(p.latency_p95)}</td>"
             f"<td>{p.queue_delay_mean:.2f}s</td></tr>"
         )
     parts.append("</table>")

@@ -54,6 +54,7 @@ from .policies import (
     AllocationPolicy,
     ExclusivePolicy,
     GuidelinePolicy,
+    InfeasibleQueryError,
     MachineView,
     RoundRobinPolicy,
     make_policy,
@@ -65,6 +66,7 @@ __all__ = [
     "AllocationPolicy",
     "ExclusivePolicy",
     "GuidelinePolicy",
+    "InfeasibleQueryError",
     "LoadPoint",
     "MachineView",
     "POLICY_NAMES",

@@ -29,10 +29,12 @@ class LoadPoint:
     load: float              # offered load: rate (q/s) or client count
     throughput: float
     utilization: float
-    latency_mean: float
-    latency_p50: float
-    latency_p95: float
-    latency_p99: float
+    # Latency fields are None when the point completed no queries
+    # (fully rejected, over-saturated load); curve_knee skips them.
+    latency_mean: Optional[float]
+    latency_p50: Optional[float]
+    latency_p95: Optional[float]
+    latency_p99: Optional[float]
     queue_delay_mean: float
     completed: int
     rejected: int

@@ -33,7 +33,20 @@ from ..sim.machine import MachineConfig, NetworkLink, Processor
 from ..sim.run import ScheduleSimulation
 from .metrics import QueryRecord, WorkloadResult
 from .mix import QueryMix, QuerySpec
-from .policies import Allocation, AllocationPolicy, ExclusivePolicy, MachineView
+from .policies import (
+    Allocation,
+    AllocationPolicy,
+    ExclusivePolicy,
+    InfeasibleQueryError,
+    MachineView,
+)
+
+#: Minimum simulated delay before a closed-loop client retries after a
+#: rejection.  A client with ``think_time=0`` would otherwise resubmit
+#: at the very simulated instant of the rejection, be rejected again,
+#: and livelock the clock without ever advancing time; any positive
+#: delay makes the ``duration`` horizon reachable.
+REJECTED_RETRY_DELAY = 0.1
 
 
 class SharedMachine(MachineView):
@@ -218,9 +231,18 @@ class WorkloadEngine:
             record = self._queue[0]
             tree = record.spec.tree()
             catalog = record.spec.catalog()
-            allocation = self.policy.allocate(
-                record.spec, tree, catalog, self.machine, self.cost_model
-            )
+            try:
+                allocation = self.policy.allocate(
+                    record.spec, tree, catalog, self.machine, self.cost_model
+                )
+            except InfeasibleQueryError as exc:
+                # One query the policy can never run must not abort the
+                # workload mid-simulation: shed it and keep draining.
+                self._queue.popleft()
+                record.rejected = True
+                record.error = str(exc)
+                self._query_done(record)
+                continue
             if allocation is None:
                 return
             schedule = get_strategy(allocation.strategy).schedule(
@@ -288,8 +310,11 @@ class WorkloadEngine:
         """Completion or rejection — the closed-loop continuation hook."""
         if record.client is None or self._closed_mix is None:
             return
+        delay = self._think_time
+        if record.rejected and delay <= 0.0:
+            delay = REJECTED_RETRY_DELAY
         self._submit_for_client(
-            record.client, self.machine.clock.now + self._think_time
+            record.client, self.machine.clock.now + delay
         )
 
     def _submit_for_client(self, client: int, time: float) -> None:

@@ -48,6 +48,7 @@ class QueryRecord:
     strategy: Optional[str] = None        # resolved (never "auto")
     processors: Tuple[int, ...] = ()
     rejected: bool = False
+    error: Optional[str] = None           # why the engine shed the query
     result: Optional[SimulationResult] = None
 
     @property
@@ -87,6 +88,7 @@ class QueryRecord:
             "queue_delay": self.queue_delay,
             "service_time": self.service_time,
             "rejected": self.rejected,
+            "error": self.error,
         }
 
 
@@ -120,11 +122,17 @@ class WorkloadResult:
 
     # -- headline numbers -------------------------------------------------
 
-    def latency_stats(self) -> Dict[str, float]:
-        """Mean / p50 / p95 / p99 latency over completed queries."""
+    def latency_stats(self) -> Dict[str, Optional[float]]:
+        """Mean / p50 / p95 / p99 latency over completed queries.
+
+        All four values are ``None`` when nothing completed (e.g. a
+        fully rejected, over-saturated load point): there is no latency
+        to report, and a fake 0.0 would poison downstream baselines
+        like :func:`saturation_knee`.
+        """
         values = self.latencies()
         if not values:
-            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {"mean": None, "p50": None, "p95": None, "p99": None}
         return {
             "mean": sum(values) / len(values),
             "p50": percentile(values, 50.0),
@@ -166,6 +174,14 @@ class WorkloadResult:
 
     def summary(self) -> str:
         stats = self.latency_stats()
+        if stats["mean"] is None:
+            latency = "latency n/a (no completions)"
+        else:
+            latency = (
+                f"latency mean {stats['mean']:.2f}s "
+                f"p50 {stats['p50']:.2f}s p95 {stats['p95']:.2f}s "
+                f"p99 {stats['p99']:.2f}s"
+            )
         return (
             f"{self.policy}@{self.machine_size}p: "
             f"{len(self.completed())}/{len(self.records)} completed "
@@ -173,9 +189,7 @@ class WorkloadResult:
             f"makespan {self.makespan:.1f}s, "
             f"throughput {self.throughput():.3f} q/s, "
             f"utilization {self.utilization():.0%}, "
-            f"latency mean {stats['mean']:.2f}s "
-            f"p50 {stats['p50']:.2f}s p95 {stats['p95']:.2f}s "
-            f"p99 {stats['p99']:.2f}s, "
+            f"{latency}, "
             f"queue delay {self.mean_queue_delay():.2f}s, "
             f"peak in-flight {self.peak_in_flight}"
         )
@@ -183,7 +197,7 @@ class WorkloadResult:
 
 def saturation_knee(
     loads: Sequence[float],
-    latencies: Sequence[float],
+    latencies: Sequence[Optional[float]],
     factor: float = 2.0,
 ) -> Optional[float]:
     """The offered load at which latency leaves the flat region.
@@ -193,14 +207,23 @@ def saturation_knee(
     the first load whose latency exceeds ``factor`` times the
     lightest-load latency.  Returns ``None`` when the curve never
     leaves the flat region (the machine was never saturated).
+
+    Points without a latency (``None``, e.g. a fully rejected load
+    point) or with a non-positive one are skipped: they cannot anchor
+    a ratio test, and a zero baseline would make every later point a
+    false knee.
     """
     if len(loads) != len(latencies):
         raise ValueError("loads and latencies must have equal length")
-    if not loads:
-        return None
     if factor <= 1.0:
         raise ValueError("factor must exceed 1.0")
-    points = sorted(zip(loads, latencies))
+    points = sorted(
+        (load, latency)
+        for load, latency in zip(loads, latencies)
+        if latency is not None and latency > 0.0
+    )
+    if not points:
+        return None
     baseline = points[0][1]
     for load, latency in points:
         if latency > factor * baseline:

@@ -19,7 +19,9 @@ open:
 
 A policy returns ``None`` from :meth:`~AllocationPolicy.allocate` when
 the query must wait (not enough free processors); the engine keeps it
-queued and retries on every completion.
+queued and retries on every completion.  A share that can *never* run
+the query's strategy raises :class:`InfeasibleQueryError`, which the
+engine turns into a per-query rejection rather than a workload abort.
 """
 
 from __future__ import annotations
@@ -40,6 +42,12 @@ from .mix import QuerySpec
 
 #: Policy names the CLI accepts.
 POLICY_NAMES = ("exclusive", "round_robin", "guideline")
+
+
+class InfeasibleQueryError(ValueError):
+    """The policy's share can never run this query's strategy (e.g. FP
+    with fewer processors than joins).  The engine catches this and
+    rejects the one query instead of aborting the whole workload."""
 
 
 @dataclass(frozen=True)
@@ -97,7 +105,7 @@ class AllocationPolicy(ABC):
 
     def _check_feasible(self, strategy: str, tree: Node, share: int) -> None:
         if strategy == "FP" and share < num_joins(tree):
-            raise ValueError(
+            raise InfeasibleQueryError(
                 f"policy {self.name!r} grants {share} processors but FP "
                 f"needs at least one per join ({num_joins(tree)}); "
                 "raise the share or pick another strategy"

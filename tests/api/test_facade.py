@@ -151,17 +151,20 @@ class TestArgumentPolicing:
 
 
 class TestTimeout:
-    """``timeout`` is honored where it can be and rejected where it
-    can't — never silently ignored (regression: it used to be accepted
-    and dropped by every backend but 'threaded')."""
+    """``timeout`` is honored where it can be and warned about where
+    it can't — never silently ignored (regression: it used to be
+    accepted and dropped by every backend but 'threaded').  Old
+    callers that passed the pre-facade default (timeout=60.0) keep
+    working for now; the warning says it will become an error."""
 
     @pytest.mark.parametrize("backend", ["sim", "ideal", "local"])
-    def test_non_threaded_backends_reject_timeout(self, backend):
-        with pytest.raises(ValueError, match="threaded"):
-            api.run(
+    def test_non_threaded_backends_warn_on_timeout(self, backend):
+        with pytest.warns(DeprecationWarning, match="threaded"):
+            result = api.run(
                 "wide_bushy", "SE", 4, backend,
                 cardinality=100, timeout=5.0,
             )
+        assert result is not None
 
     def test_timeout_must_be_positive(self):
         with pytest.raises(ValueError, match="positive"):

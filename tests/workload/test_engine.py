@@ -12,6 +12,7 @@ from repro.workload import (
     RoundRobinPolicy,
     WorkloadEngine,
 )
+from repro.workload.engine import REJECTED_RETRY_DELAY
 
 SMALL = QuerySpec("wide_bushy", 200, "SE", 4)
 
@@ -93,6 +94,21 @@ class TestAdmission:
         assert result.peak_in_flight == 1
         assert len(result.completed()) == 2
 
+    def test_infeasible_query_is_rejected_not_fatal(self, fast_config):
+        """An FP query on a 1-processor share can never run; it must be
+        shed as a rejection, not abort the whole workload mid-simulation
+        (regression: the feasibility check used to raise out of the
+        event loop)."""
+        feasible = QuerySpec("wide_bushy", 200, "SE", 4)
+        infeasible = QuerySpec("wide_bushy", 200, "FP", 4)
+        engine = small_engine(fast_config, policy=RoundRobinPolicy(1))
+        result = engine.run_open([(0.0, feasible), (0.0, infeasible)])
+        assert len(result.completed()) == 1
+        bad = result.records[1]
+        assert bad.rejected
+        assert bad.completed is None
+        assert "FP" in bad.error
+
     def test_stuck_queue_is_an_error(self, fast_config):
         class NeverPolicy(AllocationPolicy):
             name = "never"
@@ -156,6 +172,38 @@ class TestClosedLoop:
         )
         assert len(result.records) == 8
         assert result.rejected_count() > 0
+
+    def test_rejecting_loop_with_zero_think_time_terminates(
+        self, fast_config
+    ):
+        """Regression (livelock): queue_limit + think_time=0 used to
+        resubmit a bounced query at the same simulated instant, be
+        bounced again, and spin forever without advancing the clock.
+        Rejected retries now wait a positive minimum delay, so the
+        duration horizon is always reached."""
+        mix = QueryMix.single(SMALL)
+        engine = small_engine(fast_config, queue_limit=0)
+        result = engine.run_closed(mix, 3, duration=10.0, seed=0)
+        assert result.rejected_count() > 0
+        assert all(r.arrival < 10.0 for r in result.records)
+        assert result.makespan >= 10.0 - REJECTED_RETRY_DELAY
+
+    def test_rejected_retry_waits_the_minimum_delay(self, fast_config):
+        """A think_time=0 client's retry after a rejection lands
+        strictly later in simulated time."""
+        mix = QueryMix.single(SMALL)
+        engine = small_engine(fast_config, queue_limit=0)
+        result = engine.run_closed(mix, 2, queries_per_client=2, seed=0)
+        by_client = {}
+        for r in result.records:
+            by_client.setdefault(r.client, []).append(r)
+        for records in by_client.values():
+            for before, after in zip(records, records[1:]):
+                if before.rejected:
+                    assert (
+                        after.arrival
+                        >= before.arrival + REJECTED_RETRY_DELAY - 1e-12
+                    )
 
     @pytest.mark.parametrize(
         "kwargs,match",

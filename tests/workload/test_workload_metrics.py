@@ -87,16 +87,20 @@ class TestWorkloadResult:
         assert result.mean_queue_delay() == pytest.approx(1.5)
         assert result.mean_service_time() == pytest.approx(5.0)
 
-    def test_empty_stats_are_zero(self):
+    def test_no_completions_has_no_latency(self):
+        """A fully rejected load point must not report a fake 0-second
+        latency (it would poison saturation-knee baselines)."""
         result = WorkloadResult(
-            records=[], machine_size=4, policy="exclusive",
+            records=[record(0, 0.0, None, None, rejected=True)],
+            machine_size=4, policy="exclusive",
             makespan=0.0, busy_seconds=0.0, peak_in_flight=0,
         )
         assert result.latency_stats() == {
-            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0
+            "mean": None, "p50": None, "p95": None, "p99": None
         }
         assert result.throughput() == 0.0
         assert result.utilization() == 0.0
+        assert "latency n/a" in result.summary()
 
     def test_summary_mentions_the_headlines(self):
         text = self.make().summary()
@@ -121,3 +125,16 @@ class TestSaturationKnee:
         with pytest.raises(ValueError):
             saturation_knee([1], [1.0], factor=1.0)
         assert saturation_knee([], []) is None
+
+    def test_skips_points_without_latency(self):
+        """A fully rejected point (None latency) cannot anchor the
+        baseline or be a knee candidate."""
+        assert saturation_knee([1, 2, 4], [None, 1.0, 1.5]) is None
+        assert saturation_knee([1, 2, 4, 8], [None, 1.0, 1.5, 2.5]) == 8
+        assert saturation_knee([1, 2], [None, None]) is None
+
+    def test_zero_baseline_does_not_fake_a_knee(self):
+        """A 0-latency lightest point must not make every later point
+        look saturated (regression: zero baseline × factor == 0)."""
+        assert saturation_knee([1, 2, 4], [0.0, 1.0, 1.5]) is None
+        assert saturation_knee([1, 2, 4, 8], [0.0, 1.0, 1.5, 2.5]) == 8
