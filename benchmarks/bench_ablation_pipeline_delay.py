@@ -11,7 +11,6 @@ size beyond the compute term) and against operand size for one bushy
 step (delay grows linearly with size).
 """
 
-import pytest
 
 from repro import api
 from repro.core import Catalog, paper_relation_names

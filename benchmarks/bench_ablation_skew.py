@@ -16,7 +16,6 @@ SP's makespan is the largest fragment of *every* join, while FP's
 private processor sets contain the damage per join.
 """
 
-import pytest
 
 from repro import api
 from repro.runner import SweepSpec, run_sweep

@@ -13,7 +13,6 @@ and fitting the scaling exponent of the argmin.
 
 import math
 
-import pytest
 
 from repro import api
 from repro.core import Catalog

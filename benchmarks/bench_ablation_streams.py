@@ -11,7 +11,6 @@ This bench (a) verifies the stream-count arithmetic of the plans and
 sensitivity ordering SP > {SE, RD} > FP.
 """
 
-import pytest
 
 from repro import api
 from repro.core import Catalog, get_strategy, make_shape, paper_relation_names

@@ -11,7 +11,6 @@ strategies and reasonable on the pipelined ones.
 
 import statistics
 
-import pytest
 
 from repro import api
 from repro.core import Catalog, SHAPE_NAMES, make_shape, paper_relation_names

@@ -14,7 +14,6 @@ choice lands within a small factor of the joint optimum and far from
 the worst candidate.
 """
 
-import pytest
 
 from repro.optimizer import QueryGraph
 from repro.optimizer.onephase import two_phase_gap

@@ -14,7 +14,6 @@ experiment to 320 processors and checks the prediction: FP overtakes
 every other strategy and keeps the flattest curve.
 """
 
-import pytest
 
 from repro import api
 from repro.bench.runner import sweep as cached_sweep

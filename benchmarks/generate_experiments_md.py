@@ -13,16 +13,14 @@ from __future__ import annotations
 import pathlib
 
 from repro.bench import (
-    PAPER_FIGURE_14,
     all_sweeps,
     ascii_plot,
     evaluate_claims,
     figure14_table,
     markdown_figure_section,
 )
-from repro.core import SHAPE_NAMES, example_tree
+from repro.core import SHAPE_NAMES
 from repro.engine import ideal_diagram
-from repro.sim import MachineConfig
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 

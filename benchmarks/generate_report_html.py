@@ -4,7 +4,8 @@ Runs the full evaluation with the frozen paper configuration and
 writes ``benchmarks/results/report.html``: the Figure 14 table, SVG
 line charts for Figures 9-13 with per-panel claim checklists, SVG
 Gantt charts for the idealized Figures 3/4/6/7, and the beyond-paper
-multi-query workload saturation curve.
+multi-query workload saturation curve and fault-injection resilience
+section.
 
     python benchmarks/generate_report_html.py
 """
@@ -16,6 +17,7 @@ import pathlib
 from repro import api
 from repro.bench import all_sweeps
 from repro.core import example_tree
+from repro.faults import fault_rate_sweep
 from repro.report import render_report
 from repro.sim import MachineConfig
 from repro.workload import (
@@ -47,6 +49,21 @@ def workload_points():
     )
 
 
+def resilience_points():
+    return fault_rate_sweep(
+        strategies=("SE", "RD"),
+        crash_rates=(0.0, 0.002, 0.01),
+        recovery="restart",
+        duration=120.0,
+        rate=0.1,
+        machine_size=40,
+        seed=7,
+        repair_time=30.0,
+        cardinality=1_000,
+        config=FAST,
+    )
+
+
 def main() -> None:
     sweeps = all_sweeps()
     diagrams = {
@@ -55,7 +72,11 @@ def main() -> None:
     }
     RESULTS.mkdir(exist_ok=True)
     out = RESULTS / "report.html"
-    out.write_text(render_report(sweeps, diagrams, workload_points()))
+    out.write_text(
+        render_report(
+            sweeps, diagrams, workload_points(), resilience_points()
+        )
+    )
     print(f"wrote {out}")
 
 

@@ -29,7 +29,7 @@ through :func:`run_workload` (the workload engine of
 from __future__ import annotations
 
 import warnings
-from typing import Mapping, Optional, Union
+from typing import Optional, Union
 
 from .core.cost import Catalog, CostModel
 from .core.shapes import SHAPE_NAMES, make_shape, paper_relation_names
@@ -61,6 +61,7 @@ def run(
     relations=None,
     resolve=None,
     timeout: Optional[float] = None,
+    faults=None,
 ):
     """Plan ``tree_or_shape`` with ``strategy`` and execute it on one
     of the four backends.
@@ -101,6 +102,14 @@ def run(
         honor a wall-clock bound; passing ``timeout`` with them emits
         a :class:`DeprecationWarning` (it used to be silently ignored,
         and will become an error).
+    ``faults``
+        A :class:`~repro.faults.FaultSchedule` (or prepared
+        :class:`~repro.faults.FaultInjector`) armed against the
+        simulating backends; a crash that hits the query raises
+        :class:`~repro.faults.QueryAbortedError` (a single query on a
+        dedicated machine has nothing to recover to — recovery
+        policies live in :func:`run_workload`).  An empty schedule is
+        a bit-for-bit no-op.  Rejected by the real-data backends.
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -146,10 +155,16 @@ def run(
         return simulate(
             schedule, catalog, config,
             cost_model=cost_model, skew_theta=skew_theta,
+            faults=faults,
         )
 
     # Real-data backends: they execute rather than model, so the
     # simulation-only knobs are rejected instead of silently ignored.
+    if faults is not None:
+        raise ValueError(
+            f"backend {backend!r} runs on real data; fault injection "
+            f"applies to the simulating backends only"
+        )
     if config is not None:
         raise ValueError(
             f"backend {backend!r} runs on real data; 'config' does not apply"
@@ -227,6 +242,11 @@ def run_workload(
     config: Optional[MachineConfig] = None,
     cost_model: Optional[CostModel] = None,
     skew_theta: float = 0.0,
+    faults=None,
+    recovery: str = "fail",
+    max_retries: int = 3,
+    retry_backoff: float = 1.0,
+    rejected_retry_delay: Optional[float] = None,
 ):
     """Serve a stream of queries on one shared simulated machine.
 
@@ -243,11 +263,21 @@ def run_workload(
     ``policy`` / ``share``
         Allocation policy name (:data:`repro.workload.POLICY_NAMES`)
         and its per-query processor share (policy-specific default).
+    ``faults`` / ``recovery`` / ``max_retries`` / ``retry_backoff``
+        Optional :class:`~repro.faults.FaultSchedule` and the recovery
+        policy (:data:`repro.workload.RECOVERY_POLICIES`) applied to
+        crashed queries; see :class:`~repro.workload.WorkloadEngine`.
+        The result then carries resilience metrics
+        (``resilience_summary()``).
+    ``rejected_retry_delay``
+        Zero-think-time closed-loop retry delay after a rejection
+        (default :data:`repro.workload.REJECTED_RETRY_DELAY`).
 
     Returns a :class:`~repro.workload.WorkloadResult`; its
     ``write_jsonl`` emits one deterministic row per query.
     """
     from .workload import (
+        REJECTED_RETRY_DELAY,
         QueryMix,
         QuerySpec,
         WorkloadEngine,
@@ -277,6 +307,15 @@ def run_workload(
         max_concurrent=max_concurrent,
         queue_limit=queue_limit,
         memory_budget_bytes=memory_budget_bytes,
+        faults=faults,
+        recovery=recovery,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        rejected_retry_delay=(
+            REJECTED_RETRY_DELAY
+            if rejected_retry_delay is None
+            else rejected_retry_delay
+        ),
     )
     if arrivals == "closed":
         return engine.run_closed(

@@ -9,9 +9,9 @@ paper's figures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
-from .workloads import Series, SweepResult
+from .workloads import SweepResult
 
 #: Plot glyph per strategy, mirroring the figures' point markers.
 MARKERS = {"SP": "*", "SE": "o", "RD": "+", "FP": "#"}

@@ -9,10 +9,10 @@ numbers and the *shape* checks (Section 4.4 claims) for every figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .paperdata import PAPER_FIGURE_14, Claim, claims_for_figure
-from .workloads import Experiment, SweepResult
+from .workloads import SweepResult
 
 
 @dataclass

@@ -14,14 +14,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..core.cost import CostModel
 from ..sim.machine import MachineConfig
 from .workloads import (
     Experiment,
     SweepResult,
     all_paper_experiments,
     paper_experiments,
-    run_sweep,
 )
 
 _CACHE: Dict[Tuple, SweepResult] = {}

@@ -11,7 +11,7 @@ paying — the quantity behind the §2.3.1 √size rule).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Tuple
 
 from .workloads import Series, SweepResult
 

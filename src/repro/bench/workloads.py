@@ -10,7 +10,7 @@ tuples per relation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cost import Catalog, CostModel

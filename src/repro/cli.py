@@ -13,6 +13,8 @@ Every major capability of the reproduction behind one entry point::
     python -m repro optimize --relations 10 --cardinality 5000 --processors 40
     python -m repro workload --shape wide_bushy --arrivals poisson \\
                              --rate 5 --duration 60 --seed 1
+    python -m repro faults   --strategies SP,SE,RD,FP \\
+                             --crash-rates 0,0.002,0.01 --recovery restart
     python -m repro serve    < requests.jsonl
 """
 
@@ -195,6 +197,17 @@ def _cmd_optimize(args) -> int:
 def _cmd_workload(args) -> int:
     from .api import run_workload
 
+    faults = None
+    if args.crash_rate > 0:
+        from .faults import FaultSchedule
+
+        faults = FaultSchedule.generate(
+            machine_size=args.machine_size,
+            horizon=args.duration,
+            seed=args.seed,
+            crash_rate=args.crash_rate,
+            repair_time=args.repair_time,
+        )
     result = run_workload(
         args.shape if not args.paper_mix else "paper",
         arrivals=args.arrivals,
@@ -217,6 +230,8 @@ def _cmd_workload(args) -> int:
             if args.memory_budget_mb is not None else None
         ),
         skew_theta=args.skew,
+        faults=faults,
+        recovery=args.recovery,
     )
     jsonl_path = args.jsonl
     if jsonl_path is None:
@@ -226,6 +241,49 @@ def _cmd_workload(args) -> int:
     result.write_jsonl(jsonl_path)
     if not args.quiet:
         print(result.summary())
+        print(f"results: {jsonl_path}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from .faults import fault_rate_sweep
+    from .runner.results import write_jsonl
+
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    rates = [float(r) for r in args.crash_rates.split(",")]
+    points = fault_rate_sweep(
+        strategies=strategies,
+        crash_rates=rates,
+        recovery=args.recovery,
+        duration=args.duration,
+        rate=args.rate,
+        machine_size=args.machine_size,
+        seed=args.seed,
+        repair_time=args.repair_time,
+        cardinality=args.cardinality,
+        relations=args.relations,
+        policy=args.policy,
+        share=args.share,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+    )
+    if not args.quiet:
+        print(
+            f"{'strategy':>8} {'crash/s':>9} {'done':>5} {'fail':>5} "
+            f"{'retry':>6} {'goodput':>9} {'wasted':>7} {'mttr':>8}"
+        )
+        for pt in points:
+            mttr = "n/a" if pt.mttr is None else f"{pt.mttr:.1f}s"
+            print(
+                f"{pt.strategy:>8} {pt.crash_rate:>9.4f} {pt.completed:>5} "
+                f"{pt.failed:>5} {pt.retries:>6} {pt.goodput:>9.4f} "
+                f"{pt.wasted_fraction:>7.1%} {mttr:>8}"
+            )
+    jsonl_path = args.jsonl
+    if jsonl_path is None:
+        jsonl_path = pathlib.Path(f"faults_{args.recovery}.jsonl")
+    write_jsonl(jsonl_path, [pt.row() for pt in points])
+    if not args.quiet:
         print(f"results: {jsonl_path}")
     return 0
 
@@ -357,12 +415,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Zipf partitioning skew for every query")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for arrivals, mix sampling and think loops")
+    p.add_argument("--crash-rate", type=float, default=0.0,
+                   help="seeded processor crash rate (crashes/second "
+                        "machine-wide; 0 = fault-free)")
+    p.add_argument("--repair-time", type=float, default=60.0,
+                   help="seconds until a crashed processor rejoins")
+    p.add_argument("--recovery",
+                   choices=["fail", "restart", "reassign"], default="fail",
+                   help="what happens to a crashed query")
     p.add_argument("--jsonl", default=None,
                    help="per-query JSONL path "
                         "(default: workload_<shape>_<arrivals>.jsonl)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the summary line")
     p.set_defaults(fn=_cmd_workload)
+
+    p = sub.add_parser(
+        "faults",
+        help="strategy-vs-fault-rate resilience sweep on the workload engine",
+    )
+    p.add_argument("--strategies", default="SP,SE,RD,FP",
+                   help="comma-separated strategies to compare")
+    p.add_argument("--crash-rates", default="0,0.002,0.01",
+                   help="comma-separated crash rates (crashes/second)")
+    p.add_argument("--recovery",
+                   choices=["fail", "restart", "reassign"],
+                   default="restart", help="recovery policy for every cell")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="open-loop arrival rate (queries/second)")
+    p.add_argument("--duration", type=float, default=300.0,
+                   help="simulated arrival horizon in seconds")
+    p.add_argument("--machine-size", type=int, default=40,
+                   help="processors in the shared pool")
+    p.add_argument("--policy",
+                   choices=["exclusive", "round_robin", "guideline"],
+                   default="exclusive", help="processor allocation policy")
+    p.add_argument("--share", type=int, default=None,
+                   help="processors per query (policy-specific default)")
+    p.add_argument("--relations", type=int, default=10)
+    p.add_argument("--cardinality", type=int, default=5000)
+    p.add_argument("--repair-time", type=float, default=60.0,
+                   help="seconds until a crashed processor rejoins")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="extra attempts before a crashed query fails")
+    p.add_argument("--retry-backoff", type=float, default=1.0,
+                   help="base of the exponential restart backoff")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for arrivals, mix and fault generation")
+    p.add_argument("--jsonl", default=None,
+                   help="per-cell JSONL path (default: faults_<recovery>.jsonl)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the table")
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser(
         "serve", help="JSONL query service: one request per line on stdin"

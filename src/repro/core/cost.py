@@ -21,8 +21,8 @@ selectivity-based estimation on irregular queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
 
 from .trees import Join, Leaf, Node, joins_postorder
 

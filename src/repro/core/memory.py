@@ -21,11 +21,10 @@ analyses: :func:`peak_memory_per_processor`,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
 from .cost import Catalog, CostModel, JoinCost
-from .schedule import JoinTask, ParallelSchedule
-from .trees import Join, Leaf
+from .schedule import ParallelSchedule
 
 #: PRISMA/DB node memory (Section 2.1): 16 MB.
 PRISMA_NODE_BYTES = 16 * 1024 * 1024

@@ -15,7 +15,7 @@ right-deep segments; :func:`left_orient` is its mirror image.
 
 from __future__ import annotations
 
-from .trees import Join, Leaf, Node, height, mirror
+from .trees import Join, Leaf, Node, mirror
 
 
 def right_orient(node: Node) -> Node:

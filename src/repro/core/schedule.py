@@ -23,10 +23,9 @@ Input modes (how a join operand reaches the task's processes):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple, Union
 
-from .cost import JoinCost
 from .trees import Join, Leaf, Node, joins_postorder
 
 #: Valid input modes (see module docstring).

@@ -11,11 +11,11 @@ short names used throughout the benchmarks ("SP", "SE", "RD", "FP").
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Tuple, Type
+from typing import Dict, List, Type
 
-from ..cost import Catalog, CostModel, JoinCost
+from ..cost import Catalog, CostModel
 from ..schedule import ParallelSchedule
-from ..trees import Join, Node, joins_postorder, num_joins
+from ..trees import Node, joins_postorder, num_joins
 
 
 class Strategy(abc.ABC):

@@ -22,9 +22,9 @@ from typing import Dict, List, Tuple
 from ..allocation import allocate_ranges
 from ..cost import Catalog, CostModel
 from ..schedule import InputSpec, JoinTask, ParallelSchedule
-from ..trees import Join, Leaf, Node, joins_postorder
+from ..trees import Leaf, Node, joins_postorder
 from .base import Strategy, postorder_index, register
-from .segments import Segment, decompose, waves
+from .segments import decompose, waves
 
 
 @register

@@ -13,7 +13,7 @@ degenerates to SP — exactly what Figures 9 and 13 show.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..allocation import allocate_ranges
 from ..cost import Catalog, CostModel

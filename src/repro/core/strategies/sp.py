@@ -16,7 +16,7 @@ from typing import List
 
 from ..cost import Catalog, CostModel
 from ..schedule import InputSpec, JoinTask, ParallelSchedule
-from ..trees import Join, Leaf, Node, joins_postorder
+from ..trees import Leaf, Node, joins_postorder
 from .base import Strategy, postorder_index, register
 
 

@@ -11,8 +11,8 @@ left/right-deep, orientation, segments are in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ work labels.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 from ..core.cost import Catalog, CostModel
 from ..core.shapes import example_tree

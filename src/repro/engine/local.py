@@ -19,11 +19,11 @@ tests can check the non-skew assumption the simulator relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
 
 from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
-from ..core.trees import Join, Leaf, Node, joins_postorder
+from ..core.trees import Leaf, Node
 from ..relational.hashjoin import PipeliningHashJoin, SimpleHashJoin
 from ..relational.operators import wisconsin_combine
 from ..relational.partition import hash_partition

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
 from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
-from ..core.trees import Join, Leaf, Node, joins_postorder
+from ..core.trees import Leaf, Node
 from ..relational.hashjoin import PipeliningHashJoin, SimpleHashJoin
 from ..relational.partition import bucket
 from ..relational.query import (

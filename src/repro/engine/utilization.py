@@ -8,7 +8,7 @@ This module renders exactly that from a simulation's interval trace.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..sim.metrics import SimulationResult
 

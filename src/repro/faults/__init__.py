@@ -1,0 +1,53 @@
+"""Deterministic fault injection for the simulated machine.
+
+The paper's shared-nothing setting makes fault tolerance a first-class
+question: which of the four strategies degrades most gracefully when a
+node crashes mid-pipeline?  This package answers it without giving up
+the reproduction's determinism:
+
+- :class:`FaultSchedule` — frozen, seeded description of crash-stop
+  failures (with optional timed repair), straggler windows, and
+  interconnect delay/loss windows; replayable bit-for-bit.
+- :class:`FaultInjector` — arms one schedule against one owned
+  :class:`~repro.sim.run.ScheduleSimulation` (crash ⇒
+  :class:`~repro.sim.run.QueryAbortedError`) or one
+  :class:`~repro.workload.engine.WorkloadEngine` (crash ⇒ the
+  configured ``fail`` / ``restart`` / ``reassign`` recovery policy).
+- :class:`ResiliencePoint` / :func:`fault_rate_sweep` — goodput,
+  wasted work, retries, and MTTR per (strategy, fault rate) cell.
+
+Quickstart::
+
+    from repro import api
+    from repro.faults import FaultSchedule
+
+    faults = FaultSchedule.generate(
+        machine_size=40, horizon=300, seed=7,
+        crash_rate=0.005, repair_time=60,
+    )
+    result = api.run_workload(
+        "wide_bushy", rate=0.05, duration=300, strategy="RD",
+        faults=faults, recovery="reassign",
+    )
+    print(result.summary())
+
+or ``python -m repro faults --strategies SP,SE,RD,FP`` for a full
+strategy-versus-fault-rate sweep.
+"""
+
+from ..sim.run import QueryAbortedError
+from .injector import FaultInjector, LinkFaultState
+from .metrics import ResiliencePoint, fault_rate_sweep
+from .schedule import CrashFault, FaultSchedule, LinkFault, StallFault
+
+__all__ = [
+    "CrashFault",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkFault",
+    "LinkFaultState",
+    "QueryAbortedError",
+    "ResiliencePoint",
+    "StallFault",
+    "fault_rate_sweep",
+]

@@ -35,10 +35,10 @@ Strategy recurrences:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-from ..core.cost import Catalog, CostModel, JoinCost
+from ..core.cost import Catalog, CostModel
 from ..core.schedule import JoinTask, ParallelSchedule
 from ..core.strategies import Strategy, get_strategy
 from ..core.trees import Node

@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from ..core.cost import Catalog, CostModel
-from ..core.trees import Join, Leaf, Node, height, is_bushy, num_joins
+from ..core.trees import Join, Leaf, Node, height
 from .graph import QueryGraph
 
 

@@ -14,8 +14,8 @@ equal in total cost — the property Section 4.1 engineers on purpose.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Mapping, Sequence, Tuple
 
 
 @dataclass(frozen=True)

@@ -26,15 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import sqrt
-from typing import List, Optional
+from typing import Optional
 
 from ..core.cost import Catalog, CostModel
 from ..core.trees import (
     Node,
-    is_bushy,
-    is_left_linear,
     is_linear,
-    is_right_linear,
     joins_postorder,
     mirror,
     num_joins,

@@ -11,11 +11,10 @@ bushy tree under the four parallel strategies.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional
 
 from ..core.cost import CostModel
-from ..core.trees import Join, Leaf, Node
+from ..core.trees import Join, Leaf
 from .enumerate import PlanEntry
 from .graph import QueryGraph
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.cost import Catalog, CostModel
+from ..core.cost import CostModel
 from ..core.schedule import ParallelSchedule
 from ..core.strategies import get_strategy, strategy_names
 from ..core.trees import Node

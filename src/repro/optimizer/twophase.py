@@ -14,7 +14,7 @@ subject of the paper.  Two phase-two modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence
 
 from ..core.cost import Catalog, CostModel
 from ..core.schedule import ParallelSchedule

@@ -20,7 +20,7 @@ relations.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .relation import Relation, Row
 from .schema import Schema

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from .hashjoin import Combine
 from .partition import hash_partition
 from .relation import Relation, Row
 from .schema import Schema

@@ -16,7 +16,7 @@ schedule on any foreign-key-joinable set of relations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .relation import Relation, Row
 from .schema import Schema

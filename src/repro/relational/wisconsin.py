@@ -15,7 +15,7 @@ the same with independently seeded shuffles.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from .relation import Relation
 from .schema import Attribute, Schema

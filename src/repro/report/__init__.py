@@ -4,6 +4,8 @@ from .html import (
     claims_html,
     figure14_html,
     render_report,
+    resilience_chart,
+    resilience_html,
     sweep_chart,
     utilization_gantt,
     workload_chart,
@@ -19,6 +21,8 @@ __all__ = [
     "color_for",
     "figure14_html",
     "render_report",
+    "resilience_chart",
+    "resilience_html",
     "sweep_chart",
     "utilization_gantt",
     "workload_chart",

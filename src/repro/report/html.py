@@ -139,10 +139,60 @@ def workload_html(points: List, knee: Optional[float]) -> str:
     return "\n".join(parts)
 
 
+def resilience_chart(points: List, title: str) -> str:
+    """Goodput-versus-crash-rate panel from
+    :class:`~repro.faults.ResiliencePoint` rows, one series per
+    strategy."""
+    chart = LineChart(
+        title, x_label="crash rate (/proc/s)", y_label="goodput (q/s)"
+    )
+    strategies = sorted({p.strategy for p in points})
+    for strategy in strategies:
+        series = sorted(
+            (p.crash_rate, p.goodput)
+            for p in points if p.strategy == strategy
+        )
+        chart.add_series(strategy, series)
+    return chart.to_svg()
+
+
+def resilience_html(points: List) -> str:
+    """The fault-injection section: goodput degradation chart + per-cell
+    resilience table (beyond the paper: crash-stop failures with
+    recovery)."""
+    recoveries = sorted({p.recovery for p in points})
+    parts = [
+        "<h2>Beyond the paper — resilience under crash-stop faults</h2>",
+        "<p>Deterministic fault injection on the shared machine: "
+        "processors crash mid-pipeline and the workload engine recovers "
+        f"({', '.join(escape(r) for r in recoveries)}). Goodput counts "
+        "completed queries only; wasted work is busy time spent on "
+        "attempts that later aborted.</p>",
+        "<figure>",
+        resilience_chart(points, "Goodput versus crash rate"),
+        "</figure>",
+        "<table><tr><th>strategy</th><th>crash rate</th><th>recovery</th>"
+        "<th>done</th><th>failed</th><th>retries</th><th>goodput</th>"
+        "<th>wasted</th><th>MTTR</th></tr>",
+    ]
+    for p in points:
+        mttr = "n/a" if p.mttr is None else f"{p.mttr:.1f}s"
+        parts.append(
+            f"<tr><td>{escape(p.strategy)}</td><td>{p.crash_rate:g}</td>"
+            f"<td>{escape(p.recovery)}</td><td>{p.completed}</td>"
+            f"<td>{p.failed}</td><td>{p.retries}</td>"
+            f"<td>{p.goodput:.3f}</td><td>{p.wasted_fraction:.1%}</td>"
+            f"<td>{mttr}</td></tr>"
+        )
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
 def render_report(
     sweeps: Dict[Tuple[str, str], SweepResult],
     diagrams: Optional[Dict[str, SimulationResult]] = None,
     workload_points: Optional[List] = None,
+    resilience_points: Optional[List] = None,
 ) -> str:
     """The full HTML document."""
     parts = [
@@ -183,5 +233,7 @@ def render_report(
         from ..workload import curve_knee
 
         parts.append(workload_html(workload_points, curve_knee(workload_points)))
+    if resilience_points:
+        parts.append(resilience_html(resilience_points))
     parts.append("</body></html>")
     return "\n".join(parts)

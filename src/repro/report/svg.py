@@ -9,7 +9,7 @@ by any XML tool — the tests round-trip it through ElementTree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 from xml.sax.saxutils import escape
 

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..core.cost import Catalog
 from ..core.shapes import make_shape, paper_relation_names
 from ..core.strategies import get_strategy
-from ..sim.run import simulate
+from ..sim.run import QueryAbortedError, simulate
 from .cache import ResultCache
 from .results import JobOutcome, SweepRun
 from .spec import Job, SweepSpec
@@ -69,13 +69,29 @@ def run_job(job: Job) -> Tuple[Dict, Dict]:
     schedule = get_strategy(job.strategy).schedule(
         tree, catalog, job.processors, job.cost_model
     )
-    result = simulate(
-        schedule,
-        catalog,
-        job.config,
-        cost_model=job.cost_model,
-        skew_theta=job.skew_theta,
-    )
+    try:
+        result = simulate(
+            schedule,
+            catalog,
+            job.config,
+            cost_model=job.cost_model,
+            skew_theta=job.skew_theta,
+            faults=job.faults,
+        )
+    except QueryAbortedError as exc:
+        # A scheduled crash killed the query; record the abort as a
+        # deterministic row so sweeps over fault schedules still cache
+        # and replay bit-for-bit.
+        row = {
+            **job.payload(),
+            "metrics": {
+                "aborted": True,
+                "aborted_at": exc.at,
+                "reason": exc.reason,
+            },
+        }
+        meta = {"elapsed": time.perf_counter() - started, "pid": os.getpid()}
+        return row, meta
     breakdown = result.busy_by_kind()
     row = {
         **job.payload(),

@@ -18,11 +18,12 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.cost import CostModel
 from ..core.shapes import SHAPE_NAMES
 from ..core.strategies import strategy_names
+from ..faults.schedule import FaultSchedule
 from ..sim.machine import MachineConfig
 
 #: Bump when the job payload or result-row layout changes incompatibly;
@@ -46,10 +47,15 @@ class Job:
     relations: int = 10
     config: MachineConfig = field(default_factory=MachineConfig.paper)
     cost_model: CostModel = field(default_factory=CostModel)
+    faults: Optional[FaultSchedule] = None
 
     def payload(self) -> Dict:
-        """The job's full configuration as plain JSON-able data."""
-        return {
+        """The job's full configuration as plain JSON-able data.
+
+        The ``faults`` key appears only for faulted jobs, so every
+        pre-existing fault-free cache entry keeps its content address.
+        """
+        data = {
             "shape": self.shape,
             "strategy": self.strategy,
             "processors": self.processors,
@@ -59,6 +65,9 @@ class Job:
             "config": asdict(self.config),
             "cost_model": asdict(self.cost_model),
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_payload()
+        return data
 
     def key(self) -> str:
         """Content address: sha256 over the canonical payload JSON."""
@@ -75,6 +84,8 @@ class Job:
                  self.shape, str(self.cardinality)]
         if self.skew_theta:
             parts.append(f"theta={self.skew_theta}")
+        if self.faults is not None and not self.faults.is_empty:
+            parts.append(f"faults={self.faults.event_count}")
         return " ".join(parts)
 
 
@@ -99,6 +110,8 @@ class SweepSpec:
     cost_models: Tuple[CostModel, ...] = field(
         default_factory=lambda: (CostModel(),)
     )
+    #: Fault-schedule axis; ``None`` entries are fault-free points.
+    fault_schedules: Tuple[Optional[FaultSchedule], ...] = (None,)
     relations: int = 10
 
     def __post_init__(self) -> None:
@@ -117,9 +130,14 @@ class SweepSpec:
             raise ValueError("a join tree needs at least two relations")
         for axis in ("shapes", "strategies", "processors",
                      "cardinalities", "skew_thetas", "configs",
-                     "cost_models"):
+                     "cost_models", "fault_schedules"):
             if not getattr(self, axis):
                 raise ValueError(f"sweep axis {axis!r} is empty")
+        for schedule in self.fault_schedules:
+            if schedule is not None and not isinstance(schedule, FaultSchedule):
+                raise ValueError(
+                    "fault_schedules entries must be FaultSchedule or None"
+                )
 
     def expand(self) -> List[Job]:
         """The grid as an ordered job list (deterministic)."""
@@ -128,19 +146,21 @@ class SweepSpec:
             for cardinality in self.cardinalities:
                 for config in self.configs:
                     for cost_model in self.cost_models:
-                        for theta in self.skew_thetas:
-                            for strategy in self.strategies:
-                                for processors in self.processors:
-                                    jobs.append(Job(
-                                        shape=shape,
-                                        strategy=strategy,
-                                        processors=processors,
-                                        cardinality=cardinality,
-                                        skew_theta=theta,
-                                        relations=self.relations,
-                                        config=config,
-                                        cost_model=cost_model,
-                                    ))
+                        for faults in self.fault_schedules:
+                            for theta in self.skew_thetas:
+                                for strategy in self.strategies:
+                                    for processors in self.processors:
+                                        jobs.append(Job(
+                                            shape=shape,
+                                            strategy=strategy,
+                                            processors=processors,
+                                            cardinality=cardinality,
+                                            skew_theta=theta,
+                                            relations=self.relations,
+                                            config=config,
+                                            cost_model=cost_model,
+                                            faults=faults,
+                                        ))
         return jobs
 
     def __len__(self) -> int:
@@ -148,6 +168,7 @@ class SweepSpec:
             len(self.shapes) * len(self.strategies) * len(self.processors)
             * len(self.cardinalities) * len(self.skew_thetas)
             * len(self.configs) * len(self.cost_models)
+            * len(self.fault_schedules)
         )
 
     @classmethod

@@ -28,7 +28,8 @@ _WORKLOAD_KEYS = (
     "arrivals", "rate", "duration", "seed", "machine_size", "policy",
     "share", "strategy", "cardinality", "relations", "clients",
     "think_time", "queries_per_client", "max_concurrent", "queue_limit",
-    "memory_budget_bytes", "skew_theta",
+    "memory_budget_bytes", "skew_theta", "faults", "recovery",
+    "max_retries", "retry_backoff",
 )
 
 
@@ -100,6 +101,17 @@ class QueryService:
         options = {
             key: request[key] for key in _WORKLOAD_KEYS if key in request
         }
+        if "faults" in options:
+            # Requests are JSON, so fault schedules arrive as the
+            # FaultSchedule.to_payload() dict form.
+            from ..faults import FaultSchedule
+
+            try:
+                options["faults"] = FaultSchedule.from_payload(
+                    options["faults"]
+                )
+            except (TypeError, KeyError, ValueError) as exc:
+                return self._error(f"bad fault schedule: {exc}")
         result = run_workload(request.get("shape", "wide_bushy"), **options)
         response = {
             "ok": True,
@@ -116,6 +128,8 @@ class QueryService:
             "queue_delay_mean": result.mean_queue_delay(),
             "peak_in_flight": result.peak_in_flight,
         }
+        if result.faults_injected or result.failed_count():
+            response["resilience"] = result.resilience_summary()
         if request.get("rows"):
             response["rows"] = result.rows()
         return response

@@ -8,13 +8,16 @@ from .process import (
     PipeliningHashJoinProcess,
     SimpleHashJoinProcess,
 )
-from .run import ScheduleSimulation, simulate
+from .machine import NetworkLink
+from .run import QueryAbortedError, ScheduleSimulation, simulate
 from .streams import ConsumerGroup, Port
 
 __all__ = [
     "ConsumerGroup",
     "MachineConfig",
+    "NetworkLink",
     "OperationProcess",
+    "QueryAbortedError",
     "PipeliningHashJoinProcess",
     "Port",
     "Processor",

@@ -100,9 +100,14 @@ class NetworkLink:
     bandwidth, concurrent transfers queue behind each other, which is
     what lets the A8 ablation find the point where the network becomes
     the bottleneck.
+
+    ``faults`` is an optional perturbation state installed by
+    :class:`repro.faults.FaultInjector` (duck-typed: ``extra_delay(now)``
+    and ``drops(now)``); ``None`` — the default — leaves every delivery
+    on the exact fault-free code path.
     """
 
-    __slots__ = ("bandwidth", "busy_until", "transferred")
+    __slots__ = ("bandwidth", "busy_until", "transferred", "faults")
 
     def __init__(self, bandwidth: float):
         if bandwidth <= 0:
@@ -110,6 +115,7 @@ class NetworkLink:
         self.bandwidth = bandwidth
         self.busy_until = 0.0
         self.transferred = 0.0
+        self.faults = None
 
     def transfer(self, now: float, tuples: float) -> float:
         """Occupy the link for ``tuples``; returns transfer-done time."""
@@ -135,15 +141,36 @@ _PAPER_CONFIG = MachineConfig(
 
 
 class Processor:
-    """One node's CPU: serially acquired, with a labelled busy trace."""
+    """One node's CPU: serially acquired, with a labelled busy trace.
 
-    __slots__ = ("ident", "busy_until", "intervals")
+    ``stalls`` — installed by :class:`repro.faults.FaultInjector` — is a
+    list of ``(start, end, factor)`` straggler windows: a chunk whose
+    service *starts* inside a window takes ``factor`` times as long
+    (chunk-granular slowdown; windows are sampled at service start, so
+    the perturbation is deterministic and replayable).  ``failed_at``
+    records the first crash-stop instant for diagnostics; availability
+    bookkeeping lives with the owner of the processor pool.
+    """
+
+    __slots__ = ("ident", "busy_until", "intervals", "stalls", "failed_at")
 
     def __init__(self, ident: int):
         self.ident = ident
         self.busy_until: float = 0.0
         #: Completed busy intervals as (start, end, label).
         self.intervals: List[Tuple[float, float, str]] = []
+        #: Straggler windows (start, end, factor); empty = fault-free.
+        self.stalls: List[Tuple[float, float, float]] = []
+        self.failed_at: Optional[float] = None
+
+    def stall_factor(self, time: float) -> float:
+        """Service-time multiplier in effect at ``time`` (1.0 outside
+        every straggler window; overlapping windows compound)."""
+        factor = 1.0
+        for start, end, window_factor in self.stalls:
+            if start <= time < end:
+                factor *= window_factor
+        return factor
 
     def acquire(self, now: float, duration: float, label: str) -> float:
         """Occupy the CPU for ``duration`` starting no earlier than
@@ -156,6 +183,8 @@ class Processor:
         if duration < 0:
             raise ValueError("negative duration")
         start = max(now, self.busy_until)
+        if self.stalls and duration > 0:
+            duration *= self.stall_factor(start)
         end = start + duration
         self.busy_until = end
         if duration > 0:

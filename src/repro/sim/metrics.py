@@ -7,7 +7,7 @@ until the last operation process finishes" (Section 4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .machine import MachineConfig

@@ -79,19 +79,32 @@ class OperationProcess:
         self.cpu_busy = False
         self.closing = False
         self.done = False
+        self.aborted = False
         self.done_time: Optional[float] = None
         self.start_time: Optional[float] = None
         self.out_total = 0.0
 
     # -- lifecycle ------------------------------------------------------
 
+    def abort(self) -> None:
+        """Crash-stop this process: every already-queued event for it
+        (chunk completions, handshake completions, batch arrivals that
+        would kick it) becomes a no-op, so the clock drains cleanly
+        instead of deadlocking while the process never reports done."""
+        if not self.done:
+            self.aborted = True
+
     def init_ready(self) -> None:
         """The scheduler finished initializing this process."""
+        if self.aborted:
+            return
         self.ready = True
         self._maybe_start()
 
     def release(self) -> None:
         """All strategy barriers of this process's task completed."""
+        if self.aborted:
+            return
         self.released = True
         self._maybe_start()
 
@@ -128,6 +141,8 @@ class OperationProcess:
         return count
 
     def _handshake_done(self) -> None:
+        if self.aborted:
+            return
         self.cpu_busy = False
         self.kick()
 
@@ -135,7 +150,7 @@ class OperationProcess:
 
     def kick(self) -> None:
         """Try to make progress; called on every arrival and completion."""
-        if not self.started or self.cpu_busy or self.done:
+        if not self.started or self.cpu_busy or self.done or self.aborted:
             return
         selection = self._select_chunk()
         if selection is None:
@@ -153,6 +168,8 @@ class OperationProcess:
         self.clock.at(end, self._chunk_done, port, chunk, out)
 
     def _chunk_done(self, port: Port, chunk: float, out: float) -> None:
+        if self.aborted:
+            return
         port.processed += chunk
         self.cpu_busy = False
         if out > 0:

@@ -21,7 +21,16 @@ results bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    Collection,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..core.cost import Catalog, CostModel, JoinCost
 from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
@@ -35,6 +44,20 @@ from .process import (
 )
 from .skew import zipf_shares
 from .streams import ConsumerGroup, Port
+
+
+class QueryAbortedError(RuntimeError):
+    """An injected fault crash-stopped this query mid-execution.
+
+    Raised by :meth:`ScheduleSimulation.run` for an owned (single-query)
+    run; a hosted run never raises — the workload engine observes the
+    abort through its fault-recovery path instead.
+    """
+
+    def __init__(self, reason: str, at: float):
+        super().__init__(f"query aborted at t={at:.3f}s: {reason}")
+        self.reason = reason
+        self.at = at
 
 
 @dataclass
@@ -70,6 +93,7 @@ class ScheduleSimulation:
         label_prefix: str = "",
         on_complete: Optional[Callable[["ScheduleSimulation"], None]] = None,
         network: Optional[NetworkLink] = None,
+        skip_tasks: Collection[int] = (),
     ):
         """``skew_theta`` relaxes the paper's non-skew assumption: the
         fragments of every operand follow Zipf(theta) shares instead of
@@ -83,6 +107,15 @@ class ScheduleSimulation:
         ``start_at`` is the simulated time the scheduler begins
         claiming processes, and ``label_prefix`` distinguishes this
         query's busy intervals on shared processor traces.
+
+        ``skip_tasks`` lists join tasks whose materialized results
+        survive from an earlier attempt (the ``reassign`` recovery
+        policy): they run no processes and instead replay their stored
+        output at ``start_at``.  The set is closed under input sources
+        (a reused task's feeders are reused too); the root is never
+        reusable, and a reused task whose live consumer expects a
+        *pipelined* input is rejected — pipelined (FP) dataflow holds
+        its state in the crashed processes, so it must rebuild.
         """
         self.schedule = schedule
         self.catalog = catalog
@@ -98,6 +131,8 @@ class ScheduleSimulation:
         self.label_prefix = label_prefix
         self.on_complete = on_complete
         self.finished_at: Optional[float] = None
+        self.aborted_reason: Optional[str] = None
+        self.aborted_at: Optional[float] = None
         self._completed_tasks = 0
         self.processors: Dict[int, Processor] = {}
         self.network = (
@@ -105,6 +140,7 @@ class ScheduleSimulation:
             if network is not None
             else NetworkLink(self.config.network_bandwidth)
         )
+        self.skip_tasks: FrozenSet[int] = self._close_skips(skip_tasks)
         annotation = cost_model.annotate(schedule.tree, catalog)
         self.runtimes: List[_TaskRuntime] = [
             _TaskRuntime(task=task, cost=annotation[task.join])
@@ -113,6 +149,33 @@ class ScheduleSimulation:
         self._build()
 
     # -- construction -----------------------------------------------------
+
+    def _close_skips(self, requested: Collection[int]) -> FrozenSet[int]:
+        """Validate and close ``skip_tasks`` under input sources.
+
+        If a task's result is being replayed, everything that only fed
+        that task has nothing left to produce, so it is reused too.
+        """
+        if not requested:
+            return frozenset()
+        tasks = {task.index: task for task in self.schedule.tasks}
+        for index in requested:
+            if index not in tasks:
+                raise ValueError(f"skip_tasks references unknown task {index}")
+        skip = set(requested)
+        stack = list(skip)
+        while stack:
+            task = tasks[stack.pop()]
+            for spec in (task.left_input, task.right_input):
+                if not spec.is_base and spec.source not in skip:
+                    skip.add(spec.source)
+                    stack.append(spec.source)
+        root = self.schedule.tasks[-1].index
+        if root in skip:
+            raise ValueError(
+                "the root task's result cannot be reused; nothing would run"
+            )
+        return frozenset(skip)
 
     def _processor(self, ident: int) -> Processor:
         if ident not in self.processors:
@@ -141,6 +204,8 @@ class ScheduleSimulation:
             task = runtime.task
             shares = zipf_shares(task.parallelism, self.skew_theta)
             shares_of[task.index] = shares
+            if task.index in self.skip_tasks:
+                continue  # replayed from a surviving materialized result
             for proc_id, share in zip(task.processors, shares):
                 left = self._make_port(runtime, "left", task.left_input, share)
                 right = self._make_port(runtime, "right", task.right_input, share)
@@ -155,12 +220,22 @@ class ScheduleSimulation:
             if target is None:
                 continue  # root: result stays in local memories
             consumer_runtime, side = target
-            ports = ports_by_task_side[(consumer_runtime.task.index, side)]
+            if consumer_runtime.task.index in self.skip_tasks:
+                # Closure guarantees the producer is skipped too: its
+                # output is already folded into the consumer's result.
+                continue
             spec = (
                 consumer_runtime.task.left_input
                 if side == "left"
                 else consumer_runtime.task.right_input
             )
+            if runtime.task.index in self.skip_tasks and spec.mode == "pipelined":
+                raise ValueError(
+                    f"task {runtime.task.index} cannot be reused: its output "
+                    "is pipelined into a live consumer, and pipelined "
+                    "dataflow state died with the crashed processes"
+                )
+            ports = ports_by_task_side[(consumer_runtime.task.index, side)]
             group = ConsumerGroup(
                 ports,
                 self.config.network_latency,
@@ -191,9 +266,13 @@ class ScheduleSimulation:
                     process.init_ready,
                 )
 
-        # Release unbarriered tasks at query start.
+        # Release unbarriered tasks at query start; replay the stored
+        # results of reused tasks (they bypass barriers — the work that
+        # produced them already happened in the aborted attempt).
         for runtime in self.runtimes:
-            if runtime.remaining_deps == 0:
+            if runtime.task.index in self.skip_tasks:
+                self.clock.at(self.start_at, self._complete_skipped, runtime)
+            elif runtime.remaining_deps == 0:
                 self.clock.at(self.start_at, self._release, runtime)
 
     def _make_port(
@@ -251,6 +330,8 @@ class ScheduleSimulation:
     # -- run-time callbacks -------------------------------------------------
 
     def _release(self, runtime: _TaskRuntime) -> None:
+        if runtime.task.index in self.skip_tasks:
+            return  # replayed from memo; completes via _complete_skipped
         runtime.released_at = self.clock.now
         for process in runtime.processes:
             process.release()
@@ -259,13 +340,24 @@ class ScheduleSimulation:
         runtime.done_processes += 1
         if runtime.done_processes < len(runtime.processes):
             return
-        # Task complete.
+        total = sum(p.out_total for p in runtime.processes)
+        self._task_complete(runtime, total, len(runtime.processes))
+
+    def _complete_skipped(self, runtime: _TaskRuntime) -> None:
+        """Replay a reused task's stored result at query start."""
+        if self.aborted_reason is not None:
+            return
+        runtime.released_at = self.clock.now
+        self._task_complete(
+            runtime, runtime.cost.result, runtime.task.parallelism
+        )
+
+    def _task_complete(
+        self, runtime: _TaskRuntime, total: float, producers: int
+    ) -> None:
         runtime.completion = self.clock.now
         if runtime.output_group is not None and not runtime.output_pipelined:
-            total = sum(p.out_total for p in runtime.processes)
-            runtime.output_group.deliver_store(
-                self.clock, total, len(runtime.processes)
-            )
+            runtime.output_group.deliver_store(self.clock, total, producers)
         for dependent in runtime.dependents:
             dependent.remaining_deps -= 1
             if dependent.remaining_deps == 0:
@@ -275,6 +367,21 @@ class ScheduleSimulation:
             self.finished_at = self.clock.now
             if self.on_complete is not None:
                 self.on_complete(self)
+
+    # -- fault handling ---------------------------------------------------
+
+    def abort(self, reason: str) -> None:
+        """Crash-stop the whole query: every process becomes inert, so
+        all of its already-queued events are no-ops and the shared clock
+        drains past the wreck instead of deadlocking on half-finished
+        pipelines.  Idempotent; a no-op after normal completion."""
+        if self.finished_at is not None or self.aborted_reason is not None:
+            return
+        self.aborted_reason = reason
+        self.aborted_at = self.clock.now
+        for runtime in self.runtimes:
+            for process in runtime.processes:
+                process.abort()
 
     # -- execution ------------------------------------------------------------
 
@@ -286,6 +393,8 @@ class ScheduleSimulation:
                 "clock and collect the result from on_complete/result()"
             )
         self.clock.run()
+        if self.aborted_reason is not None:
+            raise QueryAbortedError(self.aborted_reason, self.aborted_at or 0.0)
         return self.result()
 
     def result(self) -> SimulationResult:
@@ -297,6 +406,8 @@ class ScheduleSimulation:
         the busy intervals carrying this run's ``label_prefix`` are
         attributed to the query.
         """
+        if self.aborted_reason is not None:
+            raise QueryAbortedError(self.aborted_reason, self.aborted_at or 0.0)
         unfinished = [rt.task.index for rt in self.runtimes if rt.completion is None]
         if unfinished:
             raise RuntimeError(
@@ -329,7 +440,7 @@ class ScheduleSimulation:
                 ident: self._attributed_intervals(proc)
                 for ident, proc in sorted(self.processors.items())
             },
-            operation_processes=self.schedule.operation_processes(),
+            operation_processes=sum(len(rt.processes) for rt in self.runtimes),
             stream_count=self.schedule.stream_count(),
             events=self.clock.events_dispatched,
             result_tuples=sum(p.out_total for p in root.processes),
@@ -359,8 +470,22 @@ def simulate(
     *,
     cost_model: Optional[CostModel] = None,
     skew_theta: float = 0.0,
+    faults=None,
 ) -> SimulationResult:
-    """Build and run a :class:`ScheduleSimulation` in one call."""
-    return ScheduleSimulation(
-        schedule, catalog, config, cost_model, skew_theta
-    ).run()
+    """Build and run a :class:`ScheduleSimulation` in one call.
+
+    ``faults`` accepts a :class:`repro.faults.FaultSchedule` (or a
+    prepared :class:`repro.faults.FaultInjector`); a crash that hits
+    the query raises :class:`QueryAbortedError` — recovery policies
+    live in the workload engine, not here.  ``None`` stays on the exact
+    fault-free code path.
+    """
+    sim = ScheduleSimulation(schedule, catalog, config, cost_model, skew_theta)
+    if faults is not None:
+        from ..faults import FaultInjector
+
+        injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+        injector.attach_simulation(sim)
+    return sim.run()

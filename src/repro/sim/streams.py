@@ -149,12 +149,29 @@ class ConsumerGroup:
         done = clock.now if self.network is None else self.network.transfer(
             clock.now, count
         )
-        return done + self.latency
+        latency = self.latency
+        if self.network is not None and self.network.faults is not None:
+            latency += self.network.faults.extra_delay(clock.now)
+        return done + latency
 
     def deliver(self, clock: SimulationClock, count: float) -> None:
         """Send ``count`` tuples, split by share, arriving after the
-        link transfer plus latency."""
+        link transfer plus latency.
+
+        During an injected loss window a pipelined data batch may be
+        dropped at the send port (the tuples never reach any consumer
+        and never occupy the link).  End-of-stream markers and stored
+        results are never dropped — PRISMA's per-stream termination
+        protocol and bulk transfers are reliable, which is what keeps a
+        lossy run terminating instead of wedging a consumer port open.
+        """
         if count <= 0:
+            return
+        if (
+            self.network is not None
+            and self.network.faults is not None
+            and self.network.faults.drops(clock.now)
+        ):
             return
         clock.at(self._arrival_time(clock, count), self._arrive, clock, count, 0)
 

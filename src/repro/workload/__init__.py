@@ -40,7 +40,12 @@ from .curve import (
     curve_knee,
     open_loop_curve,
 )
-from .engine import SharedMachine, WorkloadEngine
+from .engine import (
+    RECOVERY_POLICIES,
+    REJECTED_RETRY_DELAY,
+    SharedMachine,
+    WorkloadEngine,
+)
 from .metrics import (
     QueryRecord,
     WorkloadResult,
@@ -73,6 +78,8 @@ __all__ = [
     "QueryMix",
     "QueryRecord",
     "QuerySpec",
+    "RECOVERY_POLICIES",
+    "REJECTED_RETRY_DELAY",
     "RoundRobinPolicy",
     "STRATEGY_CHOICES",
     "SharedMachine",

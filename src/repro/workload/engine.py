@@ -23,7 +23,16 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.cost import CostModel
 from ..core.memory import MemoryModel, peak_memory_per_processor
@@ -40,6 +49,12 @@ from .policies import (
     InfeasibleQueryError,
     MachineView,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import CrashFault, FaultInjector, FaultSchedule
+
+#: Recovery policies the engine can apply to a crashed query.
+RECOVERY_POLICIES = ("fail", "restart", "reassign")
 
 #: Minimum simulated delay before a closed-loop client retries after a
 #: rejection.  A client with ``think_time=0`` would otherwise resubmit
@@ -63,9 +78,26 @@ class SharedMachine(MachineView):
         }
         self.network = NetworkLink(config.network_bandwidth)
         self._free = set(range(size))
+        self._failed: set = set()
 
     def free_ids(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._free))
+        return tuple(sorted(self._free - self._failed))
+
+    def fail(self, ident: int) -> None:
+        """Crash-stop one processor: it stops being allocatable until
+        (and unless) :meth:`repair` brings it back."""
+        if ident not in self.processors:
+            raise ValueError(f"no processor {ident}")
+        self._failed.add(ident)
+        processor = self.processors[ident]
+        if processor.failed_at is None:
+            processor.failed_at = self.clock.now
+
+    def repair(self, ident: int) -> None:
+        self._failed.discard(ident)
+
+    def failed_ids(self) -> FrozenSet[int]:
+        return frozenset(self._failed)
 
     def claim(self, ids: Sequence[int]) -> None:
         missing = [i for i in ids if i not in self._free]
@@ -98,6 +130,20 @@ class WorkloadEngine:
         peaks of every in-flight plan must sum below this budget.  A
         query whose own demand exceeds the budget still runs alone —
         the gate throttles concurrency, it never starves the queue.
+    ``faults`` / ``recovery`` / ``max_retries`` / ``retry_backoff``
+        Optional :class:`~repro.faults.FaultSchedule` (or prepared
+        injector) and the policy applied to crashed queries: ``fail``
+        records the crash as a terminal error, ``restart`` re-queues
+        the whole query with exponential backoff (``retry_backoff *
+        2**(retries-1)`` seconds), ``reassign`` immediately re-queues
+        it, replaying every materialized task result that survived on
+        healthy processors (pipelined FP state cannot survive, so FP
+        degenerates to an immediate restart).  ``max_retries`` bounds
+        the extra attempts before the query is declared failed.
+    ``rejected_retry_delay``
+        Simulated delay before a zero-think-time closed-loop client
+        retries after a rejection (default
+        :data:`REJECTED_RETRY_DELAY`; see its rationale).
     """
 
     def __init__(
@@ -112,11 +158,29 @@ class WorkloadEngine:
         queue_limit: Optional[int] = None,
         memory_budget_bytes: Optional[float] = None,
         memory_model: Optional[MemoryModel] = None,
+        faults: Optional[object] = None,
+        recovery: str = "fail",
+        max_retries: int = 3,
+        retry_backoff: float = 1.0,
+        rejected_retry_delay: float = REJECTED_RETRY_DELAY,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
         if queue_limit is not None and queue_limit < 0:
             raise ValueError("queue_limit must be non-negative")
+        if recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_POLICIES}, got {recovery!r}"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if rejected_retry_delay <= 0:
+            raise ValueError(
+                "rejected_retry_delay must be positive (a zero delay "
+                "livelocks zero-think-time closed loops)"
+            )
         self.machine = SharedMachine(
             machine_size, config or MachineConfig.paper()
         )
@@ -127,9 +191,33 @@ class WorkloadEngine:
         self.queue_limit = queue_limit
         self.memory_budget_bytes = memory_budget_bytes
         self.memory_model = memory_model or MemoryModel()
+        self.recovery = recovery
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.rejected_retry_delay = rejected_retry_delay
+        self.injector: Optional["FaultInjector"] = None
+        if faults is not None:
+            from ..faults import FaultInjector, FaultSchedule
+
+            injector = (
+                FaultInjector(faults)
+                if isinstance(faults, FaultSchedule)
+                else faults
+            )
+            if not isinstance(injector, FaultInjector):
+                raise TypeError(
+                    "faults must be a FaultSchedule or FaultInjector"
+                )
+            injector.attach_engine(self)
+            self.injector = injector
         self.records: List[QueryRecord] = []
         self._queue: Deque[QueryRecord] = deque()
-        self._active: Dict[int, Tuple[Allocation, float]] = {}
+        # record.index -> (record, sim, allocation, memory_bytes, prefix)
+        self._active: Dict[
+            int, Tuple[QueryRecord, ScheduleSimulation, Allocation, float, str]
+        ] = {}
+        # Surviving materialized task results, per query (``reassign``).
+        self._credits: Dict[int, FrozenSet[int]] = {}
         self._in_flight = 0
         self._memory_in_use = 0.0
         self.peak_in_flight = 0
@@ -268,29 +356,62 @@ class WorkloadEngine:
             if allocation.exclusive:
                 self.machine.claim(allocation.processors)
             now = self.machine.clock.now
-            record.admitted = now
+            if record.admitted is None:
+                record.admitted = now
             record.strategy = allocation.strategy
             record.processors = allocation.processors
+            # First attempt keeps the historical "Q<i>:" trace label;
+            # retries get distinct prefixes so wasted work attributes
+            # to the attempt that burnt it.
+            attempt = record.attempts
+            prefix = (
+                f"Q{record.index}:"
+                if attempt == 0
+                else f"Q{record.index}r{attempt}:"
+            )
+            record.attempts += 1
             pool = {
                 logical: self.machine.processors[physical]
                 for logical, physical in enumerate(allocation.processors)
             }
-            ScheduleSimulation(
-                schedule,
-                catalog,
-                self.machine.config,
-                self.cost_model,
-                self.skew_theta,
+            hosted = dict(
                 clock=self.machine.clock,
                 processor_pool=pool,
                 start_at=now,
-                label_prefix=f"Q{record.index}:",
+                label_prefix=prefix,
                 on_complete=lambda sim, record=record: self._finish(
                     record, sim
                 ),
                 network=self.machine.network,
             )
-            self._active[record.index] = (allocation, memory_bytes)
+            skip = self._credits.get(record.index, frozenset())
+            try:
+                sim = ScheduleSimulation(
+                    schedule,
+                    catalog,
+                    self.machine.config,
+                    self.cost_model,
+                    self.skew_theta,
+                    skip_tasks=skip,
+                    **hosted,
+                )
+            except ValueError:
+                # The credited results no longer fit this attempt's plan
+                # (e.g. the strategy changed to pipelined dataflow):
+                # drop the credit and rebuild from scratch.
+                self._credits.pop(record.index, None)
+                sim = ScheduleSimulation(
+                    schedule,
+                    catalog,
+                    self.machine.config,
+                    self.cost_model,
+                    self.skew_theta,
+                    **hosted,
+                )
+            record.reused_tasks += len(sim.skip_tasks)
+            self._active[record.index] = (
+                record, sim, allocation, memory_bytes, prefix
+            )
             self._in_flight += 1
             self._memory_in_use += memory_bytes
             self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
@@ -298,7 +419,8 @@ class WorkloadEngine:
     def _finish(self, record: QueryRecord, sim: ScheduleSimulation) -> None:
         record.completed = self.machine.clock.now
         record.result = sim.result()
-        allocation, memory_bytes = self._active.pop(record.index)
+        _, _, allocation, memory_bytes, _ = self._active.pop(record.index)
+        self._credits.pop(record.index, None)
         if allocation.exclusive:
             self.machine.release(allocation.processors)
         self._in_flight -= 1
@@ -306,13 +428,107 @@ class WorkloadEngine:
         self._pump()
         self._query_done(record)
 
+    # -- fault recovery ---------------------------------------------------
+
+    def _handle_crash(self, crash: "CrashFault") -> None:
+        """A processor crash-stopped: mark it unavailable, abort every
+        query whose allocation touches it, and recover per policy."""
+        ident = crash.processor
+        self.machine.fail(ident)
+        now = self.machine.clock.now
+        victims = [
+            entry
+            for entry in self._active.values()
+            if ident in entry[2].processors
+        ]
+        for record, sim, allocation, memory_bytes, prefix in victims:
+            sim.abort(f"processor {ident} crashed")
+            record.aborts.append(now)
+            record.wasted_seconds += self._attempt_busy_seconds(
+                allocation, prefix
+            )
+            del self._active[record.index]
+            if allocation.exclusive:
+                self.machine.release(allocation.processors)
+            self._in_flight -= 1
+            self._memory_in_use -= memory_bytes
+            self._recover(record, sim, now)
+        self._pump()
+
+    def _handle_repair(self, crash: "CrashFault") -> None:
+        """A crashed processor rejoined the pool: admission may resume."""
+        self.machine.repair(crash.processor)
+        self._pump()
+
+    def _attempt_busy_seconds(
+        self, allocation: Allocation, prefix: str
+    ) -> float:
+        """CPU-busy seconds the aborted attempt burnt (its trace labels
+        carry the attempt's unique prefix)."""
+        wasted = 0.0
+        for physical in allocation.processors:
+            processor = self.machine.processors[physical]
+            wasted += sum(
+                end - start
+                for start, end, label in processor.intervals
+                if label.startswith(prefix)
+            )
+        return wasted
+
+    def _recover(
+        self, record: QueryRecord, sim: ScheduleSimulation, now: float
+    ) -> None:
+        retries_used = record.attempts - 1
+        if self.recovery == "fail" or retries_used >= self.max_retries:
+            record.failed = True
+            record.error = sim.aborted_reason or "crashed"
+            self._query_done(record)
+            return
+        if self.recovery == "reassign":
+            credit = self._reusable_tasks(sim)
+            if credit:
+                self._credits[record.index] = credit
+            else:
+                self._credits.pop(record.index, None)
+            delay = 0.0  # survivors take over immediately
+        else:  # restart
+            delay = self.retry_backoff * (2.0 ** retries_used)
+        self.machine.clock.at(now + delay, self._rearrive, record)
+
+    def _reusable_tasks(self, sim: ScheduleSimulation) -> FrozenSet[int]:
+        """Task results of the aborted attempt that the next attempt can
+        replay: completed, materialized (stored results survive a crash
+        — pipelined state does not), and produced entirely on processors
+        that are still healthy.  For FP every output is pipelined, so
+        the credit is empty and ``reassign`` degenerates to an
+        immediate full restart — the documented FP fragility."""
+        failed = self.machine.failed_ids()
+        reusable = set()
+        for runtime in sim.runtimes[:-1]:  # the root is never reusable
+            if runtime.completion is None:
+                continue
+            if runtime.output_group is None or runtime.output_pipelined:
+                continue
+            if any(p.processor.ident in failed for p in runtime.processes):
+                continue
+            reusable.add(runtime.task.index)
+        return frozenset(reusable)
+
+    def _rearrive(self, record: QueryRecord) -> None:
+        """Re-queue a crashed query.  Unlike :meth:`_arrive`, a retry is
+        never bounced off the queue limit — the query is already
+        admitted from the client's point of view."""
+        self._queue.append(record)
+        self._pump()
+
     def _query_done(self, record: QueryRecord) -> None:
-        """Completion or rejection — the closed-loop continuation hook."""
+        """Completion, rejection, or terminal failure — the closed-loop
+        continuation hook."""
         if record.client is None or self._closed_mix is None:
             return
         delay = self._think_time
-        if record.rejected and delay <= 0.0:
-            delay = REJECTED_RETRY_DELAY
+        if (record.rejected or record.failed) and delay <= 0.0:
+            delay = self.rejected_retry_delay
         self._submit_for_client(
             record.client, self.machine.clock.now + delay
         )
@@ -341,12 +557,30 @@ class WorkloadEngine:
     def _drain(self) -> WorkloadResult:
         clock = self.machine.clock
         clock.run()
-        if self._queue:
+        if self._queue and self.injector is None:
             stuck = [r.index for r in self._queue]
             raise RuntimeError(
                 f"workload drained with queries {stuck} still queued; "
                 "the policy never found them an allocation"
             )
+        # Under faults a permanently degraded machine can strand queued
+        # queries (the policy will never find them processors).  Shed
+        # them as failures/rejections instead of hanging the workload —
+        # the horizon must always be reachable.
+        while self._queue:
+            record = self._queue.popleft()
+            if record.aborts:
+                record.failed = True
+            else:
+                record.rejected = True
+            record.error = (
+                "machine degraded by failures: no feasible allocation"
+            )
+            self._query_done(record)
+            # Shedding the stuck FIFO head may unblock smaller queries
+            # behind it on the surviving processors.
+            self._pump()
+            clock.run()
         return WorkloadResult(
             records=self.records,
             machine_size=self.machine.size,
@@ -354,4 +588,8 @@ class WorkloadEngine:
             makespan=clock.now,
             busy_seconds=self.machine.busy_seconds(),
             peak_in_flight=self.peak_in_flight,
+            faults_injected=(
+                self.injector.crashes_fired if self.injector else 0
+            ),
+            repairs=self.injector.repairs_fired if self.injector else 0,
         )

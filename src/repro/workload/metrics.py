@@ -50,6 +50,11 @@ class QueryRecord:
     rejected: bool = False
     error: Optional[str] = None           # why the engine shed the query
     result: Optional[SimulationResult] = None
+    attempts: int = 0                     # admissions (retries = attempts-1)
+    aborts: List[float] = field(default_factory=list)  # crash-abort times
+    wasted_seconds: float = 0.0           # CPU burnt by aborted attempts
+    failed: bool = False                  # crashed and recovery gave up
+    reused_tasks: int = 0                 # tasks replayed by ``reassign``
 
     @property
     def latency(self) -> Optional[float]:
@@ -89,6 +94,11 @@ class QueryRecord:
             "service_time": self.service_time,
             "rejected": self.rejected,
             "error": self.error,
+            "attempts": self.attempts,
+            "aborts": list(self.aborts),
+            "wasted_seconds": self.wasted_seconds,
+            "failed": self.failed,
+            "reused_tasks": self.reused_tasks,
         }
 
 
@@ -102,6 +112,8 @@ class WorkloadResult:
     makespan: float          # simulated time until the machine drained
     busy_seconds: float      # total CPU-busy seconds over the pool
     peak_in_flight: int
+    faults_injected: int = 0  # crash events that actually fired
+    repairs: int = 0          # processors that rejoined the pool
 
     # -- populations ------------------------------------------------------
 
@@ -160,6 +172,58 @@ class WorkloadResult:
         values = self.service_times()
         return sum(values) / len(values) if values else 0.0
 
+    # -- resilience -------------------------------------------------------
+
+    def failed_count(self) -> int:
+        """Queries that crashed and whose recovery gave up."""
+        return sum(1 for r in self.records if r.failed)
+
+    def retries_total(self) -> int:
+        """Extra admissions beyond each query's first attempt."""
+        return sum(max(0, r.attempts - 1) for r in self.records)
+
+    def wasted_seconds(self) -> float:
+        """CPU-busy seconds burnt by attempts that were later aborted."""
+        return sum(r.wasted_seconds for r in self.records)
+
+    def wasted_fraction(self) -> float:
+        """Share of all CPU-busy seconds that produced no result."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.wasted_seconds() / self.busy_seconds
+
+    def goodput(self) -> float:
+        """Successful completions per simulated second.  Compare with
+        the offered arrival rate: the gap is load shed to rejections,
+        failures, and fault-induced latency inflation."""
+        return self.throughput()
+
+    def mttr(self) -> Optional[float]:
+        """Mean time from a query's first crash-abort to its eventual
+        completion (recovery latency); ``None`` if no crashed query
+        ever completed."""
+        values = [
+            r.completed - r.aborts[0]
+            for r in self.records
+            if r.aborts and r.completed is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def resilience_summary(self) -> Dict[str, Optional[float]]:
+        """The fault-tolerance headline numbers in one dict."""
+        return {
+            "faults_injected": float(self.faults_injected),
+            "repairs": float(self.repairs),
+            "failed": float(self.failed_count()),
+            "retries": float(self.retries_total()),
+            "wasted_seconds": self.wasted_seconds(),
+            "wasted_fraction": self.wasted_fraction(),
+            "goodput": self.goodput(),
+            "mttr": self.mttr(),
+        }
+
     # -- emission ---------------------------------------------------------
 
     def rows(self) -> List[Dict]:
@@ -182,7 +246,7 @@ class WorkloadResult:
                 f"p50 {stats['p50']:.2f}s p95 {stats['p95']:.2f}s "
                 f"p99 {stats['p99']:.2f}s"
             )
-        return (
+        text = (
             f"{self.policy}@{self.machine_size}p: "
             f"{len(self.completed())}/{len(self.records)} completed "
             f"({self.rejected_count()} rejected), "
@@ -193,6 +257,17 @@ class WorkloadResult:
             f"queue delay {self.mean_queue_delay():.2f}s, "
             f"peak in-flight {self.peak_in_flight}"
         )
+        if self.faults_injected or self.failed_count():
+            mttr = self.mttr()
+            text += (
+                f" | faults: {self.faults_injected} crashes "
+                f"({self.repairs} repaired), {self.failed_count()} failed, "
+                f"{self.retries_total()} retries, "
+                f"wasted {self.wasted_seconds():.1f}s "
+                f"({self.wasted_fraction():.0%}), "
+                f"mttr {'n/a' if mttr is None else f'{mttr:.2f}s'}"
+            )
+        return text
 
 
 def saturation_knee(

@@ -10,7 +10,7 @@ self-contained artifact (as XRA programs were for PRISMA's scheduler).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.schedule import InputSpec, JoinTask, ParallelSchedule

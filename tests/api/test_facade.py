@@ -173,6 +173,29 @@ class TestTimeout:
                 cardinality=100, timeout=0.0,
             )
 
+    def test_warned_timeout_is_dropped_not_applied(self):
+        """On a non-threaded backend the warned-about timeout is
+        discarded entirely: the result is identical to a run that never
+        passed one (regression guard for the warn-then-ignore path)."""
+        plain = api.run("wide_bushy", "SE", 12, "sim", cardinality=200)
+        with pytest.warns(DeprecationWarning, match="threaded"):
+            timed = api.run(
+                "wide_bushy", "SE", 12, "sim",
+                cardinality=200, timeout=1e-9,
+            )
+        assert timed == plain
+
+    def test_non_threaded_warns_before_validating(self):
+        """A nonsensical timeout on a non-threaded backend still takes
+        the warn-and-drop path — it must not raise the threaded
+        backend's positivity error."""
+        with pytest.warns(DeprecationWarning, match="threaded"):
+            result = api.run(
+                "wide_bushy", "SE", 12, "sim",
+                cardinality=200, timeout=-5.0,
+            )
+        assert result is not None
+
     def test_threaded_receives_the_bound(self, monkeypatch):
         """The value reaches the executor verbatim (it used to be
         dropped on the floor)."""

@@ -4,7 +4,6 @@ import pytest
 
 from repro.bench import Experiment, run_sweep
 from repro.bench.scaling import (
-    ScalingCurve,
     best_scaling_strategy,
     scaling_curve,
     scaling_report,

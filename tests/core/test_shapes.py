@@ -9,7 +9,6 @@ from repro.core import (
     example_tree,
     is_bushy,
     is_left_linear,
-    is_linear,
     is_right_linear,
     joins_postorder,
     leaf_names,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import (
     Catalog,
-    CostModel,
     SHAPE_NAMES,
     example_tree,
     get_strategy,

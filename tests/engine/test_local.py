@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import SHAPE_NAMES, get_strategy, make_shape
 from repro.engine.local import execute_schedule, reference_result
-from repro.relational import Relation, skew
+from repro.relational import skew
 
 
 class TestCorrectness:

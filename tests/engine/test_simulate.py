@@ -1,6 +1,5 @@
 """The simulate_* front ends and cross-strategy behaviour."""
 
-import pytest
 
 from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
 from repro.engine.simulate import simulate_schedule, simulate_strategy

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Catalog, example_tree, get_strategy
+from repro.core import example_tree
 from repro.engine import (
     busy_fractions,
     ideal_diagram,

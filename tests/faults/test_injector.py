@@ -1,0 +1,174 @@
+"""FaultInjector against a single owned simulation: golden identity,
+crash-stop aborts, stragglers, and interconnect faults."""
+
+import pytest
+
+from repro import api
+from repro.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultSchedule,
+    LinkFault,
+    LinkFaultState,
+    QueryAbortedError,
+    StallFault,
+)
+
+
+def run_sim(fast_config, *, faults=None, strategy="FP", processors=12):
+    return api.run(
+        "wide_bushy", strategy, processors, "sim",
+        cardinality=500, config=fast_config, faults=faults,
+    )
+
+
+class TestGoldenIdentity:
+    """Satellite: injecting an *empty* schedule is a strict no-op —
+    the run must be bit-for-bit identical to one with no injector at
+    all, trace included."""
+
+    def test_empty_schedule_is_bit_for_bit_noop(self, fast_config):
+        plain = run_sim(fast_config)
+        faulted = run_sim(fast_config, faults=FaultSchedule.empty())
+        assert faulted == plain
+        assert faulted.response_time == plain.response_time
+        assert faulted.busy_time() == plain.busy_time()
+        assert faulted.events == plain.events
+
+    def test_empty_injector_object_is_noop_too(self, fast_config):
+        plain = run_sim(fast_config)
+        faulted = run_sim(
+            fast_config, faults=FaultInjector(FaultSchedule.empty())
+        )
+        assert faulted == plain
+
+    def test_post_horizon_faults_are_noops(self, fast_config):
+        """A crash scheduled after the query finishes does not abort it
+        or perturb its timing (the pending event itself still ticks the
+        clock's event counter)."""
+        plain = run_sim(fast_config)
+        late = FaultSchedule(
+            crashes=(CrashFault(processor=0, at=plain.response_time + 50),),
+        )
+        survived = run_sim(fast_config, faults=late)
+        assert survived.response_time == plain.response_time
+        assert survived.busy_time() == plain.busy_time()
+        assert survived.result_tuples == plain.result_tuples
+
+
+class TestCrash:
+    def test_crash_aborts_the_query(self, fast_config):
+        faults = FaultSchedule(crashes=(CrashFault(processor=0, at=0.5),))
+        with pytest.raises(QueryAbortedError, match="processor 0 crashed"):
+            run_sim(fast_config, faults=faults)
+
+    def test_abort_carries_reason_and_time(self, fast_config):
+        faults = FaultSchedule(crashes=(CrashFault(processor=1, at=0.75),))
+        with pytest.raises(QueryAbortedError) as excinfo:
+            run_sim(fast_config, faults=faults)
+        assert excinfo.value.reason == "processor 1 crashed"
+        assert excinfo.value.at == 0.75
+
+    def test_crashed_run_replays_identically(self, fast_config):
+        faults = FaultSchedule(crashes=(CrashFault(processor=2, at=1.0),))
+        with pytest.raises(QueryAbortedError) as first:
+            run_sim(fast_config, faults=faults)
+        with pytest.raises(QueryAbortedError) as second:
+            run_sim(fast_config, faults=faults)
+        assert first.value.at == second.value.at
+        assert first.value.reason == second.value.reason
+
+    def test_crash_of_unused_processor_id_is_ignored(self, fast_config):
+        """A crash on a node outside the simulated machine is not an
+        event at all (the workload engine handles those)."""
+        plain = run_sim(fast_config)
+        faults = FaultSchedule(crashes=(CrashFault(processor=99, at=0.5),))
+        assert run_sim(fast_config, faults=faults) == plain
+
+
+class TestStall:
+    def test_straggler_window_slows_the_query(self, fast_config):
+        plain = run_sim(fast_config)
+        stalled = run_sim(
+            fast_config,
+            faults=FaultSchedule(stalls=tuple(
+                StallFault(processor=p, start=0.0, end=1e9, factor=8.0)
+                for p in range(12)
+            )),
+        )
+        assert stalled.response_time > plain.response_time
+        assert stalled.result_tuples == plain.result_tuples
+
+    def test_stall_replays_identically(self, fast_config):
+        faults = FaultSchedule(
+            stalls=(StallFault(processor=0, start=0.0, end=5.0, factor=4.0),)
+        )
+        assert run_sim(fast_config, faults=faults) == run_sim(
+            fast_config, faults=faults
+        )
+
+
+class TestLink:
+    def test_extra_delay_slows_the_query(self, fast_config):
+        plain = run_sim(fast_config)
+        delayed = run_sim(
+            fast_config,
+            faults=FaultSchedule(
+                link_faults=(LinkFault(start=0.0, end=1e9, extra_delay=0.5),)
+            ),
+        )
+        assert delayed.response_time > plain.response_time
+        assert delayed.result_tuples == plain.result_tuples
+
+    def test_total_loss_still_terminates(self, fast_config):
+        """Loss applies to pipelined data batches only — never to EOS
+        or store deliveries — so even loss=1.0 cannot deadlock."""
+        plain = run_sim(fast_config)
+        lossy = run_sim(
+            fast_config,
+            faults=FaultSchedule(
+                link_faults=(LinkFault(start=0.0, end=1e9, loss=1.0),)
+            ),
+        )
+        assert lossy.response_time > 0
+        assert lossy.result_tuples < plain.result_tuples
+
+    def test_loss_draws_replay_for_a_fixed_seed(self, fast_config):
+        faults = FaultSchedule(
+            link_faults=(LinkFault(start=0.0, end=1e9, loss=0.3),),
+            seed=11,
+        )
+        assert run_sim(fast_config, faults=faults) == run_sim(
+            fast_config, faults=faults
+        )
+
+    def test_link_state_counts_perturbations(self):
+        state = LinkFaultState(
+            (LinkFault(start=0.0, end=10.0, extra_delay=0.2, loss=1.0),),
+            seed=0,
+        )
+        assert state.extra_delay(5.0) == pytest.approx(0.2)
+        assert state.extra_delay(50.0) == 0.0
+        assert state.drops(5.0)
+        assert not state.drops(50.0)
+        assert state.delayed == 1 and state.dropped == 1
+
+
+class TestInjectorLifecycle:
+    def test_injector_attaches_once(self, fast_config):
+        injector = FaultInjector(FaultSchedule.empty())
+        run_sim(fast_config, faults=injector)
+        with pytest.raises(RuntimeError, match="attaches once"):
+            run_sim(fast_config, faults=injector)
+
+    def test_injector_rejects_non_schedule(self):
+        with pytest.raises(TypeError, match="FaultSchedule"):
+            FaultInjector([CrashFault(processor=0, at=1.0)])
+
+    def test_real_data_backends_reject_faults(self):
+        faults = FaultSchedule(crashes=(CrashFault(processor=0, at=1.0),))
+        with pytest.raises(ValueError, match="simulating backends"):
+            api.run(
+                "wide_bushy", "SE", 4, "local",
+                cardinality=100, faults=faults,
+            )

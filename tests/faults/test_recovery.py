@@ -1,0 +1,258 @@
+"""Recovery policies on the shared-machine workload engine: fail,
+restart (backoff through admission), reassign (reuse materialized
+subtrees), repair, degradation, and the resilience metrics."""
+
+import pytest
+
+from repro import api
+from repro.faults import CrashFault, FaultSchedule, StallFault
+from repro.workload import (
+    ExclusivePolicy,
+    QuerySpec,
+    RECOVERY_POLICIES,
+    WorkloadEngine,
+)
+
+SE_QUERY = QuerySpec("wide_bushy", 2000, "SE")
+FP_QUERY = QuerySpec("wide_bushy", 2000, "FP")
+
+#: One node dies mid-query and rejoins 9 seconds later.
+MID_QUERY_CRASH = FaultSchedule(
+    crashes=(CrashFault(processor=2, at=3.0, repair_at=12.0),)
+)
+
+
+def crashy_engine(fast_config, *, faults=MID_QUERY_CRASH, **kwargs):
+    return WorkloadEngine(16, config=fast_config, faults=faults, **kwargs)
+
+
+class TestConstruction:
+    def test_recovery_must_be_known(self, fast_config):
+        assert RECOVERY_POLICIES == ("fail", "restart", "reassign")
+        with pytest.raises(ValueError, match="recovery"):
+            WorkloadEngine(8, config=fast_config, recovery="reboot")
+
+    def test_faults_must_be_schedule_or_injector(self, fast_config):
+        with pytest.raises(TypeError, match="FaultSchedule"):
+            WorkloadEngine(8, config=fast_config, faults="crash please")
+
+    def test_retry_knobs_validated(self, fast_config):
+        with pytest.raises(ValueError, match="max_retries"):
+            WorkloadEngine(8, config=fast_config, max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            WorkloadEngine(8, config=fast_config, retry_backoff=-0.5)
+
+    def test_rejected_retry_delay_is_configurable(self, fast_config):
+        """Satellite: the magic closed-loop retry pause is a keyword
+        now (the module constant stays the default)."""
+        from repro.workload.engine import REJECTED_RETRY_DELAY
+
+        engine = WorkloadEngine(8, config=fast_config)
+        assert engine.rejected_retry_delay == REJECTED_RETRY_DELAY
+        tuned = WorkloadEngine(
+            8, config=fast_config, rejected_retry_delay=0.5
+        )
+        assert tuned.rejected_retry_delay == 0.5
+        with pytest.raises(ValueError, match="rejected_retry_delay"):
+            WorkloadEngine(8, config=fast_config, rejected_retry_delay=0.0)
+
+
+class TestFailPolicy:
+    def test_crash_fails_the_query(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="fail")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        record = result.records[0]
+        assert record.failed
+        assert record.attempts == 1
+        assert record.aborts == [3.0]
+        assert record.completed is None
+        assert "crashed" in record.error
+        assert result.failed_count() == 1
+        assert result.faults_injected == 1
+
+    def test_wasted_work_is_accounted(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="fail")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        assert result.wasted_seconds() > 0
+        assert 0 < result.wasted_fraction() <= 1.0
+
+
+class TestRestartPolicy:
+    def test_crash_then_retry_completes(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="restart")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        record = result.records[0]
+        assert not record.failed
+        assert record.attempts == 2
+        assert record.aborts == [3.0]
+        assert record.completed is not None
+        assert result.retries_total() == 1
+        assert result.repairs == 1
+
+    def test_mttr_measures_crash_to_completion(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="restart")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        record = result.records[0]
+        assert result.mttr() == pytest.approx(record.completed - 3.0)
+
+    def test_retry_budget_exhausts_to_failure(self, fast_config):
+        """Crashes on every attempt burn max_retries and then fail."""
+        faults = FaultSchedule(crashes=tuple(
+            CrashFault(processor=2, at=float(at), repair_at=float(at) + 0.5)
+            for at in (3, 6, 9, 12, 15, 18, 21, 24)
+        ))
+        engine = crashy_engine(
+            fast_config, faults=faults, recovery="restart",
+            max_retries=2, retry_backoff=0.1,
+        )
+        result = engine.run_open([(0.0, SE_QUERY)])
+        record = result.records[0]
+        assert record.failed
+        assert record.attempts == 3  # initial + 2 retries
+        assert len(record.aborts) == 3
+
+    def test_fault_summary_line(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="restart")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        assert "faults:" in result.summary()
+        assert "1 crashes" in result.summary()
+
+
+class TestReassignPolicy:
+    def test_reassign_reuses_materialized_results(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="reassign")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        record = result.records[0]
+        assert not record.failed
+        assert record.attempts == 2
+        assert record.reused_tasks >= 1
+
+    def test_reassign_is_no_slower_than_restart(self, fast_config):
+        restart = crashy_engine(fast_config, recovery="restart").run_open(
+            [(0.0, SE_QUERY)]
+        )
+        reassign = crashy_engine(fast_config, recovery="reassign").run_open(
+            [(0.0, SE_QUERY)]
+        )
+        assert (
+            reassign.records[0].completed <= restart.records[0].completed
+        )
+
+    def test_fp_reassign_degenerates_to_restart(self, fast_config):
+        """FP pipelines everything, so a crashed FP query has no
+        materialized subtree to reuse — reassign still completes, just
+        from scratch."""
+        engine = crashy_engine(fast_config, recovery="reassign")
+        result = engine.run_open([(0.0, FP_QUERY)])
+        record = result.records[0]
+        assert not record.failed
+        assert record.attempts == 2
+        assert record.reused_tasks == 0
+
+
+class TestDegradedMachine:
+    def test_fp_crash_never_deadlocks_the_clock(self, fast_config):
+        """Acceptance: a permanently lost node mid-FP-pipeline must not
+        hang the drain — the stuck query is shed with an error."""
+        permanent = FaultSchedule(
+            crashes=(CrashFault(processor=2, at=3.0),)
+        )
+        engine = crashy_engine(
+            fast_config, faults=permanent, recovery="restart"
+        )
+        result = engine.run_open([(0.0, FP_QUERY)])
+        record = result.records[0]
+        assert record.failed
+        assert "degraded" in record.error
+        assert result.makespan < 60.0
+
+    def test_smaller_queries_pass_a_stuck_head(self, fast_config):
+        """Shedding the infeasible head query frees the queue for
+        queries that still fit on the survivors."""
+        permanent = FaultSchedule(
+            crashes=(CrashFault(processor=2, at=1.0),)
+        )
+        engine = WorkloadEngine(
+            16, policy=ExclusivePolicy(10), config=fast_config,
+            faults=permanent, recovery="fail",
+        )
+        small = QuerySpec("wide_bushy", 500, "SE")
+        result = engine.run_open([(0.0, SE_QUERY), (0.5, small)])
+        assert result.records[0].failed  # crashed mid-flight
+        assert result.records[1].completed is not None
+        assert 2 not in result.records[1].processors
+
+    def test_repair_restores_capacity(self, fast_config):
+        """After repair the full machine is allocatable again."""
+        engine = crashy_engine(fast_config, recovery="restart")
+        result = engine.run_open([(0.0, SE_QUERY), (0.1, SE_QUERY)])
+        assert all(r.completed is not None for r in result.records)
+        assert result.repairs == 1
+
+
+class TestDeterminismAndIdentity:
+    def test_empty_schedule_workload_identity(self, fast_config):
+        """Golden: faults=empty reproduces the fault-free workload rows
+        bit-for-bit."""
+        kwargs = dict(
+            arrivals="poisson", rate=0.2, duration=40.0, seed=5,
+            machine_size=16, cardinality=500, config=fast_config,
+        )
+        plain = api.run_workload("wide_bushy", **kwargs)
+        empty = api.run_workload(
+            "wide_bushy", faults=FaultSchedule.empty(),
+            recovery="restart", **kwargs
+        )
+        assert [r.row() for r in plain.records] == [
+            r.row() for r in empty.records
+        ]
+
+    def test_faulted_workload_replays_bit_for_bit(self, fast_config):
+        faults = FaultSchedule.generate(
+            machine_size=16, horizon=40.0, seed=3,
+            crash_rate=0.05, repair_time=5.0, stall_rate=0.05,
+        )
+        kwargs = dict(
+            arrivals="poisson", rate=0.3, duration=40.0, seed=5,
+            machine_size=16, cardinality=500, config=fast_config,
+            faults=faults, recovery="reassign",
+        )
+        first = api.run_workload("wide_bushy", **kwargs)
+        second = api.run_workload("wide_bushy", **kwargs)
+        assert [r.row() for r in first.records] == [
+            r.row() for r in second.records
+        ]
+        assert first.faults_injected == second.faults_injected
+
+    def test_stalls_delay_hosted_queries(self, fast_config):
+        stalls = FaultSchedule(stalls=tuple(
+            StallFault(processor=p, start=0.0, end=1e9, factor=6.0)
+            for p in range(16)
+        ))
+        plain = crashy_engine(fast_config, faults=None).run_open(
+            [(0.0, SE_QUERY)]
+        )
+        slowed = crashy_engine(fast_config, faults=stalls).run_open(
+            [(0.0, SE_QUERY)]
+        )
+        assert (
+            slowed.records[0].service_time > plain.records[0].service_time
+        )
+
+    def test_record_rows_carry_resilience_fields(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="restart")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        row = result.records[0].row()
+        for key in ("attempts", "aborts", "wasted_seconds", "failed",
+                    "reused_tasks"):
+            assert key in row
+
+    def test_resilience_summary_shape(self, fast_config):
+        engine = crashy_engine(fast_config, recovery="restart")
+        result = engine.run_open([(0.0, SE_QUERY)])
+        summary = result.resilience_summary()
+        assert summary["faults_injected"] == 1
+        assert summary["retries"] == 1
+        assert summary["failed"] == 0
+        assert summary["wasted_seconds"] > 0
+        assert summary["mttr"] is not None

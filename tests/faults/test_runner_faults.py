@@ -1,0 +1,110 @@
+"""Faulted sweeps through the parallel runner: the fault-schedule
+axis, deterministic aborted rows, worker-count invariance, caching."""
+
+import pytest
+
+from repro.faults import CrashFault, FaultSchedule
+from repro.runner import Job, SweepSpec, run_sweep
+
+EARLY_CRASH = FaultSchedule(crashes=(CrashFault(processor=1, at=0.5),))
+
+
+def tiny_spec(**kwargs):
+    defaults = dict(
+        shapes=("wide_bushy",),
+        strategies=("SP", "FP"),
+        processors=(12,),
+        cardinalities=(500,),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestSpecAxis:
+    def test_default_axis_is_fault_free(self):
+        spec = tiny_spec()
+        assert spec.fault_schedules == (None,)
+        assert all(job.faults is None for job in spec.expand())
+
+    def test_axis_multiplies_the_grid(self):
+        spec = tiny_spec(fault_schedules=(None, EARLY_CRASH))
+        assert len(spec) == 4
+        jobs = spec.expand()
+        assert len(jobs) == 4
+        assert [job.faults for job in jobs] == [
+            None, None, EARLY_CRASH, EARLY_CRASH
+        ]
+
+    def test_axis_validates_entries(self):
+        with pytest.raises(ValueError, match="FaultSchedule or None"):
+            tiny_spec(fault_schedules=({"crashes": []},))
+        with pytest.raises(ValueError, match="empty"):
+            tiny_spec(fault_schedules=())
+
+    def test_fault_free_payload_has_no_faults_key(self):
+        """Cache compatibility: fault-free jobs must keep their
+        pre-fault-axis content addresses."""
+        job = Job(
+            shape="wide_bushy", strategy="FP", processors=12,
+            cardinality=500,
+        )
+        assert "faults" not in job.payload()
+        faulted = Job(
+            shape="wide_bushy", strategy="FP", processors=12,
+            cardinality=500, faults=EARLY_CRASH,
+        )
+        assert "faults" in faulted.payload()
+        assert faulted.key() != job.key()
+
+    def test_label_mentions_faults(self):
+        job = Job(
+            shape="wide_bushy", strategy="FP", processors=12,
+            cardinality=500, faults=EARLY_CRASH,
+        )
+        assert "faults=1" in job.label()
+
+
+class TestExecution:
+    def test_aborted_jobs_produce_deterministic_rows(self):
+        spec = tiny_spec(fault_schedules=(EARLY_CRASH,))
+        run = run_sweep(spec, workers=1, cache=False)
+        for outcome in run.outcomes:
+            metrics = outcome.row["metrics"]
+            assert metrics["aborted"] is True
+            assert metrics["aborted_at"] == 0.5
+            assert metrics["reason"] == "processor 1 crashed"
+
+    def test_rows_are_worker_count_invariant(self):
+        """Acceptance: the same faulted spec produces identical rows
+        at workers=1 and workers=4."""
+        spec = tiny_spec(fault_schedules=(None, EARLY_CRASH))
+        serial = run_sweep(spec, workers=1, cache=False)
+        parallel = run_sweep(spec, workers=4, cache=False)
+        assert [o.row for o in serial.outcomes] == [
+            o.row for o in parallel.outcomes
+        ]
+
+    def test_aborted_rows_cache_and_replay(self, tmp_path):
+        spec = tiny_spec(strategies=("FP",), fault_schedules=(EARLY_CRASH,))
+        first = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        second = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert [o.source for o in second.outcomes] == ["cache"]
+        assert [o.row for o in first.outcomes] == [
+            o.row for o in second.outcomes
+        ]
+
+    def test_late_faults_leave_metrics_untouched(self):
+        """A fault schedule that never fires yields the normal metrics
+        row (plus the payload's faults key)."""
+        late = FaultSchedule(crashes=(CrashFault(processor=0, at=1e6),))
+        plain = run_sweep(
+            tiny_spec(strategies=("FP",)), workers=1, cache=False
+        )
+        faulted = run_sweep(
+            tiny_spec(strategies=("FP",), fault_schedules=(late,)),
+            workers=1, cache=False,
+        )
+        assert (
+            faulted.outcomes[0].row["metrics"]["response_time"]
+            == plain.outcomes[0].row["metrics"]["response_time"]
+        )

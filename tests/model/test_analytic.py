@@ -10,7 +10,7 @@ from repro.core import (
     paper_relation_names,
 )
 from repro.engine.simulate import simulate_strategy
-from repro.model import Prediction, predict, predict_schedule, relative_error
+from repro.model import predict, predict_schedule, relative_error
 from repro.sim import MachineConfig
 
 NAMES = paper_relation_names(10)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CostModel, is_bushy, num_joins, paper_relation_names
+from repro.core import is_bushy, num_joins, paper_relation_names
 from repro.optimizer import (
     QueryGraph,
     all_trees,

@@ -1,9 +1,7 @@
 """Non-join operators and the Wisconsin join combiner."""
 
-import pytest
 
 from repro.relational import (
-    Relation,
     make_wisconsin,
     project,
     scan,

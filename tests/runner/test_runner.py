@@ -7,7 +7,6 @@ import pytest
 
 from repro.runner import (
     CACHE_VERSION,
-    Job,
     JobFailed,
     ResultCache,
     SweepSpec,

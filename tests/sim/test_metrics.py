@@ -3,8 +3,6 @@
 import pytest
 
 from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
-from repro.sim import MachineConfig
-from repro.sim.metrics import SimulationResult, TaskTiming
 from repro.sim.run import simulate
 
 NAMES = paper_relation_names(6)

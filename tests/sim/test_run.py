@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Catalog, CostModel, get_strategy, make_shape, paper_relation_names
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
 from repro.sim import MachineConfig, simulate
 
 NAMES = paper_relation_names(6)

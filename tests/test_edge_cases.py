@@ -9,7 +9,6 @@ import pytest
 
 from repro.core import (
     Catalog,
-    CostModel,
     Join,
     Leaf,
     get_strategy,
@@ -18,7 +17,7 @@ from repro.core import (
 )
 from repro.engine.local import execute_schedule, reference_result
 from repro.engine.simulate import simulate_strategy
-from repro.relational import Relation, WISCONSIN_SCHEMA, make_wisconsin
+from repro.relational import make_wisconsin
 from repro.sim import MachineConfig
 from repro.sim.run import simulate
 

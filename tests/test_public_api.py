@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.xra",
     "repro.workload",
     "repro.service",
+    "repro.faults",
 ]
 
 
@@ -61,7 +62,7 @@ def test_facade_signature_snapshot():
         "cost_model: 'Optional[CostModel]' = None, "
         "skew_theta: 'float' = 0.0, cardinality: 'int' = 5000, "
         "relations=None, resolve=None, "
-        "timeout: 'Optional[float]' = None)"
+        "timeout: 'Optional[float]' = None, faults=None)"
     )
 
 
@@ -81,7 +82,8 @@ def test_workload_facade_signature_snapshot():
                  "policy", "share", "strategy", "cardinality", "clients",
                  "think_time", "queries_per_client", "max_concurrent",
                  "queue_limit", "memory_budget_bytes", "config",
-                 "cost_model", "skew_theta"):
+                 "cost_model", "skew_theta", "faults", "recovery",
+                 "max_retries", "retry_backoff", "rejected_retry_delay"):
         assert name in params, f"run_workload lost {name!r}"
         assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
 

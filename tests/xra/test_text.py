@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core import Catalog, SHAPE_NAMES, get_strategy, make_shape, paper_relation_names
+from repro.core import Catalog, SHAPE_NAMES, make_shape, paper_relation_names
 from repro.xra import (
-    XRAPlan,
     format_plan,
     format_processors,
     generate_plan,
