@@ -1,0 +1,150 @@
+"""Overload behaviour — goodput with deadlines and load shedding.
+
+Beyond the paper: what happens to the shared machine past its
+saturation knee once queries carry deadlines.  Without shedding, the
+engine admits arrivals that have already burnt most of their deadline
+budget queueing; they are aborted mid-run at the deadline, so machine
+time is spent without producing results and goodput collapses.  The
+``deadline_aware`` admission policy predicts each arrival's completion
+from the analytic cost model and sheds the doomed ones up front,
+holding goodput near the knee value.
+
+The headline assertion (the PR's acceptance criterion): for FP on
+``wide_bushy`` at twice the knee load, ``deadline_aware`` sustains at
+least 80% of the knee goodput while the no-shedding baseline degrades
+well below it, and the deadline-miss rate among *completed* queries is
+exactly zero.  The full strategy × load × shed grid is written to
+``results/overload_goodput.txt``.
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_overload.py
+"""
+
+from __future__ import annotations
+
+from repro import api
+from repro.sim import MachineConfig
+from repro.workload import overload_sweep
+
+from conftest import write_result
+
+#: Coarse batches keep every workload cell in the tens of milliseconds.
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+MACHINE_SIZE = 40
+STRATEGIES = ("SP", "SE", "RD", "FP")
+DURATION = 240.0
+CARDINALITY = 1_000
+SEED = 7
+
+
+def service_time(strategy: str) -> float:
+    """Single-query response time on the whole (exclusive) machine —
+    the capacity scale of the knee."""
+    return api.run(
+        "wide_bushy", strategy, MACHINE_SIZE, "sim",
+        cardinality=CARDINALITY, config=FAST,
+    ).response_time
+
+
+def run_cell(strategy: str, load: float, deadline: float, shed):
+    return api.run_workload(
+        "wide_bushy",
+        arrivals="poisson",
+        rate=load,
+        duration=DURATION,
+        seed=SEED,
+        machine_size=MACHINE_SIZE,
+        strategy=strategy,
+        cardinality=CARDINALITY,
+        config=FAST,
+        deadline=deadline,
+        shed=shed,
+    )
+
+
+def overload_table(points) -> str:
+    header = (
+        f"{'strategy':>8}  {'load':>6}  {'shed':>14}  {'offered':>7}  "
+        f"{'done':>5}  {'shed#':>5}  {'expired':>7}  {'aborted':>7}  "
+        f"{'goodput':>8}  {'miss':>5}  {'util':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        miss = "n/a" if p.miss_rate is None else f"{p.miss_rate:.0%}"
+        lines.append(
+            f"{p.strategy:>8}  {p.load:6.3f}  {str(p.shed or 'none'):>14}  "
+            f"{p.offered:7d}  {p.completed:5d}  {p.shed_count:5d}  "
+            f"{p.expired:7d}  {p.deadline_aborted:7d}  "
+            f"{p.goodput:8.4f}  {miss:>5}  {p.utilization:5.0%}"
+        )
+    return "\n".join(lines)
+
+
+def test_deadline_aware_shedding_holds_goodput_past_the_knee(
+    benchmark, results_dir
+):
+    """FP on wide_bushy: at 2× the knee load, deadline-aware shedding
+    sustains ≥80% of the knee goodput; the admit-everything baseline
+    collapses; no completed query misses its deadline."""
+    service = service_time("FP")
+    knee_load = 1.0 / service          # the exclusive machine's capacity
+    deadline = 3.0 * service
+
+    knee = run_cell("FP", knee_load, deadline, "deadline_aware")
+    knee_goodput = knee.goodput()
+    assert knee_goodput > 0
+
+    baseline = run_cell("FP", 2.0 * knee_load, deadline, None)
+    aware = run_cell("FP", 2.0 * knee_load, deadline, "deadline_aware")
+
+    # The acceptance criterion of the lifecycle subsystem.
+    assert aware.goodput() >= 0.8 * knee_goodput, (
+        f"deadline_aware goodput {aware.goodput():.4f} fell below 80% of "
+        f"the knee goodput {knee_goodput:.4f}"
+    )
+    assert baseline.goodput() < 0.8 * knee_goodput, (
+        f"no-shedding baseline held {baseline.goodput():.4f} goodput at 2x "
+        f"overload — the collapse this bench exists to show is gone"
+    )
+    assert baseline.goodput() < aware.goodput()
+    # Enforced deadlines mean nothing completed can have missed one.
+    assert aware.deadline_miss_rate() in (None, 0.0)
+    assert baseline.deadline_miss_rate() in (None, 0.0)
+    # The baseline degrades by burning time on doomed admissions.
+    assert baseline.deadline_aborted_count() > 0
+
+    # The full grid for the report and the results directory.
+    loads = (0.5 * knee_load, knee_load, 2.0 * knee_load)
+    points = overload_sweep(
+        strategies=STRATEGIES,
+        loads=loads,
+        sheds=(None, "deadline_aware"),
+        deadline=deadline,
+        duration=DURATION,
+        machine_size=MACHINE_SIZE,
+        seed=SEED,
+        queue_limit=None,
+        cardinality=CARDINALITY,
+        config=FAST,
+    )
+    write_result(results_dir, "overload_goodput.txt", overload_table(points))
+
+    # Time one representative overloaded, shedding run.
+    result = benchmark(
+        lambda: run_cell("FP", 2.0 * knee_load, deadline, "deadline_aware")
+    )
+    assert len(result.records) > 0
+
+
+def test_overload_runs_are_deterministic():
+    """Same seed, same cell — bit-for-bit identical rows."""
+    service = service_time("RD")
+    deadline = 3.0 * service
+    first = run_cell("RD", 2.0 / service, deadline, "deadline_aware")
+    second = run_cell("RD", 2.0 / service, deadline, "deadline_aware")
+    assert [a.row() for a in first.records] == [
+        b.row() for b in second.records
+    ]
+    assert first.makespan == second.makespan

@@ -4,7 +4,8 @@ Runs the full evaluation with the frozen paper configuration and
 writes ``benchmarks/results/report.html``: the Figure 14 table, SVG
 line charts for Figures 9-13 with per-panel claim checklists, SVG
 Gantt charts for the idealized Figures 3/4/6/7, and the beyond-paper
-multi-query workload saturation curve and fault-injection resilience
+multi-query workload saturation curve, fault-injection resilience
+section, and goodput-under-overload (deadlines + load shedding)
 section.
 
     python benchmarks/generate_report_html.py
@@ -25,6 +26,7 @@ from repro.workload import (
     QueryMix,
     WorkloadEngine,
     open_loop_curve,
+    overload_sweep,
 )
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
@@ -64,6 +66,22 @@ def resilience_points():
     )
 
 
+def overload_points():
+    return overload_sweep(
+        strategies=("SE", "RD"),
+        loads=(0.2, 0.5, 1.0, 2.0),
+        sheds=(None, "deadline_aware"),
+        deadline=60.0,
+        duration=120.0,
+        machine_size=40,
+        seed=7,
+        queue_limit=16,
+        share=10,
+        cardinality=1_000,
+        config=FAST,
+    )
+
+
 def main() -> None:
     sweeps = all_sweeps()
     diagrams = {
@@ -74,7 +92,8 @@ def main() -> None:
     out = RESULTS / "report.html"
     out.write_text(
         render_report(
-            sweeps, diagrams, workload_points(), resilience_points()
+            sweeps, diagrams, workload_points(), resilience_points(),
+            overload_points(),
         )
     )
     print(f"wrote {out}")

@@ -36,6 +36,7 @@ from .core.shapes import SHAPE_NAMES, make_shape, paper_relation_names
 from .core.strategies import Strategy, get_strategy
 from .core.trees import Join, Leaf, Node, leaves
 from .sim.machine import MachineConfig
+from .sim.watchdog import DEFAULT_MAX_EVENTS_PER_INSTANT
 
 #: The execution backends :func:`run` dispatches between.
 BACKENDS = ("sim", "local", "threaded", "ideal")
@@ -62,6 +63,7 @@ def run(
     resolve=None,
     timeout: Optional[float] = None,
     faults=None,
+    deadline: Optional[float] = None,
 ):
     """Plan ``tree_or_shape`` with ``strategy`` and execute it on one
     of the four backends.
@@ -110,6 +112,15 @@ def run(
         dedicated machine has nothing to recover to — recovery
         policies live in :func:`run_workload`).  An empty schedule is
         a bit-for-bit no-op.  Rejected by the real-data backends.
+    ``deadline``
+        Response-time bound in *simulated* seconds for the simulating
+        backends: a run still unfinished at the deadline instant is
+        aborted through the same machinery
+        (:class:`~repro.faults.QueryAbortedError` with
+        ``reason="deadline ..."``).  A deadline the run beats leaves
+        the result bit-for-bit identical to a deadline-free run.
+        Rejected by the real-data backends (use ``timeout`` for a
+        wall-clock bound on ``threaded``).
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -155,7 +166,7 @@ def run(
         return simulate(
             schedule, catalog, config,
             cost_model=cost_model, skew_theta=skew_theta,
-            faults=faults,
+            faults=faults, deadline=deadline,
         )
 
     # Real-data backends: they execute rather than model, so the
@@ -164,6 +175,12 @@ def run(
         raise ValueError(
             f"backend {backend!r} runs on real data; fault injection "
             f"applies to the simulating backends only"
+        )
+    if deadline is not None:
+        raise ValueError(
+            f"backend {backend!r} runs on real data; a simulated-time "
+            f"deadline does not apply (use 'timeout' for wall-clock "
+            f"bounds on backend='threaded')"
         )
     if config is not None:
         raise ValueError(
@@ -247,6 +264,10 @@ def run_workload(
     max_retries: int = 3,
     retry_backoff: float = 1.0,
     rejected_retry_delay: Optional[float] = None,
+    deadline=None,
+    shed=None,
+    cancellations=None,
+    watchdog_limit: Optional[int] = DEFAULT_MAX_EVENTS_PER_INSTANT,
 ):
     """Serve a stream of queries on one shared simulated machine.
 
@@ -272,6 +293,23 @@ def run_workload(
     ``rejected_retry_delay``
         Zero-think-time closed-loop retry delay after a rejection
         (default :data:`repro.workload.REJECTED_RETRY_DELAY`).
+    ``deadline`` / ``shed``
+        Request-lifecycle knobs: ``deadline`` is the default per-query
+        response-time bound in simulated seconds from arrival (a float,
+        or a ``(lo, hi)`` tuple sampled per query with the run's
+        ``seed``; per-spec deadlines override it), and ``shed`` names
+        the load-shedding policy
+        (:data:`repro.workload.SHED_POLICY_NAMES`; ``None`` keeps the
+        bare ``queue_limit`` bounce).  The result then carries
+        lifecycle metrics (``lifecycle_summary()``).
+    ``cancellations``
+        Optional sequence of ``(time, query_index)`` pairs: each
+        schedules a cancellation of that submission-order query at the
+        simulated instant (unknown indices and already-terminal
+        queries are no-ops).
+    ``watchdog_limit``
+        Livelock-watchdog trip threshold (events at one simulated
+        instant); ``None`` disables the watchdog.
 
     Returns a :class:`~repro.workload.WorkloadResult`; its
     ``write_jsonl`` emits one deterministic row per query.
@@ -316,7 +354,13 @@ def run_workload(
             if rejected_retry_delay is None
             else rejected_retry_delay
         ),
+        deadline=deadline,
+        deadline_seed=seed,
+        shed=shed,
+        watchdog_limit=watchdog_limit,
     )
+    for when, index in cancellations or ():
+        engine.cancel_at(when, index)
     if arrivals == "closed":
         return engine.run_closed(
             mix,

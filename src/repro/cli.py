@@ -60,13 +60,18 @@ def _context(args):
 
 
 def _cmd_simulate(args) -> int:
-    from .sim.run import simulate
+    from .sim.run import QueryAbortedError, simulate
 
     _names, tree, catalog = _context(args)
     schedule = get_strategy(args.strategy).schedule(tree, catalog, args.processors)
-    result = simulate(
-        schedule, catalog, MachineConfig.paper(), skew_theta=args.skew
-    )
+    try:
+        result = simulate(
+            schedule, catalog, MachineConfig.paper(), skew_theta=args.skew,
+            deadline=args.deadline,
+        )
+    except QueryAbortedError as exc:
+        print(f"aborted at t={exc.at:.3f}s: {exc.reason}")
+        return 1
     print(result.summary())
     breakdown = result.busy_by_kind()
     print(
@@ -232,6 +237,8 @@ def _cmd_workload(args) -> int:
         skew_theta=args.skew,
         faults=faults,
         recovery=args.recovery,
+        deadline=args.deadline,
+        shed=args.shed,
     )
     jsonl_path = args.jsonl
     if jsonl_path is None:
@@ -315,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Zipf partitioning skew (0 = the paper's assumption)")
     p.add_argument("--diagram", action="store_true",
                    help="also print the processor-utilization diagram")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="simulated-time response bound; the run aborts "
+                        "(exit 1) if still unfinished at the deadline")
     p.add_argument("--width", type=int, default=72)
     p.set_defaults(fn=_cmd_simulate)
 
@@ -423,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--recovery",
                    choices=["fail", "restart", "reassign"], default="fail",
                    help="what happens to a crashed query")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-query deadline in simulated seconds from "
+                        "arrival (queued queries expire, running ones "
+                        "abort at the deadline)")
+    p.add_argument("--shed",
+                   choices=["drop_newest", "drop_oldest", "deadline_aware"],
+                   default=None,
+                   help="load-shedding policy at admission")
     p.add_argument("--jsonl", default=None,
                    help="per-query JSONL path "
                         "(default: workload_<shape>_<arrivals>.jsonl)")

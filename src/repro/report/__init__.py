@@ -3,6 +3,8 @@
 from .html import (
     claims_html,
     figure14_html,
+    overload_chart,
+    overload_html,
     render_report,
     resilience_chart,
     resilience_html,
@@ -20,6 +22,8 @@ __all__ = [
     "claims_html",
     "color_for",
     "figure14_html",
+    "overload_chart",
+    "overload_html",
     "render_report",
     "resilience_chart",
     "resilience_html",

@@ -188,11 +188,66 @@ def resilience_html(points: List) -> str:
     return "\n".join(parts)
 
 
+def overload_chart(points: List, title: str) -> str:
+    """Goodput-versus-offered-load panel from
+    :class:`~repro.workload.OverloadPoint` rows, one series per
+    (strategy, shed policy) pair."""
+    chart = LineChart(
+        title, x_label="offered load (q/s)", y_label="goodput (q/s)"
+    )
+    pairs = sorted({(p.strategy, p.shed or "none") for p in points})
+    for strategy, shed in pairs:
+        series = sorted(
+            (p.load, p.goodput)
+            for p in points
+            if p.strategy == strategy and (p.shed or "none") == shed
+        )
+        chart.add_series(f"{strategy}/{shed}", series)
+    return chart.to_svg()
+
+
+def overload_html(points: List) -> str:
+    """The request-lifecycle section: goodput under overload with and
+    without load shedding (beyond the paper: deadlines and admission
+    policies on the shared machine)."""
+    sheds = sorted({p.shed or "none" for p in points})
+    parts = [
+        "<h2>Beyond the paper — goodput under overload with deadlines</h2>",
+        "<p>Every query carries a deadline in simulated time; a query "
+        "still running at its deadline is aborted, so late work burns "
+        "machine time without producing a result. Without shedding, "
+        "goodput collapses past the saturation knee; a deadline-aware "
+        "admission policy sheds doomed arrivals up front and holds "
+        f"goodput near capacity (policies compared: "
+        f"{', '.join(escape(s) for s in sheds)}).</p>",
+        "<figure>",
+        overload_chart(points, "Goodput versus offered load"),
+        "</figure>",
+        "<table><tr><th>strategy</th><th>load</th><th>shed policy</th>"
+        "<th>offered</th><th>done</th><th>shed</th><th>expired</th>"
+        "<th>deadline-aborted</th><th>goodput</th><th>miss rate</th>"
+        "<th>utilization</th></tr>",
+    ]
+    for p in points:
+        miss = "n/a" if p.miss_rate is None else f"{p.miss_rate:.0%}"
+        parts.append(
+            f"<tr><td>{escape(p.strategy)}</td><td>{p.load:g}</td>"
+            f"<td>{escape(p.shed or 'none')}</td><td>{p.offered}</td>"
+            f"<td>{p.completed}</td><td>{p.shed_count}</td>"
+            f"<td>{p.expired}</td><td>{p.deadline_aborted}</td>"
+            f"<td>{p.goodput:.3f}</td><td>{miss}</td>"
+            f"<td>{p.utilization:.0%}</td></tr>"
+        )
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
 def render_report(
     sweeps: Dict[Tuple[str, str], SweepResult],
     diagrams: Optional[Dict[str, SimulationResult]] = None,
     workload_points: Optional[List] = None,
     resilience_points: Optional[List] = None,
+    overload_points: Optional[List] = None,
 ) -> str:
     """The full HTML document."""
     parts = [
@@ -235,5 +290,7 @@ def render_report(
         parts.append(workload_html(workload_points, curve_knee(workload_points)))
     if resilience_points:
         parts.append(resilience_html(resilience_points))
+    if overload_points:
+        parts.append(overload_html(overload_points))
     parts.append("</body></html>")
     return "\n".join(parts)

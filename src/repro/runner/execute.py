@@ -77,11 +77,12 @@ def run_job(job: Job) -> Tuple[Dict, Dict]:
             cost_model=job.cost_model,
             skew_theta=job.skew_theta,
             faults=job.faults,
+            deadline=job.deadline,
         )
     except QueryAbortedError as exc:
-        # A scheduled crash killed the query; record the abort as a
-        # deterministic row so sweeps over fault schedules still cache
-        # and replay bit-for-bit.
+        # A scheduled crash (or an expired deadline) killed the query;
+        # record the abort as a deterministic row so sweeps over fault
+        # schedules and deadlines still cache and replay bit-for-bit.
         row = {
             **job.payload(),
             "metrics": {

@@ -48,12 +48,18 @@ class Job:
     config: MachineConfig = field(default_factory=MachineConfig.paper)
     cost_model: CostModel = field(default_factory=CostModel)
     faults: Optional[FaultSchedule] = None
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (simulated seconds)")
 
     def payload(self) -> Dict:
         """The job's full configuration as plain JSON-able data.
 
-        The ``faults`` key appears only for faulted jobs, so every
-        pre-existing fault-free cache entry keeps its content address.
+        The ``faults`` and ``deadline`` keys appear only when set, so
+        every pre-existing fault-free, deadline-free cache entry keeps
+        its content address.
         """
         data = {
             "shape": self.shape,
@@ -67,6 +73,8 @@ class Job:
         }
         if self.faults is not None:
             data["faults"] = self.faults.to_payload()
+        if self.deadline is not None:
+            data["deadline"] = self.deadline
         return data
 
     def key(self) -> str:
@@ -86,6 +94,8 @@ class Job:
             parts.append(f"theta={self.skew_theta}")
         if self.faults is not None and not self.faults.is_empty:
             parts.append(f"faults={self.faults.event_count}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline:g}s")
         return " ".join(parts)
 
 
@@ -94,9 +104,10 @@ class SweepSpec:
     """A grid of experiment points.
 
     Expansion order is fixed (shapes, cardinalities, configs,
-    cost_models, skew_thetas, strategies, processors — processors
-    innermost) so that job indices, JSONL row order and progress
-    numbering are identical from run to run regardless of worker count.
+    cost_models, fault_schedules, deadlines, skew_thetas, strategies,
+    processors — processors innermost) so that job indices, JSONL row
+    order and progress numbering are identical from run to run
+    regardless of worker count.
     """
 
     shapes: Tuple[str, ...] = ("wide_bushy",)
@@ -112,6 +123,8 @@ class SweepSpec:
     )
     #: Fault-schedule axis; ``None`` entries are fault-free points.
     fault_schedules: Tuple[Optional[FaultSchedule], ...] = (None,)
+    #: Deadline axis (simulated seconds); ``None`` entries are unbounded.
+    deadlines: Tuple[Optional[float], ...] = (None,)
     relations: int = 10
 
     def __post_init__(self) -> None:
@@ -130,7 +143,7 @@ class SweepSpec:
             raise ValueError("a join tree needs at least two relations")
         for axis in ("shapes", "strategies", "processors",
                      "cardinalities", "skew_thetas", "configs",
-                     "cost_models", "fault_schedules"):
+                     "cost_models", "fault_schedules", "deadlines"):
             if not getattr(self, axis):
                 raise ValueError(f"sweep axis {axis!r} is empty")
         for schedule in self.fault_schedules:
@@ -138,6 +151,9 @@ class SweepSpec:
                 raise ValueError(
                     "fault_schedules entries must be FaultSchedule or None"
                 )
+        for deadline in self.deadlines:
+            if deadline is not None and deadline <= 0:
+                raise ValueError("deadlines entries must be positive or None")
 
     def expand(self) -> List[Job]:
         """The grid as an ordered job list (deterministic)."""
@@ -147,20 +163,22 @@ class SweepSpec:
                 for config in self.configs:
                     for cost_model in self.cost_models:
                         for faults in self.fault_schedules:
-                            for theta in self.skew_thetas:
-                                for strategy in self.strategies:
-                                    for processors in self.processors:
-                                        jobs.append(Job(
-                                            shape=shape,
-                                            strategy=strategy,
-                                            processors=processors,
-                                            cardinality=cardinality,
-                                            skew_theta=theta,
-                                            relations=self.relations,
-                                            config=config,
-                                            cost_model=cost_model,
-                                            faults=faults,
-                                        ))
+                            for deadline in self.deadlines:
+                                for theta in self.skew_thetas:
+                                    for strategy in self.strategies:
+                                        for processors in self.processors:
+                                            jobs.append(Job(
+                                                shape=shape,
+                                                strategy=strategy,
+                                                processors=processors,
+                                                cardinality=cardinality,
+                                                skew_theta=theta,
+                                                relations=self.relations,
+                                                config=config,
+                                                cost_model=cost_model,
+                                                faults=faults,
+                                                deadline=deadline,
+                                            ))
         return jobs
 
     def __len__(self) -> int:
@@ -168,7 +186,7 @@ class SweepSpec:
             len(self.shapes) * len(self.strategies) * len(self.processors)
             * len(self.cardinalities) * len(self.skew_thetas)
             * len(self.configs) * len(self.cost_models)
-            * len(self.fault_schedules)
+            * len(self.fault_schedules) * len(self.deadlines)
         )
 
     @classmethod

@@ -22,6 +22,14 @@ from ..core.shapes import SHAPE_NAMES
 #: Backends a service request may ask for.
 SERVICE_BACKENDS = ("sim", "ideal")
 
+#: Keys an ``op: "query"`` request may carry.  Every op validates its
+#: request strictly: an unknown key (``"deadine"``) is an error naming
+#: the accepted keys, never a silently ignored typo.
+_QUERY_KEYS = (
+    "shape", "strategy", "processors", "backend", "cardinality",
+    "skew_theta", "deadline",
+)
+
 #: Keys an ``op: "workload"`` request may pass through to
 #: :func:`repro.api.run_workload`.
 _WORKLOAD_KEYS = (
@@ -29,7 +37,7 @@ _WORKLOAD_KEYS = (
     "share", "strategy", "cardinality", "relations", "clients",
     "think_time", "queries_per_client", "max_concurrent", "queue_limit",
     "memory_budget_bytes", "skew_theta", "faults", "recovery",
-    "max_retries", "retry_backoff",
+    "max_retries", "retry_backoff", "deadline", "shed", "cancellations",
 )
 
 
@@ -56,7 +64,14 @@ class QueryService:
 
     def _query(self, request: Dict) -> Dict:
         from ..api import DEFAULT_CARDINALITY, run
+        from ..sim.run import QueryAbortedError
 
+        unknown = self._unknown_keys(request, _QUERY_KEYS)
+        if unknown:
+            return self._error(
+                f"unknown query parameters {unknown}; "
+                f"accepted keys: {sorted(_QUERY_KEYS)}"
+            )
         shape = request.get("shape", "wide_bushy")
         if shape not in SHAPE_NAMES:
             return self._error(
@@ -67,14 +82,28 @@ class QueryService:
             return self._error(
                 f"service backends are {SERVICE_BACKENDS}; got {backend!r}"
             )
-        result = run(
-            shape,
-            request.get("strategy", "FP"),
-            request.get("processors", 40),
-            backend,
-            cardinality=request.get("cardinality", DEFAULT_CARDINALITY),
-            skew_theta=request.get("skew_theta", 0.0),
-        )
+        try:
+            result = run(
+                shape,
+                request.get("strategy", "FP"),
+                request.get("processors", 40),
+                backend,
+                cardinality=request.get("cardinality", DEFAULT_CARDINALITY),
+                skew_theta=request.get("skew_theta", 0.0),
+                deadline=request.get("deadline"),
+            )
+        except QueryAbortedError as exc:
+            # The deadline fired: a well-formed request with a definite
+            # (deterministic) outcome, not a service error.
+            return {
+                "ok": True,
+                "op": "query",
+                "shape": shape,
+                "backend": backend,
+                "aborted": True,
+                "aborted_at": exc.at,
+                "reason": exc.reason,
+            }
         return {
             "ok": True,
             "op": "query",
@@ -92,15 +121,31 @@ class QueryService:
     def _workload(self, request: Dict) -> Dict:
         from ..api import run_workload
 
-        unknown = sorted(
-            key for key in request
-            if key not in _WORKLOAD_KEYS + ("op", "shape", "rows")
+        unknown = self._unknown_keys(
+            request, _WORKLOAD_KEYS + ("shape", "rows")
         )
         if unknown:
-            return self._error(f"unknown workload parameters {unknown}")
+            return self._error(
+                f"unknown workload parameters {unknown}; accepted keys: "
+                f"{sorted(_WORKLOAD_KEYS + ('shape', 'rows'))}"
+            )
         options = {
             key: request[key] for key in _WORKLOAD_KEYS if key in request
         }
+        if "deadline" in options and isinstance(options["deadline"], list):
+            # JSON has no tuples; a two-element list is the (lo, hi)
+            # deadline range form.
+            options["deadline"] = tuple(options["deadline"])
+        if "cancellations" in options:
+            try:
+                options["cancellations"] = [
+                    (float(when), int(index))
+                    for when, index in options["cancellations"]
+                ]
+            except (TypeError, ValueError) as exc:
+                return self._error(
+                    f"bad cancellations (expected [time, query] pairs): {exc}"
+                )
         if "faults" in options:
             # Requests are JSON, so fault schedules arrive as the
             # FaultSchedule.to_payload() dict form.
@@ -130,9 +175,19 @@ class QueryService:
         }
         if result.faults_injected or result.failed_count():
             response["resilience"] = result.resilience_summary()
+        if (
+            result.shed_count()
+            or result.cancelled_count()
+            or result.deadline_missed_count()
+        ):
+            response["lifecycle"] = result.lifecycle_summary()
         if request.get("rows"):
             response["rows"] = result.rows()
         return response
+
+    @staticmethod
+    def _unknown_keys(request: Dict, accepted) -> list:
+        return sorted(key for key in request if key not in accepted + ("op",))
 
     @staticmethod
     def _error(message: str) -> Dict:

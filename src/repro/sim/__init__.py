@@ -1,6 +1,6 @@
 """Discrete-event simulation of the PRISMA/DB shared-nothing machine."""
 
-from .events import SimulationClock
+from .events import EventHandle, SimulationClock
 from .machine import MachineConfig, Processor
 from .metrics import SimulationResult, TaskTiming
 from .process import (
@@ -11,9 +11,11 @@ from .process import (
 from .machine import NetworkLink
 from .run import QueryAbortedError, ScheduleSimulation, simulate
 from .streams import ConsumerGroup, Port
+from .watchdog import Watchdog, WatchdogError
 
 __all__ = [
     "ConsumerGroup",
+    "EventHandle",
     "MachineConfig",
     "NetworkLink",
     "OperationProcess",
@@ -26,5 +28,7 @@ __all__ = [
     "SimulationClock",
     "SimulationResult",
     "TaskTiming",
+    "Watchdog",
+    "WatchdogError",
     "simulate",
 ]

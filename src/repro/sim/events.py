@@ -1,16 +1,49 @@
 """Discrete-event core.
 
-A tiny, deterministic event loop: events are ``(time, seq, fn, args)``
-entries in a heap; ``seq`` makes simultaneous events fire in schedule
-order so runs are exactly reproducible.  Everything in the machine
-simulation — scheduler initialization, batch deliveries, CPU chunk
-completions — is an event here.
+A tiny, deterministic event loop: events are ``(time, seq, handle, fn,
+args)`` entries in a heap; ``seq`` makes simultaneous events fire in
+schedule order so runs are exactly reproducible.  Everything in the
+machine simulation — scheduler initialization, batch deliveries, CPU
+chunk completions — is an event here.
+
+Two optional facilities support the request-lifecycle layer without
+perturbing runs that do not use them:
+
+* :meth:`SimulationClock.at_cancellable` returns an
+  :class:`EventHandle`; a cancelled entry is *skipped* by :meth:`run`
+  — it is not dispatched, not counted in ``events_dispatched``, and
+  does not advance ``now``.  A deadline that never fires therefore
+  leaves no trace at all (bit-for-bit identity with a deadline-free
+  run).
+* :attr:`SimulationClock.watchdog` (see :mod:`repro.sim.watchdog`)
+  observes every dispatch and aborts no-advance livelocks with a
+  diagnostic instead of spinning until the ``max_events`` guard.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .watchdog import Watchdog
+
+
+class EventHandle:
+    """Cancellation token for one scheduled event.
+
+    The heap cannot remove arbitrary entries, so cancellation marks
+    the entry instead; :meth:`SimulationClock.run` drops marked
+    entries without dispatching or counting them.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class SimulationClock:
@@ -18,16 +51,30 @@ class SimulationClock:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._queue: List[Tuple[float, int, Optional[EventHandle], Callable, tuple]] = []
         self._seq = 0
         self.events_dispatched = 0
+        #: Optional progress monitor (:class:`repro.sim.watchdog.Watchdog`);
+        #: ``None`` keeps the dispatch loop on its bare fault-free path.
+        self.watchdog: Optional["Watchdog"] = None
 
     def at(self, time: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute ``time`` (≥ now)."""
         if time < self.now - 1e-12:
             raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
-        heapq.heappush(self._queue, (time, self._seq, fn, args))
+        heapq.heappush(self._queue, (time, self._seq, None, fn, args))
         self._seq += 1
+
+    def at_cancellable(self, time: float, fn: Callable, *args: Any) -> EventHandle:
+        """Like :meth:`at`, but returns a handle that can cancel the
+        event before it fires.  A cancelled event is skipped entirely:
+        never dispatched, never counted, never advances the clock."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
+        handle = EventHandle()
+        heapq.heappush(self._queue, (time, self._seq, handle, fn, args))
+        self._seq += 1
+        return handle
 
     def after(self, delay: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` ``delay`` seconds from now."""
@@ -43,11 +90,16 @@ class SimulationClock:
         """
         dispatched = 0
         while self._queue:
-            time, _seq, fn, args = self._queue[0]
-            if until is not None and time > until:
+            entry = self._queue[0]
+            if until is not None and entry[0] > until:
                 break
             heapq.heappop(self._queue)
+            time, _seq, handle, fn, args = entry
+            if handle is not None and handle.cancelled:
+                continue  # skipped: no dispatch, no count, no time advance
             self.now = time
+            if self.watchdog is not None:
+                self.watchdog.observe(time, fn, args)
             fn(*args)
             dispatched += 1
             if dispatched > max_events:
@@ -62,5 +114,6 @@ class SimulationClock:
         return self.now
 
     def pending(self) -> int:
-        """Number of events still queued."""
+        """Number of events still queued (cancelled entries included
+        until the dispatch loop reaps them)."""
         return len(self._queue)

@@ -47,11 +47,13 @@ from .streams import ConsumerGroup, Port
 
 
 class QueryAbortedError(RuntimeError):
-    """An injected fault crash-stopped this query mid-execution.
+    """The query was crash-stopped mid-execution — by an injected
+    fault, by its deadline (``reason="deadline"``), or by an explicit
+    cancellation.
 
     Raised by :meth:`ScheduleSimulation.run` for an owned (single-query)
     run; a hosted run never raises — the workload engine observes the
-    abort through its fault-recovery path instead.
+    abort through its fault-recovery and lifecycle paths instead.
     """
 
     def __init__(self, reason: str, at: float):
@@ -94,6 +96,7 @@ class ScheduleSimulation:
         on_complete: Optional[Callable[["ScheduleSimulation"], None]] = None,
         network: Optional[NetworkLink] = None,
         skip_tasks: Collection[int] = (),
+        deadline: Optional[float] = None,
     ):
         """``skew_theta`` relaxes the paper's non-skew assumption: the
         fragments of every operand follow Zipf(theta) shares instead of
@@ -116,6 +119,14 @@ class ScheduleSimulation:
         reusable, and a reused task whose live consumer expects a
         *pipelined* input is rejected — pipelined (FP) dataflow holds
         its state in the crashed processes, so it must rebuild.
+
+        ``deadline`` is an absolute simulated time (> ``start_at``);
+        a query still unfinished then is aborted through the same
+        inert-process machinery faults use
+        (:class:`QueryAbortedError` with ``reason="deadline"``).  The
+        deadline event is cancellable, so a deadline the query beats —
+        and ``deadline=None`` — leave the run bit-for-bit identical to
+        a deadline-free one.
         """
         self.schedule = schedule
         self.catalog = catalog
@@ -133,6 +144,14 @@ class ScheduleSimulation:
         self.finished_at: Optional[float] = None
         self.aborted_reason: Optional[str] = None
         self.aborted_at: Optional[float] = None
+        if deadline is not None and deadline <= start_at:
+            raise ValueError(
+                f"deadline {deadline} must lie after the query's start "
+                f"({start_at}); an already-expired query should be shed "
+                "at admission, not started"
+            )
+        self.deadline = deadline
+        self._deadline_handle = None
         self._completed_tasks = 0
         self.processors: Dict[int, Processor] = {}
         self.network = (
@@ -275,6 +294,14 @@ class ScheduleSimulation:
             elif runtime.remaining_deps == 0:
                 self.clock.at(self.start_at, self._release, runtime)
 
+        # The deadline is a cancellable event: completion cancels it,
+        # so a met deadline never dispatches, never counts, and never
+        # advances the clock (bit-for-bit deadline-free identity).
+        if self.deadline is not None:
+            self._deadline_handle = self.clock.at_cancellable(
+                self.deadline, self._deadline_expired
+            )
+
     def _make_port(
         self, runtime: _TaskRuntime, side: str, spec: InputSpec, share: float
     ) -> Port:
@@ -365,10 +392,19 @@ class ScheduleSimulation:
         self._completed_tasks += 1
         if self._completed_tasks == len(self.runtimes):
             self.finished_at = self.clock.now
+            if self._deadline_handle is not None:
+                self._deadline_handle.cancel()
             if self.on_complete is not None:
                 self.on_complete(self)
 
-    # -- fault handling ---------------------------------------------------
+    # -- lifecycle and fault handling -------------------------------------
+
+    def _deadline_expired(self) -> None:
+        """The deadline fired before the query finished: crash-stop it
+        through the same inert-process machinery faults use."""
+        if self.finished_at is not None or self.aborted_reason is not None:
+            return
+        self.abort("deadline")
 
     def abort(self, reason: str) -> None:
         """Crash-stop the whole query: every process becomes inert, so
@@ -379,6 +415,8 @@ class ScheduleSimulation:
             return
         self.aborted_reason = reason
         self.aborted_at = self.clock.now
+        if self._deadline_handle is not None:
+            self._deadline_handle.cancel()
         for runtime in self.runtimes:
             for process in runtime.processes:
                 process.abort()
@@ -471,6 +509,7 @@ def simulate(
     cost_model: Optional[CostModel] = None,
     skew_theta: float = 0.0,
     faults=None,
+    deadline: Optional[float] = None,
 ) -> SimulationResult:
     """Build and run a :class:`ScheduleSimulation` in one call.
 
@@ -479,8 +518,15 @@ def simulate(
     the query raises :class:`QueryAbortedError` — recovery policies
     live in the workload engine, not here.  ``None`` stays on the exact
     fault-free code path.
+
+    ``deadline`` bounds the query's simulated response time: a run
+    still unfinished then raises :class:`QueryAbortedError` with
+    ``reason="deadline"``.  A deadline the query beats is a strict
+    no-op.
     """
-    sim = ScheduleSimulation(schedule, catalog, config, cost_model, skew_theta)
+    sim = ScheduleSimulation(
+        schedule, catalog, config, cost_model, skew_theta, deadline=deadline
+    )
     if faults is not None:
         from ..faults import FaultInjector
 

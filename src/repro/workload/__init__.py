@@ -46,6 +46,16 @@ from .engine import (
     SharedMachine,
     WorkloadEngine,
 )
+from .lifecycle import (
+    SHED_POLICY_NAMES,
+    DeadlineAwarePolicy,
+    DropNewestPolicy,
+    DropOldestPolicy,
+    OverloadPoint,
+    ShedPolicy,
+    make_shed_policy,
+    overload_sweep,
+)
 from .metrics import (
     QueryRecord,
     WorkloadResult,
@@ -69,11 +79,15 @@ __all__ = [
     "ARRIVAL_KINDS",
     "Allocation",
     "AllocationPolicy",
+    "DeadlineAwarePolicy",
+    "DropNewestPolicy",
+    "DropOldestPolicy",
     "ExclusivePolicy",
     "GuidelinePolicy",
     "InfeasibleQueryError",
     "LoadPoint",
     "MachineView",
+    "OverloadPoint",
     "POLICY_NAMES",
     "QueryMix",
     "QueryRecord",
@@ -81,8 +95,10 @@ __all__ = [
     "RECOVERY_POLICIES",
     "REJECTED_RETRY_DELAY",
     "RoundRobinPolicy",
+    "SHED_POLICY_NAMES",
     "STRATEGY_CHOICES",
     "SharedMachine",
+    "ShedPolicy",
     "WorkloadEngine",
     "WorkloadResult",
     "closed_loop_curve",
@@ -90,7 +106,9 @@ __all__ = [
     "fixed_arrivals",
     "make_arrivals",
     "make_policy",
+    "make_shed_policy",
     "open_loop_curve",
+    "overload_sweep",
     "percentile",
     "poisson_arrivals",
     "sample_specs",

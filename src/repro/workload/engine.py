@@ -32,14 +32,21 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..core.cost import CostModel
 from ..core.memory import MemoryModel, peak_memory_per_processor
 from ..core.strategies import get_strategy
-from ..sim.events import SimulationClock
+from ..sim.events import EventHandle, SimulationClock
 from ..sim.machine import MachineConfig, NetworkLink, Processor
 from ..sim.run import ScheduleSimulation
+from ..sim.watchdog import (
+    DEFAULT_MAX_EVENTS_PER_INSTANT,
+    Watchdog,
+    WatchdogError,
+)
+from .lifecycle import ShedPolicy, make_shed_policy
 from .metrics import QueryRecord, WorkloadResult
 from .mix import QueryMix, QuerySpec
 from .policies import (
@@ -144,6 +151,30 @@ class WorkloadEngine:
         Simulated delay before a zero-think-time closed-loop client
         retries after a rejection (default
         :data:`REJECTED_RETRY_DELAY`; see its rationale).
+    ``deadline`` / ``deadline_seed``
+        Default response-time bound in simulated seconds *relative to
+        each query's arrival*: a float applies uniformly, a ``(lo,
+        hi)`` tuple draws per-query deadlines uniformly from that
+        range with a dedicated generator seeded by ``deadline_seed``
+        (so arrival sampling is untouched).  A spec's own
+        ``deadline`` overrides the engine default.  A query still
+        queued at its deadline is expired; a *running* query is
+        aborted at the deadline instant through the simulation's
+        abort machinery and recorded as a deadline miss.  ``None``
+        (the default) arms nothing — the run is bit-for-bit identical
+        to an engine without deadlines.
+    ``shed``
+        Load-shedding policy: ``None`` (bare ``queue_limit`` bounce),
+        a name from
+        :data:`~repro.workload.lifecycle.SHED_POLICY_NAMES`, or a
+        :class:`~repro.workload.lifecycle.ShedPolicy` instance.
+        ``"drop_newest"`` is exactly the bare bounce; the explicit
+        configuration is a strict no-op.
+    ``watchdog_limit``
+        Trip threshold of the livelock watchdog armed on the shared
+        clock (events at one simulated instant before the run is
+        declared stuck); ``None`` disables it.  The watchdog only
+        observes — it never changes results unless it trips.
     """
 
     def __init__(
@@ -163,6 +194,10 @@ class WorkloadEngine:
         max_retries: int = 3,
         retry_backoff: float = 1.0,
         rejected_retry_delay: float = REJECTED_RETRY_DELAY,
+        deadline: Union[None, float, Tuple[float, float]] = None,
+        deadline_seed: int = 0,
+        shed: Union[None, str, ShedPolicy] = None,
+        watchdog_limit: Optional[int] = DEFAULT_MAX_EVENTS_PER_INSTANT,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -181,6 +216,19 @@ class WorkloadEngine:
                 "rejected_retry_delay must be positive (a zero delay "
                 "livelocks zero-think-time closed loops)"
             )
+        if deadline is not None:
+            if isinstance(deadline, (int, float)):
+                if deadline <= 0:
+                    raise ValueError(
+                        "deadline must be positive (seconds from arrival)"
+                    )
+            else:
+                low, high = deadline
+                if low <= 0 or high < low:
+                    raise ValueError(
+                        "a deadline range needs 0 < lo <= hi, got "
+                        f"({low}, {high})"
+                    )
         self.machine = SharedMachine(
             machine_size, config or MachineConfig.paper()
         )
@@ -195,6 +243,14 @@ class WorkloadEngine:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.rejected_retry_delay = rejected_retry_delay
+        self.deadline = deadline
+        # Dedicated generator: deadline draws must not perturb arrival
+        # or client sampling (a deadline-free run stays bit-identical).
+        self._deadline_rng = random.Random(1_000_003 * deadline_seed + 17)
+        self.shed = make_shed_policy(shed)
+        if watchdog_limit is not None:
+            self.machine.clock.watchdog = Watchdog(watchdog_limit)
+        self._deadline_handles: Dict[int, EventHandle] = {}
         self.injector: Optional["FaultInjector"] = None
         if faults is not None:
             from ..faults import FaultInjector, FaultSchedule
@@ -237,11 +293,35 @@ class WorkloadEngine:
     ) -> QueryRecord:
         """Register one query arriving at simulated ``time``."""
         record = QueryRecord(
-            index=len(self.records), spec=spec, arrival=time, client=client
+            index=len(self.records),
+            spec=spec,
+            arrival=time,
+            client=client,
+            deadline=self._resolve_deadline(spec),
         )
         self.records.append(record)
         self.machine.clock.at(time, self._arrive, record)
+        if record.deadline is not None:
+            # Cancellable: a deadline that never fires leaves no trace
+            # in event counts or the makespan.
+            self._deadline_handles[record.index] = (
+                self.machine.clock.at_cancellable(
+                    time + record.deadline, self._deadline_fire, record
+                )
+            )
         return record
+
+    def _resolve_deadline(self, spec: QuerySpec) -> Optional[float]:
+        """Per-spec deadline wins; else the engine default (sampling a
+        range deterministically, one draw per submission)."""
+        if spec.deadline is not None:
+            return spec.deadline
+        if self.deadline is None:
+            return None
+        if isinstance(self.deadline, (int, float)):
+            return float(self.deadline)
+        low, high = self.deadline
+        return self._deadline_rng.uniform(low, high)
 
     # -- the two workload drivers ----------------------------------------
 
@@ -290,9 +370,94 @@ class WorkloadEngine:
             self._submit_for_client(client, 0.0)
         return self._drain()
 
+    # -- cancellation -----------------------------------------------------
+
+    def cancel(
+        self,
+        query: Union[int, QueryRecord],
+        reason: str = "cancelled by caller",
+    ) -> bool:
+        """Withdraw one query *now* (callable from inside the run, e.g.
+        an event scheduled via :meth:`cancel_at` or a service request
+        handled between events).
+
+        A queued query is removed from the queue; a running query's
+        hosted simulation is unwound through the abort machinery and
+        its processors/memory released.  Returns ``False`` when the
+        query is already terminal (completed, rejected, failed, or
+        cancelled) — cancellation is idempotent, never an error.
+        """
+        record = self.records[query] if isinstance(query, int) else query
+        if self._terminal(record):
+            return False
+        if record.index in self._active:
+            self._abort_active(record, reason)
+            record.cancelled = True
+            record.error = reason
+            self._pump()
+        else:
+            # Queued — or in a crash-retry gap, where there is nothing
+            # to unwind beyond forgetting the pending re-arrival.
+            self._remove_queued(record)
+            record.cancelled = True
+            record.error = reason
+        self._query_done(record)
+        return True
+
+    def cancel_at(
+        self,
+        time: float,
+        query: Union[int, QueryRecord],
+        reason: str = "cancelled by caller",
+    ) -> None:
+        """Schedule a cancellation at simulated ``time``.  An index may
+        refer to a query submitted later (closed-loop records are not
+        known up front); a cancellation whose target never materializes
+        or is already terminal is a no-op."""
+        self.machine.clock.at(time, self._cancel_event, query, reason)
+
+    def _cancel_event(
+        self, query: Union[int, QueryRecord], reason: str
+    ) -> None:
+        if isinstance(query, int) and not 0 <= query < len(self.records):
+            return
+        self.cancel(query, reason)
+
+    def _terminal(self, record: QueryRecord) -> bool:
+        return (
+            record.completed is not None
+            or record.rejected
+            or record.failed
+            or record.cancelled
+        )
+
+    def _remove_queued(self, record: QueryRecord) -> bool:
+        """Drop ``record`` from the admission queue by identity (the
+        deque holds mutable dataclasses; ``deque.remove`` would compare
+        by value)."""
+        for position, queued in enumerate(self._queue):
+            if queued is record:
+                del self._queue[position]
+                return True
+        return False
+
     # -- event handlers ---------------------------------------------------
 
     def _arrive(self, record: QueryRecord) -> None:
+        if self._terminal(record):
+            return  # cancelled before its arrival event fired
+        if self.shed is not None and self.shed.shed_on_arrival(self, record):
+            # Predictive shedding: refused before consuming queue space.
+            record.rejected = True
+            record.shed = self.shed.name
+            record.error = (
+                "shed at admission: predicted completion misses the "
+                f"{record.deadline:.3f}s deadline"
+                if record.deadline is not None
+                else "shed at admission"
+            )
+            self._query_done(record)
+            return
         self._queue.append(record)
         self._pump()
         if (
@@ -302,11 +467,25 @@ class WorkloadEngine:
             and len(self._queue) > self.queue_limit
         ):
             # The newcomer could not start and the admission queue is
-            # full: bounce it (open systems shed load; closed-loop
-            # clients move on to their next request).
-            self._queue.pop()
-            record.rejected = True
-            self._query_done(record)
+            # full: shed one queued query (open systems shed load;
+            # closed-loop clients move on to their next request).  The
+            # victim is the newcomer itself unless a policy picks
+            # another — evicting the head may let the new head start.
+            victim = (
+                record
+                if self.shed is None
+                else self.shed.overflow_victim(self, record)
+            )
+            self._remove_queued(victim)
+            victim.rejected = True
+            victim.shed = (
+                "drop_newest"
+                if self.shed is None
+                else self.shed.overflow_reason
+            )
+            self._query_done(victim)
+            if victim is not record:
+                self._pump()
 
     def _pump(self) -> None:
         """Admit from the FIFO queue head while the gates allow it."""
@@ -317,6 +496,16 @@ class WorkloadEngine:
             ):
                 return
             record = self._queue[0]
+            if (
+                record.deadline is not None
+                and self.machine.clock.now
+                >= record.arrival + record.deadline
+            ):
+                # Never start a query whose deadline has already passed
+                # (completion and expiry events can share an instant).
+                self._queue.popleft()
+                self._expire(record)
+                continue
             tree = record.spec.tree()
             catalog = record.spec.catalog()
             try:
@@ -428,6 +617,60 @@ class WorkloadEngine:
         self._pump()
         self._query_done(record)
 
+    # -- deadlines --------------------------------------------------------
+
+    def _deadline_fire(self, record: QueryRecord) -> None:
+        """The query's deadline instant arrived before it finished."""
+        self._deadline_handles.pop(record.index, None)
+        if self._terminal(record):
+            # A completion sharing this instant dispatched first: met.
+            return
+        if record.index in self._active:
+            self._abort_active(
+                record, f"deadline ({record.deadline:.3f}s) expired"
+            )
+            record.failed = True
+            record.deadline_missed = True
+            record.error = (
+                f"deadline ({record.deadline:.3f}s) expired mid-run"
+            )
+            self._pump()
+            self._query_done(record)
+            return
+        # Still queued — or waiting out a crash-retry backoff, where
+        # there is no pending attempt to unwind.
+        self._remove_queued(record)
+        self._expire(record)
+
+    def _expire(self, record: QueryRecord) -> None:
+        """Shed a query whose deadline passed while it waited."""
+        record.rejected = True
+        record.shed = "expired"
+        record.deadline_missed = True
+        record.error = (
+            f"deadline ({record.deadline:.3f}s) expired while queued"
+        )
+        self._query_done(record)
+
+    def _abort_active(
+        self, record: QueryRecord, reason: str
+    ) -> ScheduleSimulation:
+        """Unwind one in-flight hosted simulation: turn its processes
+        inert, account the burnt CPU to the record, and release the
+        attempt's processors and memory."""
+        _, sim, allocation, memory_bytes, prefix = self._active.pop(
+            record.index
+        )
+        sim.abort(reason)
+        record.wasted_seconds += self._attempt_busy_seconds(
+            allocation, prefix
+        )
+        if allocation.exclusive:
+            self.machine.release(allocation.processors)
+        self._in_flight -= 1
+        self._memory_in_use -= memory_bytes
+        return sim
+
     # -- fault recovery ---------------------------------------------------
 
     def _handle_crash(self, crash: "CrashFault") -> None:
@@ -441,17 +684,9 @@ class WorkloadEngine:
             for entry in self._active.values()
             if ident in entry[2].processors
         ]
-        for record, sim, allocation, memory_bytes, prefix in victims:
-            sim.abort(f"processor {ident} crashed")
+        for record, _sim, _allocation, _memory_bytes, _prefix in victims:
+            sim = self._abort_active(record, f"processor {ident} crashed")
             record.aborts.append(now)
-            record.wasted_seconds += self._attempt_busy_seconds(
-                allocation, prefix
-            )
-            del self._active[record.index]
-            if allocation.exclusive:
-                self.machine.release(allocation.processors)
-            self._in_flight -= 1
-            self._memory_in_use -= memory_bytes
             self._recover(record, sim, now)
         self._pump()
 
@@ -518,16 +753,23 @@ class WorkloadEngine:
         """Re-queue a crashed query.  Unlike :meth:`_arrive`, a retry is
         never bounced off the queue limit — the query is already
         admitted from the client's point of view."""
+        if self._terminal(record):
+            return  # cancelled or expired while waiting out the backoff
         self._queue.append(record)
         self._pump()
 
     def _query_done(self, record: QueryRecord) -> None:
-        """Completion, rejection, or terminal failure — the closed-loop
-        continuation hook."""
+        """Completion, rejection, cancellation, or terminal failure —
+        retires the deadline event and drives the closed loop."""
+        handle = self._deadline_handles.pop(record.index, None)
+        if handle is not None:
+            handle.cancel()
         if record.client is None or self._closed_mix is None:
             return
         delay = self._think_time
-        if (record.rejected or record.failed) and delay <= 0.0:
+        if (
+            record.rejected or record.failed or record.cancelled
+        ) and delay <= 0.0:
             delay = self.rejected_retry_delay
         self._submit_for_client(
             record.client, self.machine.clock.now + delay
@@ -554,9 +796,29 @@ class WorkloadEngine:
             )
         self._started = True
 
+    def _run_clock(self, clock: SimulationClock) -> None:
+        """Dispatch until the clock drains, enriching a watchdog trip
+        with the engine's own state so the diagnostic names the stuck
+        queries, not just the spinning callbacks."""
+        try:
+            clock.run()
+        except WatchdogError as exc:
+            queued = [r.index for r in self._queue]
+            active = sorted(self._active)
+            raise WatchdogError(
+                str(exc).splitlines()[0],
+                at=exc.at,
+                diagnostic=(
+                    f"{exc.diagnostic}\n"
+                    f"engine state at trip: {len(queued)} queued "
+                    f"{queued[:10]}, {len(active)} in flight "
+                    f"{active[:10]}, {len(self.records)} submitted"
+                ),
+            ) from exc
+
     def _drain(self) -> WorkloadResult:
         clock = self.machine.clock
-        clock.run()
+        self._run_clock(clock)
         if self._queue and self.injector is None:
             stuck = [r.index for r in self._queue]
             raise RuntimeError(
@@ -580,7 +842,7 @@ class WorkloadEngine:
             # Shedding the stuck FIFO head may unblock smaller queries
             # behind it on the surviving processors.
             self._pump()
-            clock.run()
+            self._run_clock(clock)
         return WorkloadResult(
             records=self.records,
             machine_size=self.machine.size,

@@ -37,7 +37,15 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 @dataclass
 class QueryRecord:
-    """Lifecycle of one query through the workload engine."""
+    """Lifecycle of one query through the workload engine.
+
+    ``deadline`` is configuration, not outcome: it is deliberately
+    absent from :meth:`row` (like ``queue_limit``), so a deadline that
+    never fires leaves the emitted JSONL bit-for-bit identical to a
+    deadline-free run.  The lifecycle *outcomes* — ``shed``,
+    ``cancelled``, ``deadline_missed`` — are in the row with stable
+    defaults.
+    """
 
     index: int
     spec: QuerySpec
@@ -55,6 +63,10 @@ class QueryRecord:
     wasted_seconds: float = 0.0           # CPU burnt by aborted attempts
     failed: bool = False                  # crashed and recovery gave up
     reused_tasks: int = 0                 # tasks replayed by ``reassign``
+    deadline: Optional[float] = None      # seconds from arrival (config)
+    shed: Optional[str] = None            # load-shed reason, never ran to term
+    cancelled: bool = False               # cancelled by the caller
+    deadline_missed: bool = False         # expired queued or aborted mid-run
 
     @property
     def latency(self) -> Optional[float]:
@@ -99,6 +111,9 @@ class QueryRecord:
             "wasted_seconds": self.wasted_seconds,
             "failed": self.failed,
             "reused_tasks": self.reused_tasks,
+            "shed": self.shed,
+            "cancelled": self.cancelled,
+            "deadline_missed": self.deadline_missed,
         }
 
 
@@ -193,10 +208,20 @@ class WorkloadResult:
         return self.wasted_seconds() / self.busy_seconds
 
     def goodput(self) -> float:
-        """Successful completions per simulated second.  Compare with
-        the offered arrival rate: the gap is load shed to rejections,
-        failures, and fault-induced latency inflation."""
-        return self.throughput()
+        """*Useful* completions per simulated second: completions that
+        met their deadline (queries without a deadline always count).
+        Compare with the offered arrival rate: the gap is load shed to
+        rejections, deadline misses, failures, and fault-induced
+        latency inflation.  Without deadlines this equals
+        :meth:`throughput`."""
+        if self.makespan <= 0:
+            return 0.0
+        useful = sum(
+            1
+            for r in self.completed()
+            if r.deadline is None or r.latency <= r.deadline
+        )
+        return useful / self.makespan
 
     def mttr(self) -> Optional[float]:
         """Mean time from a query's first crash-abort to its eventual
@@ -222,6 +247,66 @@ class WorkloadResult:
             "wasted_fraction": self.wasted_fraction(),
             "goodput": self.goodput(),
             "mttr": self.mttr(),
+        }
+
+    # -- request lifecycle ------------------------------------------------
+
+    def shed_counts(self) -> Dict[str, int]:
+        """Shed queries grouped by reason (``drop_newest``,
+        ``drop_oldest``, ``deadline_aware``, ``expired`` — plus
+        anything a custom policy labels)."""
+        counts: Dict[str, int] = {}
+        for r in self.records:
+            if r.shed is not None:
+                counts[r.shed] = counts.get(r.shed, 0) + 1
+        return counts
+
+    def shed_count(self) -> int:
+        """Queries shed by load shedding or queue expiry — they never
+        ran to term."""
+        return sum(1 for r in self.records if r.shed is not None)
+
+    def expired_count(self) -> int:
+        """Queries whose deadline passed while they were still queued."""
+        return self.shed_counts().get("expired", 0)
+
+    def cancelled_count(self) -> int:
+        return sum(1 for r in self.records if r.cancelled)
+
+    def deadline_missed_count(self) -> int:
+        """Queries that missed their deadline: expired in the queue or
+        aborted mid-run when the deadline fired."""
+        return sum(1 for r in self.records if r.deadline_missed)
+
+    def deadline_aborted_count(self) -> int:
+        """Queries the engine started and then aborted at the deadline
+        — admitted work that burnt machine time without a result."""
+        return sum(
+            1 for r in self.records if r.deadline_missed and r.shed is None
+        )
+
+    def deadline_miss_rate(self) -> Optional[float]:
+        """Deadline misses among *completed* deadlined queries; ``None``
+        when no completed query carried a deadline.  Under enforced
+        deadlines this is 0 by construction (a running query aborts at
+        its deadline instead of finishing late) — reported so the
+        invariant is observable."""
+        deadlined = [r for r in self.completed() if r.deadline is not None]
+        if not deadlined:
+            return None
+        missed = sum(1 for r in deadlined if r.latency > r.deadline)
+        return missed / len(deadlined)
+
+    def lifecycle_summary(self) -> Dict[str, Optional[float]]:
+        """The request-lifecycle headline numbers in one dict."""
+        return {
+            "shed": float(self.shed_count()),
+            "expired": float(self.expired_count()),
+            "deadline_aborted": float(self.deadline_aborted_count()),
+            "deadline_missed": float(self.deadline_missed_count()),
+            "cancelled": float(self.cancelled_count()),
+            "miss_rate_completed": self.deadline_miss_rate(),
+            "goodput": self.goodput(),
         }
 
     # -- emission ---------------------------------------------------------
@@ -266,6 +351,21 @@ class WorkloadResult:
                 f"wasted {self.wasted_seconds():.1f}s "
                 f"({self.wasted_fraction():.0%}), "
                 f"mttr {'n/a' if mttr is None else f'{mttr:.2f}s'}"
+            )
+        if (
+            self.shed_count()
+            or self.cancelled_count()
+            or self.deadline_missed_count()
+        ):
+            miss_rate = self.deadline_miss_rate()
+            text += (
+                f" | lifecycle: {self.shed_count()} shed "
+                f"({self.expired_count()} expired), "
+                f"{self.deadline_aborted_count()} deadline-aborted, "
+                f"{self.cancelled_count()} cancelled, "
+                "miss rate "
+                f"{'n/a' if miss_rate is None else f'{miss_rate:.0%}'}, "
+                f"goodput {self.goodput():.3f} q/s"
             )
         return text
 

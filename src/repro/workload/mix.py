@@ -24,12 +24,19 @@ STRATEGY_CHOICES = ("SP", "SE", "RD", "FP", "auto")
 
 @dataclass(frozen=True)
 class QuerySpec:
-    """One query of the workload, in the paper's own vocabulary."""
+    """One query of the workload, in the paper's own vocabulary.
+
+    ``deadline`` is this query's response-time bound in simulated
+    seconds *relative to its arrival* (``None``: no deadline).  A
+    per-spec deadline overrides any workload-level deadline the engine
+    carries.
+    """
 
     shape: str
     cardinality: int = 5_000
     strategy: str = "FP"
     relations: int = 10
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.shape not in SHAPE_NAMES:
@@ -45,6 +52,8 @@ class QuerySpec:
             raise ValueError("cardinality must be positive")
         if self.relations < 2:
             raise ValueError("a join query needs at least two relations")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (seconds from arrival)")
 
     def tree(self) -> Node:
         return make_shape(self.shape, paper_relation_names(self.relations))

@@ -10,6 +10,8 @@ from repro.engine.ideal import ideal_simulation
 from repro.report import (
     claims_html,
     figure14_html,
+    overload_chart,
+    overload_html,
     render_report,
     sweep_chart,
     utilization_gantt,
@@ -106,3 +108,44 @@ class TestWorkloadSection:
 
     def test_document_without_workload_points(self, sweeps):
         assert "workload" not in render_report(sweeps)
+
+
+@pytest.fixture(scope="module")
+def overload_points(fast_config):
+    from repro.workload import overload_sweep
+
+    return overload_sweep(
+        strategies=("SE",),
+        loads=(0.05, 0.2),
+        sheds=(None, "deadline_aware"),
+        deadline=30.0,
+        duration=60.0,
+        machine_size=8,
+        seed=5,
+        queue_limit=4,
+        cardinality=200,
+        config=fast_config,
+    )
+
+
+class TestOverloadSection:
+    def test_chart_is_svg(self, overload_points):
+        svg = overload_chart(overload_points, "Goodput versus offered load")
+        assert ET.fromstring(svg).tag.endswith("svg")
+        assert "SE/none" in svg
+        assert "SE/deadline_aware" in svg
+
+    def test_section_tabulates_the_grid(self, overload_points):
+        html = overload_html(overload_points)
+        assert "goodput under overload" in html
+        assert "<table>" in html
+        assert html.count("<tr>") == 1 + len(overload_points)
+        assert "deadline_aware" in html
+
+    def test_document_with_overload_points(self, sweeps, overload_points):
+        html = render_report(sweeps, overload_points=overload_points)
+        assert "goodput under overload" in html
+        assert html.rstrip().endswith("</html>")
+
+    def test_document_without_overload_points(self, sweeps):
+        assert "overload" not in render_report(sweeps)

@@ -1,0 +1,117 @@
+"""The deadline axis through the parallel sweep runner: cache-key
+stability, grid expansion, deterministic aborted rows, worker-count
+invariance."""
+
+import pytest
+
+from repro.runner import Job, SweepSpec, run_sweep
+
+
+def tiny_spec(**kwargs):
+    defaults = dict(
+        shapes=("wide_bushy",),
+        strategies=("SP", "FP"),
+        processors=(12,),
+        cardinalities=(500,),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+TIGHT = 0.05  # seconds — far below any 500-tuple wide_bushy response
+
+
+class TestSpecAxis:
+    def test_default_axis_is_deadline_free(self):
+        spec = tiny_spec()
+        assert spec.deadlines == (None,)
+        assert all(job.deadline is None for job in spec.expand())
+
+    def test_deadline_free_payload_has_no_deadline_key(self):
+        """Cache compatibility: deadline-free jobs must keep their
+        pre-deadline-axis content addresses."""
+        job = Job(
+            shape="wide_bushy", strategy="FP", processors=12,
+            cardinality=500,
+        )
+        assert "deadline" not in job.payload()
+        bounded = Job(
+            shape="wide_bushy", strategy="FP", processors=12,
+            cardinality=500, deadline=10.0,
+        )
+        assert bounded.payload()["deadline"] == 10.0
+        assert bounded.key() != job.key()
+
+    def test_axis_multiplies_the_grid(self):
+        spec = tiny_spec(deadlines=(None, 10.0))
+        assert len(spec) == 4
+        jobs = spec.expand()
+        assert len(jobs) == 4
+        assert [(job.strategy, job.deadline) for job in jobs] == [
+            ("SP", None), ("FP", None), ("SP", 10.0), ("FP", 10.0)
+        ]
+
+    def test_axis_validates_entries(self):
+        with pytest.raises(ValueError, match="positive or None"):
+            tiny_spec(deadlines=(0.0,))
+        with pytest.raises(ValueError, match="positive or None"):
+            tiny_spec(deadlines=(-5.0,))
+        with pytest.raises(ValueError, match="empty"):
+            tiny_spec(deadlines=())
+
+    def test_job_validates_deadline(self):
+        with pytest.raises(ValueError, match="positive"):
+            Job(shape="wide_bushy", strategy="FP", processors=12,
+                cardinality=500, deadline=0.0)
+
+    def test_label_mentions_deadline(self):
+        job = Job(
+            shape="wide_bushy", strategy="FP", processors=12,
+            cardinality=500, deadline=2.5,
+        )
+        assert "deadline=2.5s" in job.label()
+
+
+class TestExecution:
+    def test_deadline_aborted_jobs_produce_deterministic_rows(self):
+        spec = tiny_spec(deadlines=(TIGHT,))
+        run = run_sweep(spec, workers=1, cache=False)
+        for outcome in run.outcomes:
+            metrics = outcome.row["metrics"]
+            assert metrics["aborted"] is True
+            assert metrics["aborted_at"] == TIGHT
+            assert metrics["reason"] == "deadline"
+
+    def test_rows_are_worker_count_invariant(self):
+        """Acceptance: the same deadlined spec produces identical rows
+        at workers=1 and workers=4."""
+        spec = tiny_spec(deadlines=(None, TIGHT))
+        serial = run_sweep(spec, workers=1, cache=False)
+        parallel = run_sweep(spec, workers=4, cache=False)
+        assert [o.row for o in serial.outcomes] == [
+            o.row for o in parallel.outcomes
+        ]
+
+    def test_deadline_rows_cache_and_replay(self, tmp_path):
+        spec = tiny_spec(strategies=("FP",), deadlines=(TIGHT,))
+        first = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        second = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert [o.source for o in second.outcomes] == ["cache"]
+        assert [o.row for o in first.outcomes] == [
+            o.row for o in second.outcomes
+        ]
+
+    def test_generous_deadline_leaves_metrics_untouched(self):
+        """A deadline the query beats yields the normal metrics row
+        (plus the payload's deadline key)."""
+        plain = run_sweep(
+            tiny_spec(strategies=("FP",)), workers=1, cache=False
+        )
+        bounded = run_sweep(
+            tiny_spec(strategies=("FP",), deadlines=(1e6,)),
+            workers=1, cache=False,
+        )
+        assert (
+            bounded.outcomes[0].row["metrics"]["response_time"]
+            == plain.outcomes[0].row["metrics"]["response_time"]
+        )

@@ -120,3 +120,72 @@ class TestServe:
         serve(io.StringIO('{"op": "nope"}\n'), out)
         line = out.getvalue().strip()
         assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+class TestLifecycle:
+    """Deadlines, shedding, and cancellation through the service."""
+
+    WORKLOAD = dict(TestWorkloadOp.REQUEST)
+
+    def test_query_typo_is_refused_with_accepted_keys(self):
+        """The satellite case: a misspelt "deadine" must not silently
+        run an unbounded query."""
+        response = SERVICE.handle({
+            "op": "query", "shape": "left_linear", "processors": 10,
+            "cardinality": 500, "deadine": 5.0,
+        })
+        assert not response["ok"]
+        assert "deadine" in response["error"]
+        assert "deadline" in response["error"]  # listed as accepted
+
+    def test_query_deadline_abort_is_a_structured_response(self):
+        response = SERVICE.handle({
+            "op": "query", "shape": "left_linear", "strategy": "SP",
+            "processors": 10, "cardinality": 500, "deadline": 0.001,
+        })
+        assert response["ok"]
+        assert response["aborted"] is True
+        assert response["aborted_at"] == 0.001
+        assert response["reason"] == "deadline"
+
+    def test_query_generous_deadline_matches_the_facade(self):
+        plain = SERVICE.handle({
+            "op": "query", "shape": "left_linear", "processors": 10,
+            "cardinality": 500,
+        })
+        bounded = SERVICE.handle({
+            "op": "query", "shape": "left_linear", "processors": 10,
+            "cardinality": 500, "deadline": 1e9,
+        })
+        assert bounded["response_time"] == plain["response_time"]
+        assert "aborted" not in bounded
+
+    def test_workload_deadline_and_shed_report_lifecycle(self):
+        response = SERVICE.handle(dict(
+            self.WORKLOAD, deadline=0.5, shed="deadline_aware",
+        ))
+        assert response["ok"]
+        assert "lifecycle" in response
+        lifecycle = response["lifecycle"]
+        assert lifecycle["shed"] + lifecycle["deadline_missed"] > 0
+
+    def test_workload_without_lifecycle_activity_omits_the_key(self):
+        response = SERVICE.handle(dict(self.WORKLOAD))
+        assert response["ok"]
+        assert "lifecycle" not in response
+
+    def test_workload_cancellations(self):
+        response = SERVICE.handle(dict(
+            self.WORKLOAD, cancellations=[[0.01, 0]],
+        ))
+        assert response["ok"]
+        assert response["lifecycle"]["cancelled"] == 1
+
+    def test_workload_bad_cancellation_refused(self):
+        response = SERVICE.handle(dict(self.WORKLOAD, cancellations=[[1.0]]))
+        assert not response["ok"]
+        assert "cancellation" in response["error"]
+
+    def test_workload_deadline_range_accepted(self):
+        response = SERVICE.handle(dict(self.WORKLOAD, deadline=[5.0, 50.0]))
+        assert response["ok"]

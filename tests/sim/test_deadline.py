@@ -1,0 +1,90 @@
+"""Per-query deadlines in simulated time."""
+
+import pytest
+
+from repro import api
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.sim import MachineConfig, QueryAbortedError, simulate
+
+NAMES = paper_relation_names(6)
+CATALOG = Catalog.regular(NAMES, 600)
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+
+def schedule_for(strategy="FP", shape="wide_bushy", processors=8):
+    tree = make_shape(shape, NAMES)
+    return get_strategy(strategy).schedule(tree, CATALOG, processors)
+
+
+class TestSimulateDeadline:
+    def test_tight_deadline_aborts_with_reason(self):
+        schedule = schedule_for()
+        baseline = simulate(schedule_for(), CATALOG, FAST)
+        with pytest.raises(QueryAbortedError) as excinfo:
+            simulate(schedule, CATALOG, FAST,
+                     deadline=baseline.response_time / 2)
+        assert excinfo.value.reason == "deadline"
+        assert excinfo.value.at == pytest.approx(baseline.response_time / 2)
+        assert "deadline" in str(excinfo.value)
+
+    @pytest.mark.parametrize("strategy", ["SP", "SE", "RD", "FP"])
+    def test_met_deadline_is_bit_for_bit_invisible(self, strategy):
+        """A deadline the query beats — and deadline=None — leave the
+        run identical to a deadline-free one, event count included."""
+        plain = simulate(schedule_for(strategy), CATALOG, FAST)
+        explicit_none = simulate(
+            schedule_for(strategy), CATALOG, FAST, deadline=None
+        )
+        generous = simulate(
+            schedule_for(strategy), CATALOG, FAST,
+            deadline=plain.response_time * 10,
+        )
+        for other in (explicit_none, generous):
+            assert other.response_time == plain.response_time
+            assert other.events == plain.events
+            assert other.intervals == plain.intervals
+            assert other.task_timings == plain.task_timings
+
+    def test_deadline_exactly_at_completion_aborts(self):
+        """Tie-break semantics: the deadline event is scheduled at
+        construction, so at an exact tie it dispatches before the
+        same-instant completion events — a query must finish strictly
+        before its deadline."""
+        plain = simulate(schedule_for(), CATALOG, FAST)
+        with pytest.raises(QueryAbortedError):
+            simulate(
+                schedule_for(), CATALOG, FAST, deadline=plain.response_time
+            )
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            simulate(schedule_for(), CATALOG, FAST, deadline=0.0)
+        with pytest.raises(ValueError, match="deadline"):
+            simulate(schedule_for(), CATALOG, FAST, deadline=-1.0)
+
+
+class TestApiDeadline:
+    def test_run_threads_deadline_to_sim(self):
+        with pytest.raises(QueryAbortedError) as excinfo:
+            api.run("wide_bushy", "FP", 12, "sim",
+                    cardinality=600, config=FAST, deadline=0.001)
+        assert excinfo.value.reason == "deadline"
+
+    def test_run_generous_deadline_identical(self):
+        plain = api.run("wide_bushy", "FP", 12, "sim",
+                        cardinality=600, config=FAST)
+        bounded = api.run("wide_bushy", "FP", 12, "sim",
+                          cardinality=600, config=FAST, deadline=1e9)
+        assert bounded.response_time == plain.response_time
+        assert bounded.events == plain.events
+
+    @pytest.mark.parametrize("backend", ["local", "threaded"])
+    def test_real_data_backends_reject_deadline(self, backend):
+        """Simulated-time deadlines are meaningless against wall-clock
+        execution; asking for one is an error, not a silent ignore."""
+        with pytest.raises(ValueError, match="deadline"):
+            api.run("left_linear", "SP", 4, backend,
+                    cardinality=50, deadline=5.0)

@@ -1,0 +1,119 @@
+"""The no-advance livelock watchdog and cancellable clock events."""
+
+import pytest
+
+from repro.sim import SimulationClock, Watchdog, WatchdogError
+
+
+class TestCancellableEvents:
+    def test_cancelled_event_never_fires(self):
+        clock = SimulationClock()
+        fired = []
+        handle = clock.at_cancellable(1.0, fired.append, "late")
+        clock.at(0.5, fired.append, "early")
+        handle.cancel()
+        clock.run()
+        assert fired == ["early"]
+
+    def test_cancelled_event_leaves_no_trace(self):
+        """A cancelled entry is skipped entirely: not counted, and the
+        clock never advances to its time — the property deadline
+        identity rests on."""
+        plain = SimulationClock()
+        plain.at(1.0, lambda: None)
+        plain.run()
+
+        cancelled = SimulationClock()
+        cancelled.at(1.0, lambda: None)
+        handle = cancelled.at_cancellable(50.0, lambda: None)
+        handle.cancel()
+        cancelled.run()
+
+        assert cancelled.now == plain.now == 1.0
+        assert cancelled.events_dispatched == plain.events_dispatched == 1
+
+    def test_uncancelled_handle_fires_normally(self):
+        clock = SimulationClock()
+        fired = []
+        clock.at_cancellable(2.0, fired.append, "x")
+        clock.run()
+        assert fired == ["x"]
+        assert clock.now == 2.0
+
+    def test_cannot_schedule_into_the_past(self):
+        clock = SimulationClock()
+        clock.at(1.0, lambda: None)
+        clock.run()
+        with pytest.raises(ValueError, match="past"):
+            clock.at_cancellable(0.5, lambda: None)
+
+
+class TestWatchdog:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            Watchdog(max_events_per_instant=0)
+        with pytest.raises(ValueError, match="positive"):
+            Watchdog(trace_events=0)
+
+    def test_trips_on_same_instant_flood(self):
+        watchdog = Watchdog(max_events_per_instant=5)
+        for _ in range(5):
+            watchdog.observe(1.0, lambda: None, ())
+        with pytest.raises(WatchdogError) as excinfo:
+            watchdog.observe(1.0, lambda: None, ())
+        assert watchdog.tripped
+        assert excinfo.value.at == 1.0
+        assert "livelock" in str(excinfo.value)
+
+    def test_advancing_time_resets_the_count(self):
+        watchdog = Watchdog(max_events_per_instant=3)
+        for step in range(100):
+            for _ in range(3):
+                watchdog.observe(float(step), lambda: None, ())
+        assert not watchdog.tripped
+
+    def test_diagnostic_names_the_spinning_callback(self):
+        def spinning_callback():
+            pass
+
+        watchdog = Watchdog(max_events_per_instant=2, trace_events=4)
+        with pytest.raises(WatchdogError) as excinfo:
+            for _ in range(5):
+                watchdog.observe(2.5, spinning_callback, ())
+        assert "spinning_callback" in excinfo.value.diagnostic
+        assert "t=2.500000s" in excinfo.value.diagnostic
+
+    def test_clock_integration_aborts_livelock(self):
+        """A callback rescheduling itself at the current instant is the
+        exact livelock class; the armed clock raises instead of
+        spinning toward the 50M-event runaway guard."""
+        clock = SimulationClock()
+        clock.watchdog = Watchdog(max_events_per_instant=100)
+
+        def respin():
+            clock.at(clock.now, respin)
+
+        clock.at(0.0, respin)
+        with pytest.raises(WatchdogError):
+            clock.run()
+        assert clock.watchdog.tripped
+
+    def test_armed_watchdog_is_invisible_when_quiet(self):
+        """Pure observation: an armed watchdog that never trips changes
+        nothing about the run."""
+        def advance(clock, depth):
+            if depth:
+                clock.after(1.0, advance, clock, depth - 1)
+
+        plain = SimulationClock()
+        plain.at(0.0, advance, plain, 10)
+        plain.run()
+
+        armed = SimulationClock()
+        armed.watchdog = Watchdog(max_events_per_instant=2)
+        armed.at(0.0, advance, armed, 10)
+        armed.run()
+
+        assert armed.now == plain.now
+        assert armed.events_dispatched == plain.events_dispatched
+        assert not armed.watchdog.tripped

@@ -29,6 +29,14 @@ class TestSimulate:
         assert code == 0
         assert "|" in out
 
+    def test_deadline_abort_exits_nonzero(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "--cardinality", "500", "--processors", "12",
+            "--deadline", "0.001",
+        )
+        assert code == 1
+        assert "aborted at t=0.001s: deadline" in out
+
     def test_with_skew(self, capsys):
         _, uniform = run_cli(
             capsys, "simulate", "--cardinality", "1000", "--processors", "16"
@@ -158,6 +166,24 @@ class TestWorkload:
         )
         assert code == 0
         assert out == ""
+
+    def test_deadline_and_shed(self, capsys, tmp_path):
+        """The README overload quick-start: a deadlined workload with
+        deadline-aware shedding reports lifecycle activity."""
+        code, out = run_cli(
+            capsys, *self.ARGS, "--deadline", "0.5",
+            "--shed", "deadline_aware", "--jsonl", str(tmp_path / "d.jsonl"),
+        )
+        assert code == 0
+        assert "lifecycle:" in out
+
+    def test_deadline_identity(self, capsys, tmp_path):
+        """A generous --deadline leaves the JSONL byte-identical."""
+        plain, bounded = tmp_path / "p.jsonl", tmp_path / "b.jsonl"
+        run_cli(capsys, *self.ARGS, "--jsonl", str(plain), "--quiet")
+        run_cli(capsys, *self.ARGS, "--deadline", "1e9",
+                "--jsonl", str(bounded), "--quiet")
+        assert plain.read_bytes() == bounded.read_bytes()
 
 
 class TestServe:

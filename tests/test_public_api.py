@@ -62,7 +62,8 @@ def test_facade_signature_snapshot():
         "cost_model: 'Optional[CostModel]' = None, "
         "skew_theta: 'float' = 0.0, cardinality: 'int' = 5000, "
         "relations=None, resolve=None, "
-        "timeout: 'Optional[float]' = None, faults=None)"
+        "timeout: 'Optional[float]' = None, faults=None, "
+        "deadline: 'Optional[float]' = None)"
     )
 
 
@@ -83,7 +84,8 @@ def test_workload_facade_signature_snapshot():
                  "think_time", "queries_per_client", "max_concurrent",
                  "queue_limit", "memory_budget_bytes", "config",
                  "cost_model", "skew_theta", "faults", "recovery",
-                 "max_retries", "retry_backoff", "rejected_retry_delay"):
+                 "max_retries", "retry_backoff", "rejected_retry_delay",
+                 "deadline", "shed", "cancellations", "watchdog_limit"):
         assert name in params, f"run_workload lost {name!r}"
         assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
 
