@@ -1,0 +1,264 @@
+"""The BENCH perf trajectory: simulator hot-path throughput over PRs.
+
+Three numbers institutionalize the performance work so later PRs can
+only move them deliberately:
+
+* **simulated events/sec** — the four paper strategies on the
+  wide_bushy shape (40 processors, paper machine), best-of-N with GC
+  off; the aggregate is the headline.
+* **queries/sec at the saturation knee** — a closed-loop workload on
+  one shared 40-processor machine, stepping the client count until
+  throughput stops improving; reported at the knee.
+* **sweep wall-clock** — the parallel runner over a small wide_bushy
+  grid, end to end (planning + simulation + collection).
+
+Raw events/sec is machine-dependent, so every run also measures a
+pure-Python **calibration** proxy and the regression gate compares
+*normalized* throughput (events/sec relative to calibration ops/sec).
+``PRE_PR_BASELINE`` pins the seed simulator's numbers (measured on the
+machine that started the trajectory); ``EXPECTED_SPEEDUP`` pins what
+the current code achieves.  ``--check`` fails when the normalized
+aggregate falls more than 20% below expectation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke --check
+
+Writes ``BENCH_perf.json`` (override with ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+
+from repro.core import Catalog, get_strategy, make_shape, paper_relation_names
+from repro.sim import MachineConfig
+from repro.sim.run import simulate
+
+STRATEGIES = ("SP", "SE", "RD", "FP")
+
+#: The seed (pre-fast-path) simulator measured on the trajectory's
+#: reference machine: wide_bushy, 40 processors, 5000 tuples, paper
+#: machine config, best of 3 with GC disabled.
+PRE_PR_BASELINE = {
+    "calibration_ops_per_sec": 12_566_475,
+    "strategies": {
+        "SP": 349_991,
+        "SE": 355_138,
+        "RD": 313_907,
+        "FP": 274_458,
+    },
+    "aggregate_events_per_sec": 316_847,
+}
+
+#: Normalized aggregate speedup vs PRE_PR_BASELINE the current code is
+#: expected to deliver (the analytic fast path of repro.sim.turbo).
+#: The --check gate trips below 0.8x of this.
+EXPECTED_SPEEDUP = {"full": 10.0, "smoke": 8.0}
+
+#: >20% normalized regression fails the gate.
+REGRESSION_TOLERANCE = 0.20
+
+
+def calibrate(loops: int = 3) -> float:
+    """Machine-speed proxy: fixed pure-Python arithmetic + dict work,
+    reported as ops/sec (best of ``loops``)."""
+
+    def work():
+        acc = 0.0
+        d = {}
+        for i in range(200_000):
+            acc += i * 1e-6
+            if i & 1023 == 0:
+                d[i] = acc
+        return acc, d
+
+    best = float("inf")
+    for _ in range(loops):
+        t0 = time.perf_counter()
+        work()
+        best = min(best, time.perf_counter() - t0)
+    return 200_000 / best
+
+
+def measure_events(cardinality: int, repeats: int) -> dict:
+    """Per-strategy and aggregate simulated events/sec on wide_bushy."""
+    names = paper_relation_names(10)
+    tree = make_shape("wide_bushy", names)
+    catalog = Catalog.regular(names, cardinality)
+    config = MachineConfig.paper()
+    strategies = {}
+    total_events = 0
+    total_seconds = 0.0
+    for name in STRATEGIES:
+        schedule = get_strategy(name).schedule(tree, catalog, 40)
+        best = float("inf")
+        events = 0
+        for _ in range(repeats):
+            gc.disable()
+            t0 = time.perf_counter()
+            result = simulate(schedule, catalog, config)
+            elapsed = time.perf_counter() - t0
+            gc.enable()
+            best = min(best, elapsed)
+            events = result.events
+        strategies[name] = {
+            "events": events,
+            "seconds": round(best, 6),
+            "events_per_sec": round(events / best),
+        }
+        total_events += events
+        total_seconds += best
+    return {
+        "cardinality": cardinality,
+        "strategies": strategies,
+        "aggregate": {
+            "events": total_events,
+            "seconds": round(total_seconds, 6),
+            "events_per_sec": round(total_events / total_seconds),
+        },
+    }
+
+
+def measure_knee(cardinality: int, duration: float) -> dict:
+    """Closed-loop queries/sec stepping clients until the knee.
+
+    The knee is the first client count whose throughput gain over the
+    previous step drops under 5% (or the last step tried).
+    """
+    from repro.api import run_workload
+
+    steps = []
+    previous = 0.0
+    knee_clients = 1
+    knee_qps = 0.0
+    for clients in (1, 2, 4, 8, 16, 32):
+        result = run_workload(
+            "wide_bushy",
+            arrivals="closed",
+            clients=clients,
+            duration=duration,
+            cardinality=cardinality,
+            strategy="FP",
+            machine_size=40,
+            policy="guideline",
+        )
+        qps = result.throughput()
+        steps.append({"clients": clients, "queries_per_sec": round(qps, 4)})
+        if qps > knee_qps:
+            knee_clients, knee_qps = clients, qps
+        if previous > 0.0 and qps < previous * 1.05:
+            break
+        previous = qps
+    return {
+        "steps": steps,
+        "knee_clients": knee_clients,
+        "queries_per_sec_at_knee": round(knee_qps, 4),
+    }
+
+
+def measure_sweep(cardinality: int, processors: tuple) -> dict:
+    """Wall-clock of the parallel runner on a wide_bushy grid."""
+    from repro.runner import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        shapes=("wide_bushy",),
+        strategies=STRATEGIES,
+        processors=processors,
+        cardinalities=(cardinality,),
+        skew_thetas=(0.0,),
+    )
+    t0 = time.perf_counter()
+    run = run_sweep(spec, cache=False, progress=None)
+    elapsed = time.perf_counter() - t0
+    points = len(run.outcomes)
+    return {
+        "points": points,
+        "wall_clock_seconds": round(elapsed, 4),
+        "points_per_sec": round(points / elapsed, 2),
+    }
+
+
+def normalized_speedup(report: dict) -> float:
+    """Aggregate events/sec vs the seed, corrected for machine speed."""
+    scale = (
+        report["calibration_ops_per_sec"]
+        / PRE_PR_BASELINE["calibration_ops_per_sec"]
+    )
+    raw = (
+        report["events"]["aggregate"]["events_per_sec"]
+        / PRE_PR_BASELINE["aggregate_events_per_sec"]
+    )
+    return raw / scale
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: smaller cardinality, fewer repeats/steps",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"exit 1 on a >{REGRESSION_TOLERANCE:.0%} normalized "
+             f"regression vs the expected speedup",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_perf.json",
+        help="report path (default: BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    cardinality = 2_000 if args.smoke else 5_000
+    repeats = 2 if args.smoke else 3
+    knee_duration = 40.0 if args.smoke else 120.0
+    sweep_processors = (20, 40) if args.smoke else (10, 20, 40, 80)
+
+    gc.collect()
+    report = {
+        "schema": 1,
+        "mode": mode,
+        "baseline": PRE_PR_BASELINE,
+        "calibration_ops_per_sec": round(calibrate()),
+        "events": measure_events(cardinality, repeats),
+        "workload": measure_knee(
+            cardinality=500 if args.smoke else 1_000,
+            duration=knee_duration,
+        ),
+        "sweep": measure_sweep(cardinality, sweep_processors),
+    }
+    speedup = normalized_speedup(report)
+    report["speedup_vs_pre_pr"] = round(speedup, 2)
+    expected = EXPECTED_SPEEDUP[mode]
+    floor = expected * (1.0 - REGRESSION_TOLERANCE)
+    report["gate"] = {
+        "expected_speedup": expected,
+        "floor": round(floor, 2),
+        "passed": speedup >= floor,
+    }
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if args.check and not report["gate"]["passed"]:
+        print(
+            f"PERF REGRESSION: normalized speedup {speedup:.2f}x is below "
+            f"the {floor:.2f}x floor ({expected}x expected, "
+            f"{REGRESSION_TOLERANCE:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,6 @@ through :func:`run_workload` (the workload engine of
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Union
 
 from .core.cost import Catalog, CostModel
@@ -47,6 +46,42 @@ DEFAULT_RELATIONS = 10
 #: Default tuples per relation (the paper's 5K experiment).
 DEFAULT_CARDINALITY = 5_000
 
+#: The frozen (v1) keyword-only surface of :func:`run`.  The execution
+#: context (``catalog``/``config``/``cost_model``/``skew_theta``/
+#: ``cardinality``/``faults``/``deadline``) is spelled identically in
+#: :func:`run_workload`; the rest are front-end-specific.
+RUN_KEYWORDS = (
+    "catalog", "config", "cost_model", "skew_theta", "cardinality",
+    "relations", "resolve", "timeout", "faults", "deadline",
+)
+
+#: The frozen (v1) keyword-only surface of :func:`run_workload`.
+RUN_WORKLOAD_KEYWORDS = (
+    "arrivals", "rate", "duration", "seed", "machine_size", "policy",
+    "share", "strategy", "cardinality", "relations", "clients",
+    "think_time", "queries_per_client", "max_concurrent", "queue_limit",
+    "memory_budget_bytes", "config", "cost_model", "skew_theta",
+    "faults", "recovery", "max_retries", "retry_backoff",
+    "rejected_retry_delay", "deadline", "shed", "cancellations",
+    "watchdog_limit",
+)
+
+
+def _reject_unknown_keywords(func_name: str, unknown, accepted) -> None:
+    """Shared keyword gate of the v1 surface.
+
+    Both entry points funnel their ``**kwargs`` through here so a typo
+    fails the same way everywhere: a :class:`TypeError` naming the
+    rejected keywords *and* the full accepted set (plain ``def``
+    signatures reject unknowns too, but name only the first offender
+    and never say what would have been accepted).
+    """
+    if unknown:
+        raise TypeError(
+            f"{func_name}() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}; accepted keywords: {', '.join(accepted)}"
+        )
+
 
 def run(
     tree_or_shape: Union[str, Node],
@@ -64,6 +99,7 @@ def run(
     timeout: Optional[float] = None,
     faults=None,
     deadline: Optional[float] = None,
+    **unknown,
 ):
     """Plan ``tree_or_shape`` with ``strategy`` and execute it on one
     of the four backends.
@@ -101,9 +137,9 @@ def run(
         only backend that can be abandoned mid-run (its dataflow
         threads are daemons); defaults to 60 seconds there.  The other
         backends run to completion on the calling thread and cannot
-        honor a wall-clock bound; passing ``timeout`` with them emits
-        a :class:`DeprecationWarning` (it used to be silently ignored,
-        and will become an error).
+        honor a wall-clock bound; passing ``timeout`` with them is an
+        error (v1 freeze — it was silently ignored pre-facade, then a
+        :class:`DeprecationWarning` for one release).
     ``faults``
         A :class:`~repro.faults.FaultSchedule` (or prepared
         :class:`~repro.faults.FaultInjector`) armed against the
@@ -122,22 +158,18 @@ def run(
         Rejected by the real-data backends (use ``timeout`` for a
         wall-clock bound on ``threaded``).
     """
+    _reject_unknown_keywords("run", unknown, RUN_KEYWORDS)
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     if timeout is not None and backend != "threaded":
-        # Pre-facade callers passed the old default (timeout=60.0) to
-        # every backend and it was silently dropped; warn for now
-        # instead of hard-breaking them.
-        warnings.warn(
+        raise ValueError(
             f"'timeout' applies to backend='threaded' only; backend "
             f"{backend!r} runs to completion on the calling thread and "
-            f"ignores it (this will become an error)",
-            DeprecationWarning,
-            stacklevel=2,
+            f"cannot honor a wall-clock bound (use 'deadline' for a "
+            f"simulated-time bound on the simulating backends)"
         )
-        timeout = None
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive")
     tree = _resolve_tree(tree_or_shape)
@@ -268,6 +300,7 @@ def run_workload(
     shed=None,
     cancellations=None,
     watchdog_limit: Optional[int] = DEFAULT_MAX_EVENTS_PER_INSTANT,
+    **unknown,
 ):
     """Serve a stream of queries on one shared simulated machine.
 
@@ -314,6 +347,7 @@ def run_workload(
     Returns a :class:`~repro.workload.WorkloadResult`; its
     ``write_jsonl`` emits one deterministic row per query.
     """
+    _reject_unknown_keywords("run_workload", unknown, RUN_WORKLOAD_KEYWORDS)
     from .workload import (
         REJECTED_RETRY_DELAY,
         QueryMix,
@@ -397,6 +431,8 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_CARDINALITY",
     "DEFAULT_RELATIONS",
+    "RUN_KEYWORDS",
+    "RUN_WORKLOAD_KEYWORDS",
     "run",
     "run_workload",
     "sweep",

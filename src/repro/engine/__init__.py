@@ -2,16 +2,16 @@
 
 The four historical front-ends — :func:`simulate_strategy`,
 :func:`execute_schedule`, :func:`execute_threaded` and
-:func:`ideal_simulation` — are still re-exported here for
-compatibility, but as *deprecated aliases*: new code should call the
-unified facade :func:`repro.api.run` (which dispatches between the
-same engines through one signature).  The undecorated implementations
-remain importable from their submodules
-(e.g. :func:`repro.engine.simulate.simulate_strategy`).
+:func:`ideal_simulation` — went through a deprecation cycle and are
+now *removed aliases* (the v1 API freeze): calling them raises with a
+pointer at the unified facade :func:`repro.api.run`, which dispatches
+between the same engines through one frozen signature.  The
+undecorated implementations remain importable from their submodules
+(e.g. :func:`repro.engine.simulate.simulate_strategy`) for callers
+that genuinely need an engine rather than the facade.
 """
 
 import functools
-import warnings
 
 from ..sim.machine import MachineConfig
 from ..sim.metrics import SimulationResult
@@ -32,30 +32,34 @@ from .trace import critical_path, spans_of, task_marks, to_json
 from .utilization import busy_fractions, utilization_diagram
 
 
-def _deprecated_front_end(func):
-    """Alias a legacy front-end, steering callers to repro.api.run."""
+def _removed_front_end(func):
+    """Alias a legacy front-end that now refuses to run.
+
+    The v1 freeze graduated the :class:`DeprecationWarning` these
+    aliases emitted for one release into a hard error; the message
+    names both the facade call to migrate to and the submodule import
+    that still reaches the raw engine.
+    """
 
     @functools.wraps(func)
     def wrapper(*args, **kwargs):
-        warnings.warn(
-            f"repro.engine.{func.__name__} is deprecated; use "
-            f"repro.api.run(..., backend=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RuntimeError(
+            f"repro.engine.{func.__name__} was removed in the v1 API; "
+            f"call repro.api.run(..., backend=...) instead, or import "
+            f"the engine directly from {func.__module__}"
         )
-        return func(*args, **kwargs)
 
     wrapper.__doc__ = (
-        f"Deprecated alias of :func:`{func.__module__}.{func.__name__}`; "
+        f"Removed alias of :func:`{func.__module__}.{func.__name__}`; "
         f"use :func:`repro.api.run`.\n\n{func.__doc__ or ''}"
     )
     return wrapper
 
 
-simulate_strategy = _deprecated_front_end(_simulate_strategy)
-execute_schedule = _deprecated_front_end(_execute_schedule)
-execute_threaded = _deprecated_front_end(_execute_threaded)
-ideal_simulation = _deprecated_front_end(_ideal_simulation)
+simulate_strategy = _removed_front_end(_simulate_strategy)
+execute_schedule = _removed_front_end(_execute_schedule)
+execute_threaded = _removed_front_end(_execute_threaded)
+ideal_simulation = _removed_front_end(_ideal_simulation)
 
 __all__ = [
     "ExecutionResult",

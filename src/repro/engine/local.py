@@ -20,10 +20,11 @@ tests can check the non-skew assumption the simulator relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
 from ..core.trees import Leaf, Node
+from ..relational import columnar
 from ..relational.hashjoin import PipeliningHashJoin, SimpleHashJoin
 from ..relational.operators import wisconsin_combine
 from ..relational.partition import hash_partition
@@ -66,6 +67,7 @@ def execute_schedule(
     relations: Mapping[str, Relation],
     *,
     key: str = "unique1",
+    use_columnar: Optional[bool] = None,
 ) -> ExecutionResult:
     """Execute ``schedule`` on real relations; returns all task results.
 
@@ -73,7 +75,17 @@ def execute_schedule(
     the join/projection semantics are the paper's regular query).  Any
     topological execution order gives the same answer; postorder is
     used, mirroring the schedule's task order.
+
+    ``use_columnar`` selects the fragment-join kernel: ``None`` (the
+    default) takes the vectorized :mod:`repro.relational.columnar`
+    path whenever numpy is importable, ``True`` requires it, and
+    ``False`` pins the row-at-a-time reference joins.  Both kernels
+    produce identical row sequences, not merely equal bags.
     """
+    if use_columnar is None:
+        use_columnar = columnar.HAVE_NUMPY
+    elif use_columnar and not columnar.HAVE_NUMPY:
+        raise RuntimeError("use_columnar=True requires numpy")
     executions: Dict[int, TaskExecution] = {}
     for task in schedule.tasks:
         left_frags = _operand_fragments(task, task.left_input, relations, executions, key)
@@ -81,7 +93,7 @@ def execute_schedule(
         fragments: List[Relation] = []
         input_sizes: List[tuple] = []
         for left, right in zip(left_frags, right_frags):
-            fragments.append(_join_fragment(task, left, right, key))
+            fragments.append(_join_fragment(task, left, right, key, use_columnar))
             input_sizes.append((left.cardinality(), right.cardinality()))
         executions[task.index] = TaskExecution(task.index, fragments, input_sizes)
     return ExecutionResult(schedule, [executions[t.index] for t in schedule.tasks])
@@ -119,10 +131,16 @@ def _operand_fragments(
 
 
 def _join_fragment(
-    task: JoinTask, left: Relation, right: Relation, key: str
+    task: JoinTask, left: Relation, right: Relation, key: str,
+    use_columnar: bool = False,
 ) -> Relation:
     """Join one fragment pair with the task's algorithm."""
     key_index = WISCONSIN_SCHEMA.index_of(key)
+    if use_columnar:
+        rows = columnar.join_fragment_rows(
+            left.rows, right.rows, key_index, task.algorithm, task.build_side
+        )
+        return Relation(WISCONSIN_SCHEMA, rows)
     if task.algorithm == "simple":
         build, probe = (left, right) if task.build_side == "left" else (right, left)
         join = SimpleHashJoin(key_index, key_index, _combine_for(task.build_side))

@@ -110,6 +110,9 @@ class FaultInjector:
         self._claim()
         if self.schedule.is_empty:
             return
+        # Any armed perturbation — even one that never fires — must
+        # keep the run on the event loop (repro.sim.turbo stands down).
+        sim.perturbed = True
         for stall in self.schedule.stalls:
             processor = sim.processors.get(stall.processor)
             if processor is not None:

@@ -33,27 +33,41 @@ class EventHandle:
     """Cancellation token for one scheduled event.
 
     The heap cannot remove arbitrary entries, so cancellation marks
-    the entry instead; :meth:`SimulationClock.run` drops marked
-    entries without dispatching or counting them.
+    the entry instead (lazy deletion); :meth:`SimulationClock.run`
+    drops marked entries without dispatching or counting them, and the
+    owning clock keeps a dead-entry count so a queue dominated by
+    cancelled work can be compacted in one pass.
     """
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_clock")
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional["SimulationClock"] = None) -> None:
         self.cancelled = False
+        self._clock = clock
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            clock = self._clock
+            if clock is not None:
+                clock._dead += 1
 
 
 class SimulationClock:
     """The event queue and clock of one simulation run."""
+
+    __slots__ = ("now", "_queue", "_seq", "events_dispatched", "_dead", "watchdog")
+
+    #: Compact the heap (drop cancelled entries, re-heapify) once at
+    #: least this many dead entries make up over half the queue.
+    COMPACT_THRESHOLD = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Optional[EventHandle], Callable, tuple]] = []
         self._seq = 0
         self.events_dispatched = 0
+        self._dead = 0  # cancelled entries still sitting in the heap
         #: Optional progress monitor (:class:`repro.sim.watchdog.Watchdog`);
         #: ``None`` keeps the dispatch loop on its bare fault-free path.
         self.watchdog: Optional["Watchdog"] = None
@@ -71,7 +85,7 @@ class SimulationClock:
         never dispatched, never counted, never advances the clock."""
         if time < self.now - 1e-12:
             raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
-        handle = EventHandle()
+        handle = EventHandle(self)
         heapq.heappush(self._queue, (time, self._seq, handle, fn, args))
         self._seq += 1
         return handle
@@ -88,14 +102,37 @@ class SimulationClock:
         Returns the final clock value.  ``max_events`` is a runaway
         guard: a correct simulation of this model always terminates.
         """
+        queue = self._queue
+        pop = heapq.heappop
         dispatched = 0
-        while self._queue:
-            entry = self._queue[0]
+        if until is None and self.watchdog is None:
+            # Fast path: no horizon check, no watchdog probe, and all
+            # loop state in locals.  This is the loop every fault-free
+            # owned run that falls off the analytic path spins in.
+            while queue:
+                entry = pop(queue)
+                handle = entry[2]
+                if handle is not None and handle.cancelled:
+                    self._dead -= 1
+                    continue  # skipped: no dispatch, no count, no advance
+                self.now = entry[0]
+                entry[3](*entry[4])
+                dispatched += 1
+                if dispatched > max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a wiring bug (cyclic deliveries)"
+                    )
+            self.events_dispatched += dispatched
+            return self.now
+        while queue:
+            entry = queue[0]
             if until is not None and entry[0] > until:
                 break
-            heapq.heappop(self._queue)
+            pop(queue)
             time, _seq, handle, fn, args = entry
             if handle is not None and handle.cancelled:
+                self._dead -= 1
                 continue  # skipped: no dispatch, no count, no time advance
             self.now = time
             if self.watchdog is not None:
@@ -107,11 +144,29 @@ class SimulationClock:
                     f"simulation exceeded {max_events} events; "
                     "likely a wiring bug (cyclic deliveries)"
                 )
+            dead = self._dead
+            if dead > self.COMPACT_THRESHOLD and dead * 2 > len(queue):
+                self.compact()
+                queue = self._queue
         self.events_dispatched += dispatched
         if until is not None and self.now < until:
             # Advance to the horizon; any remaining events lie beyond it.
             self.now = until
         return self.now
+
+    def compact(self) -> int:
+        """Drop cancelled entries and re-heapify; returns how many
+        entries were reaped.  Pop order of live entries is unchanged
+        (same entries, same sort keys), so compaction is invisible to
+        the simulation."""
+        queue = self._queue
+        live = [e for e in queue if e[2] is None or not e[2].cancelled]
+        reaped = len(queue) - len(live)
+        if reaped:
+            heapq.heapify(live)
+            self._queue = live
+        self._dead = 0
+        return reaped
 
     def pending(self) -> int:
         """Number of events still queued (cancelled entries included

@@ -22,6 +22,15 @@ operand is complete, while the pipelining hash-join consumes both
 sides symmetrically and produces matches proportional to the product
 of arrived fractions — the source of the bushy-pipeline ramp-up delay
 of Section 2.3.3.
+
+These state machines are the *reference* semantics.  Owned,
+fault-free, deadline-free runs are normally executed by the analytic
+engine in :mod:`repro.sim.turbo`, which must reproduce every
+observable of this module bit for bit (chunk boundaries, batch
+emission times, tie-breaks between arrivals and completions, interval
+coalescing).  Any behavioural change here therefore needs a matching
+change there — the golden-identity and turbo-equivalence tests pin
+the pairing.
 """
 
 from __future__ import annotations

@@ -33,7 +33,7 @@ from typing import (
 )
 
 from ..core.cost import Catalog, CostModel, JoinCost
-from ..core.schedule import InputSpec, JoinTask, ParallelSchedule
+from ..core.schedule import JoinTask, ParallelSchedule
 from .events import SimulationClock
 from .machine import MachineConfig, NetworkLink, Processor
 from .metrics import SimulationResult, TaskTiming
@@ -76,6 +76,8 @@ class _TaskRuntime:
     completion: Optional[float] = None
     output_group: Optional[ConsumerGroup] = None
     output_pipelined: bool = False
+    #: Fragment share per process (uniform or Zipf), in process order.
+    shares: List[float] = field(default_factory=list)
 
 
 class ScheduleSimulation:
@@ -144,6 +146,10 @@ class ScheduleSimulation:
         self.finished_at: Optional[float] = None
         self.aborted_reason: Optional[str] = None
         self.aborted_at: Optional[float] = None
+        #: Set by FaultInjector.attach_simulation when any perturbation
+        #: (crash, stall, link fault) targets this run; keeps the
+        #: analytic fast path (repro.sim.turbo) off perturbed runs.
+        self.perturbed = False
         if deadline is not None and deadline <= start_at:
             raise ValueError(
                 f"deadline {deadline} must lie after the query's start "
@@ -217,20 +223,83 @@ class ScheduleSimulation:
 
         # Create processes with their input ports.  Fragment shares
         # are uniform under the paper's assumption, Zipfian under skew.
+        # Everything constant across a task's processes (coefficients,
+        # work scale, name, completion hook) is computed once per task.
         ports_by_task_side: Dict[Tuple[int, str], List[Port]] = {}
         shares_of: Dict[int, List[float]] = {}
+        base_coeff = self.cost_model.base_coeff
+        intermediate_coeff = self.cost_model.intermediate_coeff
+        result_coeff = self.cost_model.result_coeff
         for runtime in self.runtimes:
             task = runtime.task
             shares = zipf_shares(task.parallelism, self.skew_theta)
             shares_of[task.index] = shares
+            runtime.shares = shares
             if task.index in self.skip_tasks:
                 continue  # replayed from a surviving materialized result
+            cost = runtime.cost
+            side_params = []
+            for side, spec, total in (
+                ("left", task.left_input, cost.n1),
+                ("right", task.right_input, cost.n2),
+            ):
+                if spec.is_base:
+                    side_params.append((side, spec.mode, base_coeff, 0, total))
+                else:
+                    side_params.append(
+                        (
+                            side,
+                            spec.mode,
+                            intermediate_coeff,
+                            self.schedule.tasks[spec.source].parallelism,
+                            total,
+                        )
+                    )
+            natural = self.cost_model.join_cost(
+                cost.n1, cost.n2, cost.result, cost.left_base, cost.right_base
+            )
+            work_scale = cost.cost / natural if natural > 0 else 1.0
+            name = f"{self.label_prefix}J{task.index}"
+            on_done = lambda process, rt=runtime: self._process_done(rt, process)
+            simple = task.algorithm == "simple"
+            result_total = cost.result
+            left_ports = ports_by_task_side.setdefault((task.index, "left"), [])
+            right_ports = ports_by_task_side.setdefault((task.index, "right"), [])
             for proc_id, share in zip(task.processors, shares):
-                left = self._make_port(runtime, "left", task.left_input, share)
-                right = self._make_port(runtime, "right", task.right_input, share)
-                ports_by_task_side.setdefault((task.index, "left"), []).append(left)
-                ports_by_task_side.setdefault((task.index, "right"), []).append(right)
-                process = self._make_process(runtime, proc_id, left, right, share)
+                sides = []
+                for side, mode, coeff, producers, total in side_params:
+                    sides.append(
+                        Port(
+                            side=side,
+                            mode=mode,
+                            coefficient=coeff,
+                            expected_producers=producers,
+                            local_total=total * share,
+                        )
+                    )
+                left, right = sides
+                left_ports.append(left)
+                right_ports.append(right)
+                kwargs = dict(
+                    name=name,
+                    processor=self._processor(proc_id),
+                    clock=self.clock,
+                    config=self.config,
+                    left=left,
+                    right=right,
+                    result_local=result_total * share,
+                    result_coeff=result_coeff,
+                    output=None,             # wired afterwards
+                    output_pipelined=False,  # wired afterwards
+                    on_done=on_done,
+                    work_scale=work_scale,
+                )
+                if simple:
+                    process = SimpleHashJoinProcess(
+                        build_side=task.build_side, **kwargs
+                    )
+                else:
+                    process = PipeliningHashJoinProcess(**kwargs)
                 runtime.processes.append(process)
 
         # Wire outputs: a task's processes share one consumer group.
@@ -302,57 +371,10 @@ class ScheduleSimulation:
                 self.deadline, self._deadline_expired
             )
 
-    def _make_port(
-        self, runtime: _TaskRuntime, side: str, spec: InputSpec, share: float
-    ) -> Port:
-        cost = runtime.cost
-        total = cost.n1 if side == "left" else cost.n2
-        if spec.is_base:
-            coefficient = self.cost_model.base_coeff
-            producers = 0
-        else:
-            coefficient = self.cost_model.intermediate_coeff
-            producers = self.schedule.tasks[spec.source].parallelism
-        return Port(
-            side=side,
-            mode=spec.mode,
-            coefficient=coefficient,
-            expected_producers=producers,
-            local_total=total * share,
-        )
-
-    def _make_process(
-        self,
-        runtime: _TaskRuntime,
-        proc_id: int,
-        left: Port,
-        right: Port,
-        share: Optional[float] = None,
-    ) -> OperationProcess:
-        task = runtime.task
-        cost = runtime.cost
-        natural = self.cost_model.join_cost(
-            cost.n1, cost.n2, cost.result, cost.left_base, cost.right_base
-        )
-        work_scale = cost.cost / natural if natural > 0 else 1.0
-        common = dict(
-            name=f"{self.label_prefix}J{task.index}",
-            processor=self._processor(proc_id),
-            clock=self.clock,
-            config=self.config,
-            left=left,
-            right=right,
-            result_local=runtime.cost.result
-            * (share if share is not None else 1.0 / task.parallelism),
-            result_coeff=self.cost_model.result_coeff,
-            output=None,             # wired afterwards
-            output_pipelined=False,  # wired afterwards
-            on_done=lambda process, rt=runtime: self._process_done(rt, process),
-            work_scale=work_scale,
-        )
-        if task.algorithm == "simple":
-            return SimpleHashJoinProcess(build_side=task.build_side, **common)
-        return PipeliningHashJoinProcess(**common)
+        # Everything scheduled so far is _build's own; anything pushed
+        # after this point (by tests, hosts or tools) disqualifies the
+        # analytic fast path, which only replays _build's events.
+        self._build_seq = self.clock._seq
 
     # -- run-time callbacks -------------------------------------------------
 
@@ -430,7 +452,10 @@ class ScheduleSimulation:
                 "hosted simulations share an external clock; drive that "
                 "clock and collect the result from on_complete/result()"
             )
-        self.clock.run()
+        from . import turbo
+
+        if not turbo.execute(self):
+            self.clock.run()
         if self.aborted_reason is not None:
             raise QueryAbortedError(self.aborted_reason, self.aborted_at or 0.0)
         return self.result()

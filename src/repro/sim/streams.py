@@ -7,6 +7,14 @@ receiving side of one join operand on one operation process; a
 :class:`ConsumerGroup` is the set of ports a producer's output is
 split over.  End-of-stream is tracked per producer process, mirroring
 PRISMA's per-stream termination protocol.
+
+Delivery is *batch-coalesced*: a producer's chunk output arrives as a
+single event carrying a fractional tuple count, never as per-tuple
+events, so event volume scales with chunk count rather than
+cardinality.  The analytic fast path (:mod:`repro.sim.turbo`)
+replicates exactly this batch granularity — including each batch's
+arrival time ``emit + latency`` and its per-producer arrival order —
+which is what lets it replay the same float arithmetic off the heap.
 """
 
 from __future__ import annotations

@@ -1,0 +1,1019 @@
+"""Analytic fast path for owned, unperturbed simulations.
+
+The classic :class:`~repro.sim.events.SimulationClock` dispatches every
+batch arrival, CPU-chunk completion and handshake as a heap event —
+roughly 3 µs of interpreter work per event.  For the paper's own
+operating regime (one query, dedicated machine, no faults, no
+deadline, infinite interconnect bandwidth) the dataflow graph is
+*feed-forward*: a consumer never influences its producers, concurrent
+tasks occupy disjoint processors, and tasks that do share processors
+are barrier-ordered.  Under those conditions the global event heap is
+pure overhead — every process can be simulated to completion with a
+tight inline loop, in topological task order, replaying the exact
+floating-point operations (and the exact logical event count) of the
+event-driven run.
+
+:func:`execute` checks eligibility and either simulates the whole run
+analytically (returning ``True``) or declines (returning ``False``) so
+the caller falls back to the event loop.  Ineligible runs — hosted
+(workload) queries, fault injection, deadlines, finite bandwidth,
+watchdogs, skip-replay — keep the classic path, whose behaviour this
+module must match bit for bit.  The golden-identity fixtures under
+``tests/golden/`` and the deadline/fault byte-identity tests pin that
+equivalence continuously.
+
+Correctness notes (why this reproduces the event loop exactly):
+
+* **Float identity** — every arithmetic expression below mirrors the
+  operand order of :mod:`repro.sim.process` / :mod:`repro.sim.streams`
+  (e.g. ``(chunk * coeff + out * rc) * tuple_unit * work_scale``); no
+  closed forms are used, because sequential float accumulation does
+  not commute with algebraic simplification.
+* **Event identity** — ``events_dispatched`` is reconstructed by
+  logical accounting: one init per process, one release per
+  unbarriered task, one handshake completion per nonzero handshake,
+  one completion per CPU chunk, one arrival per emitted batch /
+  end-of-stream / stored result.
+* **Tie-breaking** — simultaneous events are ordered by the heap's
+  push sequence in the classic run.  The loops replicate the cases
+  that occur in practice: an arrival beats a completion at the same
+  instant iff it was pushed earlier (its emit time precedes the
+  chunk's start), lock-stepped sibling processes emit in process
+  order, and build-time events (init/release) precede same-time
+  arrivals.  Configurations where ties are pervasive (zero startup,
+  latency or handshake cost — e.g. ``MachineConfig.ideal()``) are
+  declared ineligible and stay on the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .streams import EPSILON
+
+__all__ = ["execute"]
+
+_INF = float("inf")
+
+#: Sort rank placing a stored-result delivery after any (impossible)
+#: same-time data batch of the same producer process.
+_STORE_RANK = 1 << 30
+
+
+def _topo_order(sim) -> Optional[List[int]]:
+    """Order tasks so every barrier predecessor and dataflow source
+    precedes its dependents, and verify that tasks *not* ordered by
+    barriers occupy disjoint processors — otherwise a per-task
+    sequential simulation cannot reproduce the interleaved timeline.
+
+    Returns runtime positions in simulation order, or ``None`` if the
+    schedule's structure is unsupported.
+    """
+    runtimes = sim.runtimes
+    n = len(runtimes)
+    pos_of = {rt.task.index: i for i, rt in enumerate(runtimes)}
+    barrier_preds: List[List[int]] = [[] for _ in range(n)]
+    all_preds: List[List[int]] = [[] for _ in range(n)]
+    procsets: List[frozenset] = []
+    for i, rt in enumerate(runtimes):
+        task = rt.task
+        if not rt.processes:
+            return None
+        if len(set(task.processors)) != len(task.processors):
+            return None
+        for dep in task.start_after:
+            j = pos_of.get(dep)
+            if j is None or j == i:
+                return None
+            barrier_preds[i].append(j)
+            all_preds[i].append(j)
+        for spec in (task.left_input, task.right_input):
+            if not spec.is_base:
+                j = pos_of.get(spec.source)
+                if j is None or j == i:
+                    return None
+                all_preds[i].append(j)
+        procsets.append(frozenset(task.processors))
+
+    # Kahn's algorithm, stable by original position (determinism only;
+    # independent tasks commute — they share no processors).
+    remaining = [len(set(preds)) for preds in all_preds]
+    dependents: List[List[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for j in set(all_preds[i]):
+            dependents[j].append(i)
+    order = [i for i in range(n) if remaining[i] == 0]
+    head = 0
+    while head < len(order):
+        for k in dependents[order[head]]:
+            remaining[k] -= 1
+            if remaining[k] == 0:
+                order.append(k)
+        head += 1
+    if len(order) != n:
+        return None  # cycle: broken schedule, let the event loop report
+
+    # Happens-before closure over barriers only; pipelined dataflow
+    # runs concurrently, so it creates no ordering for this check.
+    ancestors = [0] * n
+    for i in order:
+        mask = 0
+        for j in barrier_preds[i]:
+            mask |= (1 << j) | ancestors[j]
+        ancestors[i] = mask
+    for a in range(n):
+        mask_a = ancestors[a]
+        mine = procsets[a]
+        for b in range(a):
+            if not (mask_a >> b) & 1 and not (ancestors[b] >> a) & 1:
+                if mine & procsets[b]:
+                    return None
+    return order
+
+
+def _eligible(sim) -> Optional[List[int]]:
+    """The simulation-order task positions if ``sim`` can run
+    analytically, else ``None``."""
+    clock = sim.clock
+    if not sim._owns_clock or sim._pool is not None:
+        return None
+    if sim.on_complete is not None:
+        return None
+    if sim.deadline is not None or sim.skip_tasks:
+        return None
+    if clock.watchdog is not None:
+        return None
+    if getattr(sim, "perturbed", False):
+        return None
+    if clock.now != 0.0 or clock.events_dispatched != 0:
+        return None
+    # Events scheduled on the clock besides _build's own would be
+    # silently dropped by the analytic run — decline.
+    if clock._seq != getattr(sim, "_build_seq", -1):
+        return None
+    network = sim.network
+    if network.faults is not None or network.bandwidth != _INF:
+        return None
+    config = sim.config
+    # Zero-overhead configs make simultaneous events pervasive; the
+    # tie-break replication below only covers staggered schedules.
+    if (
+        config.process_startup <= 0
+        or config.network_latency <= 0
+        or config.handshake <= 0
+        or config.tuple_unit <= 0
+    ):
+        return None
+    for processor in sim.processors.values():
+        if processor.stalls or processor.busy_until != 0.0 or processor.intervals:
+            return None
+    for rt in sim.runtimes:
+        for process in rt.processes:
+            if process.work_scale <= 0 or process.aborted:
+                return None
+    return _topo_order(sim)
+
+
+def _run_process(
+    proc,
+    entries: List[tuple],
+    share: float,
+    t_start: float,
+    emissions: List[tuple],
+    first_pos: Tuple[Optional[float], Optional[float]],
+    latency: float,
+    porder: int,
+    side: int,
+) -> Tuple[float, int, int]:
+    """Simulate one operation process to completion.
+
+    ``entries`` is the task-wide arrival timeline —
+    ``(atime, emit, porder, rank, side, count, eos)`` tuples sorted by
+    the classic heap order; this process takes ``count * share`` of
+    each batch.  ``first_pos`` holds the arrival time of the first
+    positive-count entry per side (every entry is eventually received,
+    so the port's ``first_arrival`` is a task-level constant and need
+    not be tracked per apply).  Pipelined output batches are appended
+    to ``emissions`` already in consumer timeline form — ``latency``,
+    ``porder`` and ``side`` are this process's delivery decoration.
+    Returns ``(done_time, completion_events, emission_count)``.
+    """
+    left = proc.left
+    right = proc.right
+    simple = proc.algorithm == "simple"
+    if simple:
+        bflag = 1 if proc.build is right else 0
+    else:
+        bflag = 0
+    # Map left/right onto build/probe scalars (pipelining: b=left, p=right).
+    b_port = right if bflag else left
+    p_port = left if bflag else right
+    processor = proc.processor
+    config = proc.config
+    tu = config.tuple_unit
+    hs_unit = config.handshake
+    ws = proc.work_scale
+    rc = proc.result_coeff
+    batches = config.batches
+    name = proc.name
+    hs_label = f"{name}:hs"
+    pipe_out = proc.output is not None and proc.output_pipelined
+    has_close = proc.output is not None and not proc.output_pipelined
+    close_d = len(proc.output.ports) * hs_unit if has_close else 0.0
+
+    b_total = b_port.local_total
+    p_total = p_port.local_total
+    b_coeff = b_port.coefficient
+    p_coeff = p_port.coefficient
+    b_cap = b_port.chunk_cap(batches)
+    p_cap = p_port.chunk_cap(batches)
+    b_exp = b_port.expected_producers
+    p_exp = p_port.expected_producers
+    b_base = b_port.mode == "base"
+    p_base = p_port.mode == "base"
+    b_closed = b_base or b_exp <= 0
+    p_closed = p_base or p_exp <= 0
+    if simple:
+        rl = proc.result_local
+        out_ok = p_total > 0
+        density = 0.0
+    else:
+        # density == 0.0 whenever either total is zero, and the output
+        # product ``chunk * done * 0.0`` is exactly +0.0 — no guard
+        # needed at the emission sites.
+        if b_total > 0 and p_total > 0:
+            density = proc.result_local / (b_total * p_total)
+        else:
+            density = 0.0
+        rl = 0.0
+        out_ok = False
+
+    EPS = EPSILON
+    b_pend = 0.0
+    p_pend = 0.0
+    b_done = 0.0  # "processed" accumulators
+    p_done = 0.0
+    b_eos = 0
+    p_eos = 0
+    out_total = 0.0
+    ncomp = 0
+    busy = processor.busy_until
+    intervals = processor.intervals
+    cur_s = 0.0
+    cur_e = 0.0
+    cur_l: Optional[str] = None
+    ei = 0
+    en = len(entries)
+    rank0 = len(emissions)
+
+    # Arrivals strictly before the process starts are received without
+    # a kick (the process has not started); state updates only.
+    while ei < en:
+        ent = entries[ei]
+        if ent[0] >= t_start:
+            break
+        c = ent[5] * share
+        if ent[4] == bflag:
+            b_pend += c
+            k = ent[6]
+            if k:
+                b_eos += k
+                if b_eos >= b_exp:
+                    b_closed = True
+        else:
+            p_pend += c
+            k = ent[6]
+            if k:
+                p_eos += k
+                if p_eos >= p_exp:
+                    p_closed = True
+        ei += 1
+
+    # Start: inject base fragments, then pay startup handshakes.
+    now = t_start
+    if b_base and b_total > 0:
+        b_pend += b_total
+    if p_base and p_total > 0:
+        p_pend += p_total
+
+    h = proc._startup_handshakes() * hs_unit
+    free_end = 0.0
+    push_t = 0.0
+    chunk = 0.0
+    out = 0.0
+    d = 0.0
+    on_build = False
+    in_chunk = False
+    done_time = 0.0
+    next_at = entries[ei][0] if ei < en else _INF
+    if h > 0.0:
+        s = now if now >= busy else busy
+        e_t = s + h
+        busy = e_t
+        if cur_l == hs_label and -1e-12 < s - cur_e < 1e-12:
+            cur_e = e_t
+        else:
+            if cur_l is not None:
+                intervals.append((cur_s, cur_e, cur_l))
+            cur_s = s
+            cur_e = e_t
+            cur_l = hs_label
+        free_end = e_t
+        push_t = now
+        in_chunk = False
+        completing = True
+    else:
+        completing = False
+
+    while True:
+        if completing:
+            # Absorb arrivals the heap would dispatch before this
+            # completion: strictly earlier, or same-time but pushed
+            # earlier (emit precedes the chunk/handshake start).
+            if next_at <= free_end:
+                while ei < en:
+                    ent = entries[ei]
+                    ea = ent[0]
+                    if ea > free_end or (ea == free_end and ent[1] >= push_t):
+                        break
+                    c = ent[5] * share
+                    if ent[4] == bflag:
+                        b_pend += c
+                        k = ent[6]
+                        if k:
+                            b_eos += k
+                            if b_eos >= b_exp:
+                                b_closed = True
+                    else:
+                        p_pend += c
+                        k = ent[6]
+                        if k:
+                            p_eos += k
+                            if p_eos >= p_exp:
+                                p_closed = True
+                    ei += 1
+                next_at = entries[ei][0] if ei < en else _INF
+            now = free_end
+            ncomp += 1
+            if in_chunk:
+                if on_build:
+                    b_done += chunk
+                else:
+                    p_done += chunk
+                if out > 0.0:
+                    out_total += out
+                    if pipe_out:
+                        emissions.append(
+                                (now + latency, now, porder, len(emissions) - rank0, side, out, 0)
+                            )
+            completing = False
+
+        if ei >= en and b_closed and p_closed:
+            # ---- pure drain: no arrival can interfere any more ----
+            # After the first chunk of a drain run the processor chain
+            # is contiguous (s == busy == now == cur_e), so subsequent
+            # chunks reduce to `now += duration` with the busy/interval
+            # state written back once — the same float operations in
+            # the same order, minus the per-chunk bookkeeping.  The
+            # contiguity argument needs every duration > 0, which the
+            # positive-coefficient gates guarantee; degenerate
+            # coefficients fall back to the literal per-chunk form.
+            if simple:
+                if b_pend > EPS and b_coeff > 0.0:
+                    chunk = b_pend if b_pend <= b_cap else b_cap
+                    b_pend -= chunk
+                    if b_pend < EPS:
+                        b_pend = 0.0
+                    d = (chunk * b_coeff + 0.0 * rc) * tu * ws
+                    s = now if now >= busy else busy
+                    e_t = s + d
+                    if cur_l == name and -1e-12 < s - cur_e < 1e-12:
+                        pass
+                    else:
+                        if cur_l is not None:
+                            intervals.append((cur_s, cur_e, cur_l))
+                        cur_s = s
+                        cur_l = name
+                    now = e_t
+                    ncomp += 1
+                    b_done += chunk
+                    while b_pend > EPS:
+                        chunk = b_pend if b_pend <= b_cap else b_cap
+                        b_pend -= chunk
+                        if b_pend < EPS:
+                            b_pend = 0.0
+                        now = now + (chunk * b_coeff + 0.0 * rc) * tu * ws
+                        ncomp += 1
+                        b_done += chunk
+                    busy = now
+                    cur_e = now
+                else:
+                    while b_pend > EPS:
+                        chunk = b_pend if b_pend <= b_cap else b_cap
+                        b_pend -= chunk
+                        if b_pend < EPS:
+                            b_pend = 0.0
+                        d = (chunk * b_coeff + 0.0 * rc) * tu * ws
+                        s = now if now >= busy else busy
+                        e_t = s + d
+                        busy = e_t
+                        if d > 0.0:
+                            if cur_l == name and -1e-12 < s - cur_e < 1e-12:
+                                cur_e = e_t
+                            else:
+                                if cur_l is not None:
+                                    intervals.append((cur_s, cur_e, cur_l))
+                                cur_s = s
+                                cur_e = e_t
+                                cur_l = name
+                        now = e_t
+                        ncomp += 1
+                        b_done += chunk
+                if p_pend > EPS and p_coeff > 0.0:
+                    chunk = p_pend if p_pend <= p_cap else p_cap
+                    p_pend -= chunk
+                    if p_pend < EPS:
+                        p_pend = 0.0
+                    out = chunk * rl / p_total if out_ok else 0.0
+                    d = (chunk * p_coeff + out * rc) * tu * ws
+                    s = now if now >= busy else busy
+                    e_t = s + d
+                    if cur_l == name and -1e-12 < s - cur_e < 1e-12:
+                        pass
+                    else:
+                        if cur_l is not None:
+                            intervals.append((cur_s, cur_e, cur_l))
+                        cur_s = s
+                        cur_l = name
+                    now = e_t
+                    ncomp += 1
+                    p_done += chunk
+                    if out > 0.0:
+                        out_total += out
+                        if pipe_out:
+                            emissions.append(
+                                (now + latency, now, porder, len(emissions) - rank0, side, out, 0)
+                            )
+                    while True:
+                        chunk = p_pend if p_pend <= p_cap else p_cap
+                        p_pend -= chunk
+                        if p_pend < EPS:
+                            p_pend = 0.0
+                        if chunk <= 0.0:
+                            break
+                        out = chunk * rl / p_total if out_ok else 0.0
+                        now = now + (chunk * p_coeff + out * rc) * tu * ws
+                        ncomp += 1
+                        p_done += chunk
+                        if out > 0.0:
+                            out_total += out
+                            if pipe_out:
+                                emissions.append(
+                                (now + latency, now, porder, len(emissions) - rank0, side, out, 0)
+                            )
+                    busy = now
+                    cur_e = now
+                else:
+                    while True:
+                        chunk = p_pend if p_pend <= p_cap else p_cap
+                        p_pend -= chunk
+                        if p_pend < EPS:
+                            p_pend = 0.0
+                        if chunk <= 0.0:
+                            break
+                        out = chunk * rl / p_total if out_ok else 0.0
+                        d = (chunk * p_coeff + out * rc) * tu * ws
+                        s = now if now >= busy else busy
+                        e_t = s + d
+                        busy = e_t
+                        if d > 0.0:
+                            if cur_l == name and -1e-12 < s - cur_e < 1e-12:
+                                cur_e = e_t
+                            else:
+                                if cur_l is not None:
+                                    intervals.append((cur_s, cur_e, cur_l))
+                                cur_s = s
+                                cur_e = e_t
+                                cur_l = name
+                        now = e_t
+                        ncomp += 1
+                        p_done += chunk
+                        if out > 0.0:
+                            out_total += out
+                            if pipe_out:
+                                emissions.append(
+                                (now + latency, now, porder, len(emissions) - rank0, side, out, 0)
+                            )
+            elif b_coeff > 0.0 and p_coeff > 0.0:
+                if b_pend > EPS:
+                    if p_pend > EPS:
+                        pb = b_done / b_total if b_total > 0 else 1.0
+                        pp = p_done / p_total if p_total > 0 else 1.0
+                        on_build = pb <= pp
+                    else:
+                        on_build = True
+                    first = True
+                elif p_pend > EPS:
+                    on_build = False
+                    first = True
+                else:
+                    first = False
+                if first:
+                    if on_build:
+                        chunk = b_pend if b_pend <= b_cap else b_cap
+                        b_pend -= chunk
+                        if b_pend < EPS:
+                            b_pend = 0.0
+                        out = chunk * p_done * density
+                        d = (chunk * b_coeff + out * rc) * tu * ws
+                    else:
+                        chunk = p_pend if p_pend <= p_cap else p_cap
+                        p_pend -= chunk
+                        if p_pend < EPS:
+                            p_pend = 0.0
+                        out = chunk * b_done * density
+                        d = (chunk * p_coeff + out * rc) * tu * ws
+                    s = now if now >= busy else busy
+                    e_t = s + d
+                    if cur_l == name and -1e-12 < s - cur_e < 1e-12:
+                        pass
+                    else:
+                        if cur_l is not None:
+                            intervals.append((cur_s, cur_e, cur_l))
+                        cur_s = s
+                        cur_l = name
+                    now = e_t
+                    ncomp += 1
+                    if on_build:
+                        b_done += chunk
+                    else:
+                        p_done += chunk
+                    if out > 0.0:
+                        out_total += out
+                        if pipe_out:
+                            emissions.append(
+                                (now + latency, now, porder, len(emissions) - rank0, side, out, 0)
+                            )
+                    while True:
+                        if b_pend > EPS:
+                            if p_pend > EPS:
+                                pb = b_done / b_total if b_total > 0 else 1.0
+                                pp = p_done / p_total if p_total > 0 else 1.0
+                                on_build = pb <= pp
+                            else:
+                                on_build = True
+                        elif p_pend > EPS:
+                            on_build = False
+                        else:
+                            break
+                        if on_build:
+                            chunk = b_pend if b_pend <= b_cap else b_cap
+                            b_pend -= chunk
+                            if b_pend < EPS:
+                                b_pend = 0.0
+                            out = chunk * p_done * density
+                            now = now + (chunk * b_coeff + out * rc) * tu * ws
+                            b_done += chunk
+                        else:
+                            chunk = p_pend if p_pend <= p_cap else p_cap
+                            p_pend -= chunk
+                            if p_pend < EPS:
+                                p_pend = 0.0
+                            out = chunk * b_done * density
+                            now = now + (chunk * p_coeff + out * rc) * tu * ws
+                            p_done += chunk
+                        ncomp += 1
+                        if out > 0.0:
+                            out_total += out
+                            if pipe_out:
+                                emissions.append(
+                                (now + latency, now, porder, len(emissions) - rank0, side, out, 0)
+                            )
+                    busy = now
+                    cur_e = now
+            else:
+                while True:
+                    if b_pend > EPS:
+                        if p_pend > EPS:
+                            pb = b_done / b_total if b_total > 0 else 1.0
+                            pp = p_done / p_total if p_total > 0 else 1.0
+                            on_build = pb <= pp
+                        else:
+                            on_build = True
+                    elif p_pend > EPS:
+                        on_build = False
+                    else:
+                        break
+                    if on_build:
+                        chunk = b_pend if b_pend <= b_cap else b_cap
+                        b_pend -= chunk
+                        if b_pend < EPS:
+                            b_pend = 0.0
+                        out = chunk * p_done * density
+                        d = (chunk * b_coeff + out * rc) * tu * ws
+                    else:
+                        chunk = p_pend if p_pend <= p_cap else p_cap
+                        p_pend -= chunk
+                        if p_pend < EPS:
+                            p_pend = 0.0
+                        out = chunk * b_done * density
+                        d = (chunk * p_coeff + out * rc) * tu * ws
+                    s = now if now >= busy else busy
+                    e_t = s + d
+                    busy = e_t
+                    if d > 0.0:
+                        if cur_l == name and -1e-12 < s - cur_e < 1e-12:
+                            cur_e = e_t
+                        else:
+                            if cur_l is not None:
+                                intervals.append((cur_s, cur_e, cur_l))
+                            cur_s = s
+                            cur_e = e_t
+                            cur_l = name
+                    now = e_t
+                    ncomp += 1
+                    if on_build:
+                        b_done += chunk
+                    else:
+                        p_done += chunk
+                    if out > 0.0:
+                        out_total += out
+                        if pipe_out:
+                            emissions.append(
+                                (now + latency, now, porder, len(emissions) - rank0, side, out, 0)
+                            )
+            # Drained: pay a materialized output's send-setup
+            # handshakes, then report completion.
+            if has_close and close_d > 0.0:
+                s = now if now >= busy else busy
+                e_t = s + close_d
+                busy = e_t
+                if cur_l == hs_label and -1e-12 < s - cur_e < 1e-12:
+                    cur_e = e_t
+                else:
+                    if cur_l is not None:
+                        intervals.append((cur_s, cur_e, cur_l))
+                    cur_s = s
+                    cur_e = e_t
+                    cur_l = hs_label
+                now = e_t
+                ncomp += 1
+            done_time = now
+            break
+
+        # Select the next CPU chunk (algorithm hook, inlined).
+        have = False
+        if simple:
+            if not (b_closed and b_pend <= EPS):
+                chunk = b_pend if b_pend <= b_cap else b_cap
+                b_pend -= chunk
+                if b_pend < EPS:
+                    b_pend = 0.0
+                if chunk > 0.0:
+                    have = True
+                    on_build = True
+                    out = 0.0
+                    d = (chunk * b_coeff + out * rc) * tu * ws
+            else:
+                chunk = p_pend if p_pend <= p_cap else p_cap
+                p_pend -= chunk
+                if p_pend < EPS:
+                    p_pend = 0.0
+                if chunk > 0.0:
+                    have = True
+                    on_build = False
+                    out = chunk * rl / p_total if out_ok else 0.0
+                    d = (chunk * p_coeff + out * rc) * tu * ws
+        else:
+            if b_pend > EPS:
+                if p_pend > EPS:
+                    pb = b_done / b_total if b_total > 0 else 1.0
+                    pp = p_done / p_total if p_total > 0 else 1.0
+                    on_build = pb <= pp
+                else:
+                    on_build = True
+                have = True
+            elif p_pend > EPS:
+                on_build = False
+                have = True
+            if have:
+                if on_build:
+                    chunk = b_pend if b_pend <= b_cap else b_cap
+                    b_pend -= chunk
+                    if b_pend < EPS:
+                        b_pend = 0.0
+                    out = chunk * p_done * density
+                    d = (chunk * b_coeff + out * rc) * tu * ws
+                else:
+                    chunk = p_pend if p_pend <= p_cap else p_cap
+                    p_pend -= chunk
+                    if p_pend < EPS:
+                        p_pend = 0.0
+                    out = chunk * b_done * density
+                    d = (chunk * p_coeff + out * rc) * tu * ws
+
+        if have:
+            s = now if now >= busy else busy
+            e_t = s + d
+            busy = e_t
+            if d > 0.0:
+                if cur_l == name and -1e-12 < s - cur_e < 1e-12:
+                    cur_e = e_t
+                else:
+                    if cur_l is not None:
+                        intervals.append((cur_s, cur_e, cur_l))
+                    cur_s = s
+                    cur_e = e_t
+                    cur_l = name
+            free_end = e_t
+            push_t = now
+            in_chunk = True
+            completing = True
+            continue
+
+        # No chunk and not finishable (a drained process is caught by
+        # the pure-drain branch above): wait for the next arrival.
+        if ei >= en:
+            raise RuntimeError(
+                f"turbo simulation starved in {name}: operands not drained "
+                "and no arrivals remain; schedule wiring bug"
+            )
+        ent = entries[ei]
+        ei += 1
+        next_at = entries[ei][0] if ei < en else _INF
+        now = ent[0]
+        c = ent[5] * share
+        if ent[4] == bflag:
+            b_pend += c
+            k = ent[6]
+            if k:
+                b_eos += k
+                if b_eos >= b_exp:
+                    b_closed = True
+        else:
+            p_pend += c
+            k = ent[6]
+            if k:
+                p_eos += k
+                if p_eos >= p_exp:
+                    p_closed = True
+
+    if cur_l is not None:
+        intervals.append((cur_s, cur_e, cur_l))
+    processor.busy_until = busy
+
+    # first_arrival: base fragments arrive at process start; streamed
+    # sides saw their first positive batch at the precomputed task-wide
+    # time (a zero share never registers an arrival, matching receive()).
+    if b_base:
+        b_first = t_start if b_total > 0 else None
+    else:
+        b_first = first_pos[bflag] if share > 0.0 else None
+    if p_base:
+        p_first = t_start if p_total > 0 else None
+    else:
+        p_first = first_pos[1 - bflag] if share > 0.0 else None
+
+    b_port.pending = b_pend
+    b_port.processed = b_done
+    b_port.eos_received = b_eos
+    b_port.first_arrival = b_first
+    p_port.pending = p_pend
+    p_port.processed = p_done
+    p_port.eos_received = p_eos
+    p_port.first_arrival = p_first
+    proc.ready = True
+    proc.released = True
+    proc.started = True
+    proc.cpu_busy = False
+    proc.closing = True
+    proc.done = True
+    proc.start_time = t_start
+    proc.done_time = done_time
+    proc.out_total = out_total
+    return done_time, ncomp, len(emissions) - rank0
+
+
+def execute(sim) -> bool:
+    """Analytically simulate ``sim`` if eligible.  Returns ``True`` on
+    success (the simulation is complete, results identical to the
+    event loop's); ``False`` declines without touching any state."""
+    order = _eligible(sim)
+    if order is None:
+        return False
+
+    config = sim.config
+    latency = config.network_latency
+    startup = config.process_startup
+    start_at = sim.start_at
+    runtimes = sim.runtimes
+    pos_of = {rt.task.index: i for i, rt in enumerate(runtimes)}
+
+    # Global init order: the scheduler claims processes serially.
+    porder_of = {}
+    init_of = {}
+    seq = 0
+    for ti, rt in enumerate(runtimes):
+        for pi in range(len(rt.processes)):
+            seq += 1
+            porder_of[(ti, pi)] = seq
+            init_of[(ti, pi)] = start_at + seq * startup
+
+    nevents = 0
+    released: List[Optional[float]] = []
+    for rt in runtimes:
+        if rt.remaining_deps == 0:
+            released.append(start_at)
+            nevents += 1  # the release event at query start
+        else:
+            released.append(None)
+
+    # Which input side of its (single) consumer each task feeds;
+    # producers decorate their emissions with it up front so the
+    # consumer's timeline needs no per-entry rewriting.
+    consumer_side = [0] * len(runtimes)
+    for rt in runtimes:
+        for sidx, spec in ((0, rt.task.left_input), (1, rt.task.right_input)):
+            if not spec.is_base:
+                consumer_side[pos_of[spec.source]] = sidx
+
+    emissions_of: List[List[tuple]] = [[] for _ in runtimes]
+    transferred = 0.0
+    finished_at = 0.0
+
+    for ti in order:
+        rt = runtimes[ti]
+        rel = released[ti]
+        if rel is None:  # pragma: no cover - excluded by _topo_order
+            raise RuntimeError(f"turbo: task {rt.task.index} never released")
+        rt.released_at = rel
+
+        # The task-wide arrival timeline, in classic heap order.
+        lspec = rt.task.left_input
+        rspec = rt.task.right_input
+        if not lspec.is_base:
+            entries = emissions_of[pos_of[lspec.source]]
+            if not rspec.is_base:
+                entries = entries + emissions_of[pos_of[rspec.source]]
+        elif not rspec.is_base:
+            entries = emissions_of[pos_of[rspec.source]]
+        else:
+            entries = []
+        entries.sort()
+        fp0: Optional[float] = None
+        fp1: Optional[float] = None
+        for ent in entries:
+            if ent[5] > 0.0:
+                if ent[4]:
+                    if fp1 is None:
+                        fp1 = ent[0]
+                        if fp0 is not None:
+                            break
+                elif fp0 is None:
+                    fp0 = ent[0]
+                    if fp1 is not None:
+                        break
+        first_pos = (fp0, fp1)
+
+        shares = rt.shares
+        out_side = consumer_side[ti]
+        pipe_flag = rt.output_group is not None and rt.output_pipelined
+        task_emissions: List[tuple] = []
+        procs = rt.processes
+        nprocs = len(procs)
+
+        # Sibling replication: a barrier-released task with uniform
+        # shares starts every process at the same instant (the release
+        # dominates all init times), and a processor's prior busy time
+        # never reaches past its task's completion — so every sibling
+        # replays the identical float chain.  Simulate one and copy.
+        shared = False
+        if nprocs > 1:
+            s0 = shares[0]
+            if rel >= init_of[(ti, nprocs - 1)] and all(
+                sh == s0 for sh in shares
+            ):
+                shared = all(p.processor.busy_until <= rel for p in procs)
+        if shared:
+            proc0 = procs[0]
+            processor0 = proc0.processor
+            imark = len(processor0.intervals)
+            porder0 = porder_of[(ti, 0)]
+            done_t, ncomp, nemit = _run_process(
+                proc0,
+                entries,
+                shares[0],
+                rel,
+                task_emissions,
+                first_pos,
+                latency,
+                porder0,
+                out_side,
+            )
+            data_slice = task_emissions[len(task_emissions) - nemit :]
+            spans = processor0.intervals[imark:]
+            busy_final = processor0.busy_until
+            nevents += 1 + ncomp
+            if pipe_flag:
+                task_emissions.append(
+                    (done_t + latency, done_t, porder0, nemit, out_side, 0.0, 1)
+                )
+                nevents += nemit + 1
+                transferred += proc0.out_total
+            left0 = proc0.left
+            right0 = proc0.right
+            for pi in range(1, nprocs):
+                proc = procs[pi]
+                porder = porder_of[(ti, pi)]
+                processor = proc.processor
+                processor.intervals.extend(spans)
+                processor.busy_until = busy_final
+                for dst, src in ((proc.left, left0), (proc.right, right0)):
+                    dst.pending = src.pending
+                    dst.processed = src.processed
+                    dst.eos_received = src.eos_received
+                    dst.first_arrival = src.first_arrival
+                proc.ready = True
+                proc.released = True
+                proc.started = True
+                proc.cpu_busy = False
+                proc.closing = True
+                proc.done = True
+                proc.start_time = rel
+                proc.done_time = done_t
+                proc.out_total = proc0.out_total
+                nevents += 1 + ncomp
+                if pipe_flag:
+                    task_emissions += [
+                        (a, e, porder, r, sd, c, z)
+                        for (a, e, _, r, sd, c, z) in data_slice
+                    ]
+                    task_emissions.append(
+                        (done_t + latency, done_t, porder, nemit, out_side, 0.0, 1)
+                    )
+                    nevents += nemit + 1
+                    transferred += proc0.out_total
+        else:
+            for pi, proc in enumerate(procs):
+                init_t = init_of[(ti, pi)]
+                t_start = init_t if init_t >= rel else rel
+                porder = porder_of[(ti, pi)]
+                done_t, ncomp, nemit = _run_process(
+                    proc,
+                    entries,
+                    shares[pi],
+                    t_start,
+                    task_emissions,
+                    first_pos,
+                    latency,
+                    porder,
+                    out_side,
+                )
+                nevents += 1 + ncomp  # init_ready + hs/chunk completions
+                if pipe_flag:
+                    task_emissions.append(
+                        (done_t + latency, done_t, porder, nemit, out_side, 0.0, 1)
+                    )
+                    nevents += nemit + 1  # batch arrivals + EOS arrival
+                    transferred += proc.out_total
+        rt.done_processes = nprocs
+
+        completion = max(p.done_time for p in rt.processes)
+        rt.completion = completion
+        if completion > finished_at:
+            finished_at = completion
+        if rt.output_group is not None and not rt.output_pipelined:
+            total = sum(p.out_total for p in rt.processes)
+            porder = porder_of[(ti, len(rt.processes) - 1)]
+            task_emissions.append(
+                (
+                    completion + latency,
+                    completion,
+                    porder,
+                    _STORE_RANK,
+                    out_side,
+                    total,
+                    len(rt.processes),
+                )
+            )
+            transferred += total
+            nevents += 1  # the stored-result arrival
+        emissions_of[ti] = task_emissions
+
+        for dependent in rt.dependents:
+            dpos = pos_of[dependent.task.index]
+            prev = released[dpos]
+            if prev is None or completion > prev:
+                released[dpos] = completion
+        rt.remaining_deps = 0
+
+    sim.network.transferred += transferred
+    sim._completed_tasks = len(runtimes)
+    sim.finished_at = finished_at
+    clock = sim.clock
+    clock.now = finished_at
+    clock.events_dispatched += nevents
+    # The build-time init/release events were simulated analytically,
+    # never popped; drop them so pending() reflects reality.
+    clock._queue.clear()
+    return True

@@ -151,20 +151,17 @@ class TestArgumentPolicing:
 
 
 class TestTimeout:
-    """``timeout`` is honored where it can be and warned about where
-    it can't — never silently ignored (regression: it used to be
-    accepted and dropped by every backend but 'threaded').  Old
-    callers that passed the pre-facade default (timeout=60.0) keep
-    working for now; the warning says it will become an error."""
+    """``timeout`` is honored where it can be and an error where it
+    can't — never silently ignored.  The v1 freeze graduated the
+    one-release DeprecationWarning into a hard ValueError."""
 
     @pytest.mark.parametrize("backend", ["sim", "ideal", "local"])
-    def test_non_threaded_backends_warn_on_timeout(self, backend):
-        with pytest.warns(DeprecationWarning, match="threaded"):
-            result = api.run(
+    def test_non_threaded_backends_reject_timeout(self, backend):
+        with pytest.raises(ValueError, match="threaded"):
+            api.run(
                 "wide_bushy", "SE", 4, backend,
                 cardinality=100, timeout=5.0,
             )
-        assert result is not None
 
     def test_timeout_must_be_positive(self):
         with pytest.raises(ValueError, match="positive"):
@@ -173,28 +170,24 @@ class TestTimeout:
                 cardinality=100, timeout=0.0,
             )
 
-    def test_warned_timeout_is_dropped_not_applied(self):
-        """On a non-threaded backend the warned-about timeout is
-        discarded entirely: the result is identical to a run that never
-        passed one (regression guard for the warn-then-ignore path)."""
-        plain = api.run("wide_bushy", "SE", 12, "sim", cardinality=200)
-        with pytest.warns(DeprecationWarning, match="threaded"):
-            timed = api.run(
+    def test_rejection_message_points_at_deadline(self):
+        """The error teaches the migration: simulated-time bounds are
+        spelled ``deadline`` on the simulating backends."""
+        with pytest.raises(ValueError, match="deadline"):
+            api.run(
                 "wide_bushy", "SE", 12, "sim",
                 cardinality=200, timeout=1e-9,
             )
-        assert timed == plain
 
-    def test_non_threaded_warns_before_validating(self):
-        """A nonsensical timeout on a non-threaded backend still takes
-        the warn-and-drop path — it must not raise the threaded
-        backend's positivity error."""
-        with pytest.warns(DeprecationWarning, match="threaded"):
-            result = api.run(
+    def test_non_threaded_rejects_before_positivity_check(self):
+        """A nonsensical timeout on a non-threaded backend fails with
+        the backend-applicability error, not the threaded backend's
+        positivity error."""
+        with pytest.raises(ValueError, match="threaded"):
+            api.run(
                 "wide_bushy", "SE", 12, "sim",
                 cardinality=200, timeout=-5.0,
             )
-        assert result is not None
 
     def test_threaded_receives_the_bound(self, monkeypatch):
         """The value reaches the executor verbatim (it used to be
@@ -230,29 +223,33 @@ class TestTimeout:
         assert seen["timeout"] == 60.0
 
 
-class TestDeprecatedAliases:
-    """The old repro.engine names still work, but say so."""
+class TestRemovedAliases:
+    """The old repro.engine names are frozen out: importable (so the
+    error can teach the migration) but calling them raises."""
 
-    def test_simulate_strategy_warns(self, fast_config):
+    @pytest.mark.parametrize(
+        "name",
+        ["simulate_strategy", "execute_schedule",
+         "execute_threaded", "ideal_simulation"],
+    )
+    def test_every_alias_raises_pointing_at_the_facade(self, name):
         import repro.engine as engine
 
-        tree = make_shape("wide_bushy", NAMES10)
-        catalog = Catalog.regular(NAMES10, 2000)
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            legacy = engine.simulate_strategy(
-                tree, catalog, "SE", 20, config=fast_config
+        with pytest.raises(RuntimeError, match=r"repro\.api\.run"):
+            getattr(engine, name)()
+
+    def test_error_names_the_engine_submodule_escape_hatch(self):
+        import repro.engine as engine
+
+        with pytest.raises(RuntimeError, match="repro.engine.simulate"):
+            engine.simulate_strategy(
+                make_shape("wide_bushy", NAMES10),
+                Catalog.regular(NAMES10, 2000),
+                "SE",
+                20,
             )
-        assert legacy.summary() == api.run(
-            tree, "SE", 20, catalog=catalog, config=fast_config
-        ).summary()
 
-    def test_ideal_simulation_warns(self):
-        import repro.engine as engine
-
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            engine.ideal_simulation(example_tree(), "SP", 10)
-
-    def test_undecorated_implementations_do_not_warn(self, recwarn):
+    def test_undecorated_implementations_still_run(self, recwarn):
         simulate_strategy(
             make_shape("left_linear", NAMES10),
             Catalog.regular(NAMES10, 1000),
@@ -268,3 +265,36 @@ class TestDeprecatedAliases:
 
         assert repro.run is api.run
         assert repro.sweep is api.sweep
+
+
+class TestFrozenKeywordSurface:
+    """Unknown keywords fail with the full accepted-key list (shared
+    validation helper of the v1 freeze)."""
+
+    def test_run_rejects_unknown_keyword_with_accepted_list(self):
+        with pytest.raises(TypeError, match="accepted keywords.*deadline"):
+            api.run("wide_bushy", "SE", 4, cardinality=100, timeot=5.0)
+
+    def test_run_workload_rejects_unknown_keyword_with_accepted_list(self):
+        with pytest.raises(TypeError, match="accepted keywords.*watchdog_limit"):
+            api.run_workload("wide_bushy", ratee=2.0)
+
+    def test_error_names_every_offender(self):
+        with pytest.raises(TypeError, match="bogus.*wrong"):
+            api.run("wide_bushy", "SE", 4, bogus=1, wrong=2)
+
+    def test_frozen_tuples_match_the_signatures(self):
+        import inspect
+
+        run_kw = [
+            p.name
+            for p in inspect.signature(api.run).parameters.values()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        ]
+        assert run_kw == list(api.RUN_KEYWORDS)
+        wl_kw = [
+            p.name
+            for p in inspect.signature(api.run_workload).parameters.values()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        ]
+        assert wl_kw == list(api.RUN_WORKLOAD_KEYWORDS)

@@ -1,0 +1,98 @@
+"""Regenerate the golden-equivalence fixtures.
+
+The fixtures in this directory were produced by the *pre-batching*
+simulator (the PR-5 seed) and pin its exact observable behaviour:
+JSONL rows byte for byte, including response times, utilization and
+logical event counts.  The batched/coalesced event core must reproduce
+them unchanged — batching is an internal representation change, not a
+semantics change.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate_fixtures.py
+
+Regenerating on purpose (after a *deliberate, documented* semantics
+change) rewrites the files; tests/sim/test_golden_identity.py then
+pins the new behaviour.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def sweep_spec():
+    """The pinned runner grid: every strategy, mixed processor counts,
+    a skewed point, and a second shape for structural breadth."""
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        shapes=("wide_bushy", "left_linear"),
+        strategies=("SP", "SE", "RD", "FP"),
+        processors=(20, 40),
+        cardinalities=(2_000,),
+        skew_thetas=(0.0, 0.7),
+    )
+
+
+def sweep_rows():
+    from repro.runner import run_sweep
+
+    run = run_sweep(sweep_spec(), workers=1, cache=False)
+    return run.rows()
+
+
+def workload_open():
+    """Open-loop poisson traffic, exclusive allocation (the fused path)."""
+    from repro import api
+
+    return api.run_workload(
+        "wide_bushy",
+        arrivals="poisson",
+        rate=0.4,
+        duration=40.0,
+        seed=7,
+        machine_size=40,
+        policy="exclusive",
+        strategy="FP",
+        cardinality=2_000,
+    )
+
+
+def workload_closed():
+    """Closed-loop traffic on a *shared* allocation policy plus a
+    deadline — paths on which event coalescing must stand down."""
+    from repro import api
+
+    return api.run_workload(
+        "paper",
+        arrivals="closed",
+        clients=3,
+        think_time=5.0,
+        queries_per_client=4,
+        duration=500.0,
+        seed=11,
+        machine_size=40,
+        policy="round_robin",
+        share=16,
+        strategy="SE",
+        cardinality=1_000,
+        deadline=400.0,
+    )
+
+
+def main() -> None:
+    from repro.runner.results import write_jsonl
+
+    write_jsonl(HERE / "runner_sweep.jsonl", sweep_rows())
+    workload_open().write_jsonl(HERE / "workload_open.jsonl")
+    workload_closed().write_jsonl(HERE / "workload_closed.jsonl")
+    for name in ("runner_sweep", "workload_open", "workload_closed"):
+        path = HERE / f"{name}.jsonl"
+        print(f"{path.name}: {len(path.read_bytes())} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Golden-equivalence: the fast paths reproduce the seed byte for byte.
+
+The fixtures under ``tests/golden/`` were emitted by the pre-fast-path
+simulator (before the analytic engine of :mod:`repro.sim.turbo` and
+the tightened event loop existed).  These tests re-run the same three
+workloads — the pinned runner sweep, open-loop and closed-loop shared
+workloads — and require the JSONL output to be *byte-identical*: same
+response times (every float digit), same logical event counts, same
+row order.  Performance work is only allowed to change how fast the
+answer appears, never the answer.
+
+Regenerate deliberately with ``tests/golden/generate_fixtures.py``
+after a documented semantics change.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def generators():
+    """The fixture-generator module, loaded from its file."""
+    spec = importlib.util.spec_from_file_location(
+        "golden_fixture_generators", GOLDEN_DIR / "generate_fixtures.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def fixture_bytes(name: str) -> bytes:
+    path = GOLDEN_DIR / f"{name}.jsonl"
+    data = path.read_bytes()
+    assert data, f"golden fixture {path} is missing or empty"
+    return data
+
+
+def test_runner_sweep_identical(generators, tmp_path):
+    from repro.runner.results import write_jsonl
+
+    out = tmp_path / "runner_sweep.jsonl"
+    write_jsonl(out, generators.sweep_rows())
+    assert out.read_bytes() == fixture_bytes("runner_sweep")
+
+
+def test_workload_open_identical(generators, tmp_path):
+    out = tmp_path / "workload_open.jsonl"
+    generators.workload_open().write_jsonl(out)
+    assert out.read_bytes() == fixture_bytes("workload_open")
+
+
+def test_workload_closed_identical(generators, tmp_path):
+    out = tmp_path / "workload_closed.jsonl"
+    generators.workload_closed().write_jsonl(out)
+    assert out.read_bytes() == fixture_bytes("workload_closed")

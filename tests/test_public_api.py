@@ -41,7 +41,8 @@ def test_all_names_resolve(module_name):
 
 
 def test_engine_all_names_resolve():
-    """repro.engine exports (including the deprecated aliases)."""
+    """repro.engine exports (including the removed aliases, which stay
+    importable so the error can teach the migration)."""
     import repro.engine as engine
 
     for name in engine.__all__:
@@ -49,8 +50,9 @@ def test_engine_all_names_resolve():
 
 
 def test_facade_signature_snapshot():
-    """The one signature everything depends on.  Update this snapshot
-    only together with a deliberate, documented API change."""
+    """The one signature everything depends on — frozen as the v1
+    surface.  Update this snapshot only together with a deliberate,
+    documented API change."""
     from repro import api
 
     assert str(inspect.signature(api.run)) == (
@@ -63,8 +65,25 @@ def test_facade_signature_snapshot():
         "skew_theta: 'float' = 0.0, cardinality: 'int' = 5000, "
         "relations=None, resolve=None, "
         "timeout: 'Optional[float]' = None, faults=None, "
-        "deadline: 'Optional[float]' = None)"
+        "deadline: 'Optional[float]' = None, **unknown)"
     )
+
+
+def test_frozen_keyword_tuples_are_the_signature():
+    """RUN_KEYWORDS / RUN_WORKLOAD_KEYWORDS are the documented freeze;
+    they must list exactly the keyword-only parameters, in order."""
+    from repro import api
+
+    for func, frozen in (
+        (api.run, api.RUN_KEYWORDS),
+        (api.run_workload, api.RUN_WORKLOAD_KEYWORDS),
+    ):
+        keyword_only = [
+            p.name
+            for p in inspect.signature(func).parameters.values()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        ]
+        assert keyword_only == list(frozen)
 
 
 def test_facade_backends_are_stable():
