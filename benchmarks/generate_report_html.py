@@ -5,8 +5,8 @@ writes ``benchmarks/results/report.html``: the Figure 14 table, SVG
 line charts for Figures 9-13 with per-panel claim checklists, SVG
 Gantt charts for the idealized Figures 3/4/6/7, and the beyond-paper
 multi-query workload saturation curve, fault-injection resilience
-section, and goodput-under-overload (deadlines + load shedding)
-section.
+section, goodput-under-overload (deadlines + load shedding) section,
+and the multi-tenant scheduler fairness section.
 
     python benchmarks/generate_report_html.py
 """
@@ -25,6 +25,7 @@ from repro.workload import (
     ExclusivePolicy,
     QueryMix,
     WorkloadEngine,
+    fairness_sweep,
     open_loop_curve,
     overload_sweep,
 )
@@ -82,6 +83,21 @@ def overload_points():
     )
 
 
+def fairness_report_points():
+    return fairness_sweep(
+        schedulers=("fifo", "wfq"),
+        abuse_factors=(1.0, 2.0, 3.0),
+        good_rate=0.15,
+        deadline=30.0,
+        duration=120.0,
+        machine_size=40,
+        seed=7,
+        strategy="FP",
+        cardinality=1_000,
+        config=FAST,
+    )
+
+
 def main() -> None:
     sweeps = all_sweeps()
     diagrams = {
@@ -93,7 +109,7 @@ def main() -> None:
     out.write_text(
         render_report(
             sweeps, diagrams, workload_points(), resilience_points(),
-            overload_points(),
+            overload_points(), fairness_report_points(),
         )
     )
     print(f"wrote {out}")

@@ -56,6 +56,9 @@ RUN_KEYWORDS = (
 )
 
 #: The frozen (v1) keyword-only surface of :func:`run_workload`.
+#: Extended additively post-freeze by the scheduling/multi-tenancy
+#: keywords (``scheduler``/``pool_size``/``scheduling_cost``/
+#: ``tenants``) — existing call sites are untouched.
 RUN_WORKLOAD_KEYWORDS = (
     "arrivals", "rate", "duration", "seed", "machine_size", "policy",
     "share", "strategy", "cardinality", "relations", "clients",
@@ -63,7 +66,8 @@ RUN_WORKLOAD_KEYWORDS = (
     "memory_budget_bytes", "config", "cost_model", "skew_theta",
     "faults", "recovery", "max_retries", "retry_backoff",
     "rejected_retry_delay", "deadline", "shed", "cancellations",
-    "watchdog_limit",
+    "watchdog_limit", "scheduler", "pool_size", "scheduling_cost",
+    "tenants",
 )
 
 
@@ -300,6 +304,10 @@ def run_workload(
     shed=None,
     cancellations=None,
     watchdog_limit: Optional[int] = DEFAULT_MAX_EVENTS_PER_INSTANT,
+    scheduler=None,
+    pool_size: Optional[int] = None,
+    scheduling_cost: float = 0.0,
+    tenants=None,
     **unknown,
 ):
     """Serve a stream of queries on one shared simulated machine.
@@ -343,6 +351,25 @@ def run_workload(
     ``watchdog_limit``
         Livelock-watchdog trip threshold (events at one simulated
         instant); ``None`` disables the watchdog.
+    ``scheduler`` / ``pool_size`` / ``scheduling_cost``
+        Queue-ordering policy: ``None`` keeps the legacy FIFO deque
+        (bit-for-bit), a name from
+        :data:`repro.workload.SCHEDULER_NAMES` (``"fifo"`` / ``"edf"``
+        / ``"sjf"`` / ``"priority"`` / ``"wfq"``) or a
+        :class:`~repro.workload.Scheduler` instance plugs the decision
+        in.  ``pool_size`` bounds the scheduler's visibility to the
+        first K queued queries; ``scheduling_cost`` charges each
+        admission decision on the simulated clock.
+    ``tenants``
+        Per-tenant contracts — :class:`~repro.workload.TenantSpec`
+        instances, payload dicts, or a ``{"tenants": [...]}`` JSON
+        document (every form :func:`repro.workload.make_tenants`
+        accepts).  Tenants with a ``rate`` get their own seeded
+        open-loop arrival stream (specs tagged with the tenant name,
+        streams merged in time order); the per-tenant weights,
+        priorities, default deadlines, and queue/concurrency caps
+        apply either way.  The result then carries per-tenant metrics
+        (``tenant_summary()``, ``latency_stats(tenant=...)``).
 
     Returns a :class:`~repro.workload.WorkloadResult`; its
     ``write_jsonl`` emits one deterministic row per query.
@@ -355,6 +382,7 @@ def run_workload(
         WorkloadEngine,
         make_arrivals,
         make_policy,
+        make_tenants,
         sample_specs,
     )
 
@@ -370,6 +398,7 @@ def run_workload(
         mix = QueryMix.single(
             QuerySpec(mix_or_shape, cardinality, strategy, relations)
         )
+    tenant_map = make_tenants(tenants)
     engine = WorkloadEngine(
         machine_size,
         make_policy(policy, share),
@@ -392,6 +421,10 @@ def run_workload(
         deadline_seed=seed,
         shed=shed,
         watchdog_limit=watchdog_limit,
+        scheduler=scheduler,
+        pool_size=pool_size,
+        scheduling_cost=scheduling_cost,
+        tenants=tenant_map,
     )
     for when, index in cancellations or ():
         engine.cancel_at(when, index)
@@ -404,6 +437,31 @@ def run_workload(
             duration=duration,
             seed=seed,
         )
+    rated = [
+        (name, spec) for name, spec in sorted(tenant_map.items())
+        if spec.rate is not None
+    ]
+    if rated:
+        # One seeded stream per rated tenant, specs tagged with the
+        # tenant name, merged in (time, tenant) order — deterministic
+        # regardless of tenant count, and each tenant's own stream is
+        # unchanged by the others' rates (isolation sweeps vary one
+        # tenant's load without perturbing the rest).
+        from dataclasses import replace as _replace
+
+        pairs = []
+        for position, (name, tenant) in enumerate(rated):
+            tenant_seed = seed + 1_000_003 * (position + 1)
+            times = make_arrivals(
+                arrivals, tenant.rate, duration, tenant_seed
+            )
+            specs = sample_specs(mix, len(times), tenant_seed)
+            pairs.extend(
+                (time, _replace(spec, tenant=name))
+                for time, spec in zip(times, specs)
+            )
+        pairs.sort(key=lambda pair: (pair[0], pair[1].tenant))
+        return engine.run_open(pairs)
     times = make_arrivals(arrivals, rate, duration, seed)
     specs = sample_specs(mix, len(times), seed)
     return engine.run_open(list(zip(times, specs)))

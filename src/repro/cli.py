@@ -200,8 +200,13 @@ def _cmd_optimize(args) -> int:
 
 
 def _cmd_workload(args) -> int:
+    import json
+
     from .api import run_workload
 
+    tenants = None
+    if args.tenants is not None:
+        tenants = json.loads(pathlib.Path(args.tenants).read_text())
     faults = None
     if args.crash_rate > 0:
         from .faults import FaultSchedule
@@ -239,6 +244,10 @@ def _cmd_workload(args) -> int:
         recovery=args.recovery,
         deadline=args.deadline,
         shed=args.shed,
+        scheduler=args.scheduler,
+        pool_size=args.pool_size,
+        scheduling_cost=args.scheduling_cost,
+        tenants=tenants,
     )
     jsonl_path = args.jsonl
     if jsonl_path is None:
@@ -441,6 +450,20 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["drop_newest", "drop_oldest", "deadline_aware"],
                    default=None,
                    help="load-shedding policy at admission")
+    p.add_argument("--scheduler",
+                   choices=["fifo", "edf", "sjf", "priority", "wfq"],
+                   default=None,
+                   help="queue-ordering policy (default: the legacy "
+                        "FIFO deque; 'fifo' is its byte-identical alias)")
+    p.add_argument("--pool-size", type=int, default=None,
+                   help="scheduler visibility pool: examine only the "
+                        "first K queued queries per decision")
+    p.add_argument("--scheduling-cost", type=float, default=0.0,
+                   help="simulated seconds charged per admission decision")
+    p.add_argument("--tenants", default=None, metavar="SPEC_JSON",
+                   help="path to a tenant spec file: "
+                        '{"tenants": [{"name": ..., "weight": ..., '
+                        '"rate": ...}, ...]}')
     p.add_argument("--jsonl", default=None,
                    help="per-query JSONL path "
                         "(default: workload_<shape>_<arrivals>.jsonl)")

@@ -2,6 +2,8 @@
 
 from .html import (
     claims_html,
+    fairness_chart,
+    fairness_html,
     figure14_html,
     overload_chart,
     overload_html,
@@ -21,6 +23,8 @@ __all__ = [
     "Series2D",
     "claims_html",
     "color_for",
+    "fairness_chart",
+    "fairness_html",
     "figure14_html",
     "overload_chart",
     "overload_html",

@@ -242,12 +242,65 @@ def overload_html(points: List) -> str:
     return "\n".join(parts)
 
 
+def fairness_chart(points: List, title: str) -> str:
+    """Goodput-share-versus-abuse panel from
+    :class:`~repro.workload.FairnessPoint` rows, one series per
+    (scheduler, tenant) pair."""
+    chart = LineChart(
+        title, x_label="abusive tenant load (× fair share)",
+        y_label="goodput share",
+    )
+    pairs = sorted({(p.scheduler, p.tenant) for p in points})
+    for scheduler, tenant in pairs:
+        series = sorted(
+            (p.abuse_factor, p.share)
+            for p in points
+            if p.scheduler == scheduler and p.tenant == tenant
+        )
+        chart.add_series(f"{scheduler}/{tenant}", series)
+    return chart.to_svg()
+
+
+def fairness_html(points: List) -> str:
+    """The multi-tenant fairness section: goodput-share chart + per-cell
+    tenant table (beyond the paper: pluggable schedulers with
+    weighted fair queueing)."""
+    schedulers = sorted({p.scheduler for p in points})
+    parts = [
+        "<h2>Beyond the paper — multi-tenant fairness under abuse</h2>",
+        "<p>Two tenants share the machine: one well-behaved, one "
+        "ramping past its fair arrival rate. Under FIFO the abusive "
+        "tenant's queue depth starves the other; weighted fair "
+        "queueing keeps the well-behaved tenant's goodput near its "
+        f"solo baseline (schedulers compared: "
+        f"{', '.join(escape(s) for s in schedulers)}).</p>",
+        "<figure>",
+        fairness_chart(points, "Goodput share versus abusive load"),
+        "</figure>",
+        "<table><tr><th>scheduler</th><th>abuse ×</th><th>tenant</th>"
+        "<th>offered</th><th>done</th><th>shed</th><th>goodput</th>"
+        "<th>share</th><th>p95</th></tr>",
+    ]
+    for p in points:
+        p95 = "n/a" if p.p95_latency is None else f"{p.p95_latency:.2f}s"
+        parts.append(
+            f"<tr><td>{escape(p.scheduler)}</td><td>{p.abuse_factor:g}</td>"
+            f"<td>{escape(p.tenant)}</td><td>{p.offered}</td>"
+            f"<td>{p.completed}</td><td>{p.shed}</td>"
+            f"<td>{p.goodput:.3f}</td><td>{p.share:.0%}</td>"
+            f"<td>{p95}</td></tr>"
+        )
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
 def render_report(
     sweeps: Dict[Tuple[str, str], SweepResult],
     diagrams: Optional[Dict[str, SimulationResult]] = None,
     workload_points: Optional[List] = None,
     resilience_points: Optional[List] = None,
     overload_points: Optional[List] = None,
+    fairness_points: Optional[List] = None,
 ) -> str:
     """The full HTML document."""
     parts = [
@@ -292,5 +345,7 @@ def render_report(
         parts.append(resilience_html(resilience_points))
     if overload_points:
         parts.append(overload_html(overload_points))
+    if fairness_points:
+        parts.append(fairness_html(fairness_points))
     parts.append("</body></html>")
     return "\n".join(parts)

@@ -25,7 +25,7 @@ from .results import (
     to_sweep_result,
     write_jsonl,
 )
-from .spec import CACHE_VERSION, Job, SweepSpec
+from .spec import CACHE_VERSION, Job, SweepSpec, WorkloadTraffic
 
 __all__ = [
     "CACHE_VERSION",
@@ -36,6 +36,7 @@ __all__ = [
     "ResultCache",
     "SweepRun",
     "SweepSpec",
+    "WorkloadTraffic",
     "default_cache_dir",
     "default_workers",
     "jsonl_line",

@@ -30,7 +30,7 @@ from ..core.strategies import get_strategy
 from ..sim.run import QueryAbortedError, simulate
 from .cache import ResultCache
 from .results import JobOutcome, SweepRun
-from .spec import Job, SweepSpec
+from .spec import Job, SweepSpec, WorkloadTraffic
 
 try:  # pragma: no cover - import location is version-dependent
     from concurrent.futures.process import BrokenProcessPool
@@ -63,6 +63,8 @@ def run_job(job: Job) -> Tuple[Dict, Dict]:
     module-level, picklable callable.
     """
     started = time.perf_counter()
+    if job.scheduler is not None:
+        return _run_workload_job(job, started)
     names = paper_relation_names(job.relations)
     tree = make_shape(job.shape, names)
     catalog = Catalog.regular(names, job.cardinality)
@@ -106,6 +108,61 @@ def run_job(job: Job) -> Tuple[Dict, Dict]:
             "stream_count": result.stream_count,
             "events": result.events,
             "result_tuples": result.result_tuples,
+        },
+    }
+    meta = {"elapsed": time.perf_counter() - started, "pid": os.getpid()}
+    return row, meta
+
+
+def _run_workload_job(job: Job, started: float) -> Tuple[Dict, Dict]:
+    """Run a scheduler-bearing cell as a whole workload.
+
+    ``job.processors`` is the shared machine size and ``job.workload``
+    (default :class:`WorkloadTraffic`) shapes the open-loop traffic;
+    the row's metrics summarize the workload instead of one query.
+    """
+    from ..api import run_workload
+
+    traffic = job.workload or WorkloadTraffic()
+    result = run_workload(
+        job.shape,
+        arrivals=traffic.arrivals,
+        rate=traffic.rate,
+        duration=traffic.duration,
+        seed=traffic.seed,
+        machine_size=job.processors,
+        policy=traffic.policy,
+        share=traffic.share,
+        strategy=job.strategy,
+        cardinality=job.cardinality,
+        relations=job.relations,
+        queue_limit=traffic.queue_limit,
+        shed=traffic.shed,
+        config=job.config,
+        cost_model=job.cost_model,
+        skew_theta=job.skew_theta,
+        faults=job.faults,
+        deadline=job.deadline,
+        scheduler=job.scheduler,
+        pool_size=traffic.pool_size,
+        scheduling_cost=traffic.scheduling_cost,
+    )
+    latency = result.latency_stats()
+    row = {
+        **job.payload(),
+        "metrics": {
+            "submitted": len(result.records),
+            "completed": len(result.completed()),
+            "rejected": result.rejected_count(),
+            "shed": result.shed_count(),
+            "expired": result.deadline_missed_count(),
+            "makespan": result.makespan,
+            "throughput": result.throughput(),
+            "goodput": result.goodput(),
+            "utilization": result.utilization(),
+            "latency_p50": latency["p50"],
+            "latency_p95": latency["p95"],
+            "scheduling_decisions": result.scheduling_decisions,
         },
     }
     meta = {"elapsed": time.perf_counter() - started, "pid": os.getpid()}

@@ -36,6 +36,37 @@ def _default_strategies() -> Tuple[str, ...]:
 
 
 @dataclass(frozen=True)
+class WorkloadTraffic:
+    """Traffic shape of a workload-mode sweep cell.
+
+    A job with a ``scheduler`` runs a whole workload
+    (:func:`repro.api.run_workload`) instead of one query; this frozen
+    block carries the traffic knobs that are not already sweep axes.
+    """
+
+    arrivals: str = "poisson"
+    rate: float = 0.05
+    duration: float = 120.0
+    seed: int = 0
+    policy: str = "exclusive"
+    share: Optional[int] = None
+    queue_limit: Optional[int] = None
+    shed: Optional[str] = None
+    pool_size: Optional[int] = None
+    scheduling_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.pool_size is not None and self.pool_size < 1:
+            raise ValueError("pool_size must be positive")
+        if self.scheduling_cost < 0:
+            raise ValueError("scheduling_cost must be non-negative")
+
+
+@dataclass(frozen=True)
 class Job:
     """One experiment point: everything needed to reproduce one cell."""
 
@@ -49,17 +80,36 @@ class Job:
     cost_model: CostModel = field(default_factory=CostModel)
     faults: Optional[FaultSchedule] = None
     deadline: Optional[float] = None
+    #: A scheduler name turns the cell into a *workload* point: the
+    #: executor runs :func:`repro.api.run_workload` with this queue
+    #: ordering (``processors`` becomes the machine size) instead of
+    #: one single-query simulation.
+    scheduler: Optional[str] = None
+    workload: Optional[WorkloadTraffic] = None
 
     def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive (simulated seconds)")
+        if self.scheduler is not None:
+            from ..workload.sched import SCHEDULER_NAMES
+
+            if self.scheduler not in SCHEDULER_NAMES:
+                raise ValueError(
+                    f"unknown scheduler {self.scheduler!r}; expected one "
+                    f"of {SCHEDULER_NAMES}"
+                )
+        if self.workload is not None and self.scheduler is None:
+            raise ValueError(
+                "workload traffic needs a scheduler (single-query cells "
+                "have no admission queue)"
+            )
 
     def payload(self) -> Dict:
         """The job's full configuration as plain JSON-able data.
 
-        The ``faults`` and ``deadline`` keys appear only when set, so
-        every pre-existing fault-free, deadline-free cache entry keeps
-        its content address.
+        The ``faults``, ``deadline``, ``scheduler``, and ``workload``
+        keys appear only when set, so every pre-existing cache entry
+        keeps its content address.
         """
         data = {
             "shape": self.shape,
@@ -75,6 +125,9 @@ class Job:
             data["faults"] = self.faults.to_payload()
         if self.deadline is not None:
             data["deadline"] = self.deadline
+        if self.scheduler is not None:
+            data["scheduler"] = self.scheduler
+            data["workload"] = asdict(self.workload or WorkloadTraffic())
         return data
 
     def key(self) -> str:
@@ -96,6 +149,8 @@ class Job:
             parts.append(f"faults={self.faults.event_count}")
         if self.deadline is not None:
             parts.append(f"deadline={self.deadline:g}s")
+        if self.scheduler is not None:
+            parts.append(f"sched={self.scheduler}")
         return " ".join(parts)
 
 
@@ -104,10 +159,10 @@ class SweepSpec:
     """A grid of experiment points.
 
     Expansion order is fixed (shapes, cardinalities, configs,
-    cost_models, fault_schedules, deadlines, skew_thetas, strategies,
-    processors — processors innermost) so that job indices, JSONL row
-    order and progress numbering are identical from run to run
-    regardless of worker count.
+    cost_models, fault_schedules, deadlines, schedulers, skew_thetas,
+    strategies, processors — processors innermost) so that job
+    indices, JSONL row order and progress numbering are identical from
+    run to run regardless of worker count.
     """
 
     shapes: Tuple[str, ...] = ("wide_bushy",)
@@ -125,6 +180,11 @@ class SweepSpec:
     fault_schedules: Tuple[Optional[FaultSchedule], ...] = (None,)
     #: Deadline axis (simulated seconds); ``None`` entries are unbounded.
     deadlines: Tuple[Optional[float], ...] = (None,)
+    #: Scheduler axis: ``None`` entries are classic single-query cells;
+    #: a scheduler name runs the cell as a whole workload under that
+    #: queue ordering (``workload`` shapes its traffic).
+    schedulers: Tuple[Optional[str], ...] = (None,)
+    workload: Optional[WorkloadTraffic] = None
     relations: int = 10
 
     def __post_init__(self) -> None:
@@ -143,7 +203,8 @@ class SweepSpec:
             raise ValueError("a join tree needs at least two relations")
         for axis in ("shapes", "strategies", "processors",
                      "cardinalities", "skew_thetas", "configs",
-                     "cost_models", "fault_schedules", "deadlines"):
+                     "cost_models", "fault_schedules", "deadlines",
+                     "schedulers"):
             if not getattr(self, axis):
                 raise ValueError(f"sweep axis {axis!r} is empty")
         for schedule in self.fault_schedules:
@@ -154,6 +215,21 @@ class SweepSpec:
         for deadline in self.deadlines:
             if deadline is not None and deadline <= 0:
                 raise ValueError("deadlines entries must be positive or None")
+        for scheduler in self.schedulers:
+            if scheduler is not None:
+                from ..workload.sched import SCHEDULER_NAMES
+
+                if scheduler not in SCHEDULER_NAMES:
+                    raise ValueError(
+                        f"unknown scheduler {scheduler!r}; expected one of "
+                        f"{SCHEDULER_NAMES} or None"
+                    )
+        if self.workload is not None and all(
+            scheduler is None for scheduler in self.schedulers
+        ):
+            raise ValueError(
+                "workload traffic needs at least one scheduler entry"
+            )
 
     def expand(self) -> List[Job]:
         """The grid as an ordered job list (deterministic)."""
@@ -164,21 +240,29 @@ class SweepSpec:
                     for cost_model in self.cost_models:
                         for faults in self.fault_schedules:
                             for deadline in self.deadlines:
-                                for theta in self.skew_thetas:
-                                    for strategy in self.strategies:
-                                        for processors in self.processors:
-                                            jobs.append(Job(
-                                                shape=shape,
-                                                strategy=strategy,
-                                                processors=processors,
-                                                cardinality=cardinality,
-                                                skew_theta=theta,
-                                                relations=self.relations,
-                                                config=config,
-                                                cost_model=cost_model,
-                                                faults=faults,
-                                                deadline=deadline,
-                                            ))
+                                for scheduler in self.schedulers:
+                                    for theta in self.skew_thetas:
+                                        for strategy in self.strategies:
+                                            for procs in self.processors:
+                                                jobs.append(Job(
+                                                    shape=shape,
+                                                    strategy=strategy,
+                                                    processors=procs,
+                                                    cardinality=cardinality,
+                                                    skew_theta=theta,
+                                                    relations=self.relations,
+                                                    config=config,
+                                                    cost_model=cost_model,
+                                                    faults=faults,
+                                                    deadline=deadline,
+                                                    scheduler=scheduler,
+                                                    workload=(
+                                                        self.workload
+                                                        if scheduler
+                                                        is not None
+                                                        else None
+                                                    ),
+                                                ))
         return jobs
 
     def __len__(self) -> int:
@@ -187,6 +271,7 @@ class SweepSpec:
             * len(self.cardinalities) * len(self.skew_thetas)
             * len(self.configs) * len(self.cost_models)
             * len(self.fault_schedules) * len(self.deadlines)
+            * len(self.schedulers)
         )
 
     @classmethod

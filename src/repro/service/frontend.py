@@ -38,6 +38,7 @@ _WORKLOAD_KEYS = (
     "think_time", "queries_per_client", "max_concurrent", "queue_limit",
     "memory_budget_bytes", "skew_theta", "faults", "recovery",
     "max_retries", "retry_backoff", "deadline", "shed", "cancellations",
+    "scheduler", "pool_size", "scheduling_cost", "tenants",
 )
 
 
@@ -173,6 +174,12 @@ class QueryService:
             "queue_delay_mean": result.mean_queue_delay(),
             "peak_in_flight": result.peak_in_flight,
         }
+        if result.scheduler is not None:
+            response["scheduler"] = result.scheduler
+            response["scheduling_decisions"] = result.scheduling_decisions
+        tenants = result.tenants()
+        if tenants:
+            response["tenants"] = result.tenant_summary()
         if result.faults_injected or result.failed_count():
             response["resilience"] = result.resilience_summary()
         if (
@@ -180,7 +187,16 @@ class QueryService:
             or result.cancelled_count()
             or result.deadline_missed_count()
         ):
-            response["lifecycle"] = result.lifecycle_summary()
+            lifecycle = dict(result.lifecycle_summary())
+            if tenants:
+                lifecycle["tenants"] = {
+                    name: {
+                        "shed": result.shed_count(name),
+                        "expired": result.expired_count(name),
+                    }
+                    for name in tenants
+                }
+            response["lifecycle"] = lifecycle
         if request.get("rows"):
             response["rows"] = result.rows()
         return response

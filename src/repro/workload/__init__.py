@@ -63,6 +63,22 @@ from .metrics import (
     saturation_knee,
 )
 from .mix import STRATEGY_CHOICES, QueryMix, QuerySpec, sample_specs
+from .sched import (
+    SCHEDULER_NAMES,
+    EdfScheduler,
+    FairnessPoint,
+    FifoScheduler,
+    PriorityScheduler,
+    Scheduler,
+    ServiceEstimator,
+    SjfScheduler,
+    TenantSpec,
+    WfqScheduler,
+    fairness_points,
+    fairness_sweep,
+    make_scheduler,
+    make_tenants,
+)
 from .policies import (
     POLICY_NAMES,
     Allocation,
@@ -82,31 +98,45 @@ __all__ = [
     "DeadlineAwarePolicy",
     "DropNewestPolicy",
     "DropOldestPolicy",
+    "EdfScheduler",
     "ExclusivePolicy",
+    "FairnessPoint",
+    "FifoScheduler",
     "GuidelinePolicy",
     "InfeasibleQueryError",
     "LoadPoint",
     "MachineView",
     "OverloadPoint",
     "POLICY_NAMES",
+    "PriorityScheduler",
     "QueryMix",
     "QueryRecord",
     "QuerySpec",
     "RECOVERY_POLICIES",
     "REJECTED_RETRY_DELAY",
     "RoundRobinPolicy",
+    "SCHEDULER_NAMES",
     "SHED_POLICY_NAMES",
     "STRATEGY_CHOICES",
+    "Scheduler",
+    "ServiceEstimator",
     "SharedMachine",
     "ShedPolicy",
+    "SjfScheduler",
+    "TenantSpec",
+    "WfqScheduler",
     "WorkloadEngine",
     "WorkloadResult",
     "closed_loop_curve",
     "curve_knee",
+    "fairness_points",
+    "fairness_sweep",
     "fixed_arrivals",
     "make_arrivals",
     "make_policy",
+    "make_scheduler",
     "make_shed_policy",
+    "make_tenants",
     "open_loop_curve",
     "overload_sweep",
     "percentile",

@@ -56,6 +56,7 @@ from .policies import (
     InfeasibleQueryError,
     MachineView,
 )
+from .sched import Scheduler, TenantSpec, make_scheduler, make_tenants
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults import CrashFault, FaultInjector, FaultSchedule
@@ -175,6 +176,26 @@ class WorkloadEngine:
         clock (events at one simulated instant before the run is
         declared stuck); ``None`` disables it.  The watchdog only
         observes — it never changes results unless it trips.
+    ``scheduler`` / ``pool_size`` / ``scheduling_cost``
+        Ordering policy over the admission queue: ``None`` keeps the
+        legacy FIFO deque (bit-for-bit), a name from
+        :data:`~repro.workload.sched.SCHEDULER_NAMES` or a
+        :class:`~repro.workload.sched.Scheduler` instance plugs the
+        decision in.  ``pool_size`` bounds the scheduler's visibility
+        to the first K queued queries per decision; ``scheduling_cost``
+        charges each admission decision on the simulated clock (the
+        decision fires that long after it is triggered, so with a
+        serialized machine the makespan grows by exactly
+        ``decisions × cost``).  Both knobs require a scheduler.  With
+        a positive cost nothing is admitted synchronously at arrival,
+        so a full queue bounces the newcomer even when it would have
+        started — decision latency is real admission latency.
+    ``tenants``
+        Per-tenant contracts (:class:`~repro.workload.sched.TenantSpec`
+        instances, payload dicts, or a ``{name: TenantSpec}`` mapping):
+        fair-share weights and priorities for the schedulers, default
+        deadlines, and per-tenant queue/concurrency caps.  Queries
+        pick their tenant up from ``QuerySpec.tenant``.
     """
 
     def __init__(
@@ -198,6 +219,10 @@ class WorkloadEngine:
         deadline_seed: int = 0,
         shed: Union[None, str, ShedPolicy] = None,
         watchdog_limit: Optional[int] = DEFAULT_MAX_EVENTS_PER_INSTANT,
+        scheduler: Union[None, str, Scheduler] = None,
+        pool_size: Optional[int] = None,
+        scheduling_cost: float = 0.0,
+        tenants=None,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -229,9 +254,27 @@ class WorkloadEngine:
                         "a deadline range needs 0 < lo <= hi, got "
                         f"({low}, {high})"
                     )
+        if scheduling_cost < 0:
+            raise ValueError("scheduling_cost must be non-negative")
+        self.scheduler = make_scheduler(scheduler)
+        if self.scheduler is None:
+            if pool_size is not None:
+                raise ValueError(
+                    "pool_size needs a scheduler (the legacy FIFO deque "
+                    "has no visibility pool)"
+                )
+            if scheduling_cost > 0:
+                raise ValueError(
+                    "scheduling_cost needs a scheduler (the legacy FIFO "
+                    "deque admits for free)"
+                )
+        self.scheduling_cost = scheduling_cost
+        self.tenants: Dict[str, TenantSpec] = make_tenants(tenants)
         self.machine = SharedMachine(
             machine_size, config or MachineConfig.paper()
         )
+        if self.scheduler is not None:
+            self.scheduler.attach(self, pool_size)
         self.policy = policy if policy is not None else ExclusivePolicy()
         self.cost_model = cost_model or CostModel()
         self.skew_theta = skew_theta
@@ -277,6 +320,11 @@ class WorkloadEngine:
         self._in_flight = 0
         self._memory_in_use = 0.0
         self.peak_in_flight = 0
+        #: Admission decisions the scheduler performed (admissions,
+        #: expiries, and rejections it picked — not blocked looks).
+        self.scheduling_decisions = 0
+        self._decision_pending = False  # a costed decision is in flight
+        self._tenant_running: Dict[str, int] = {}
         self._started = False
         # Closed-loop state (populated by run_closed).
         self._clients: Dict[int, random.Random] = {}
@@ -298,6 +346,7 @@ class WorkloadEngine:
             arrival=time,
             client=client,
             deadline=self._resolve_deadline(spec),
+            tenant=spec.tenant,
         )
         self.records.append(record)
         self.machine.clock.at(time, self._arrive, record)
@@ -312,10 +361,15 @@ class WorkloadEngine:
         return record
 
     def _resolve_deadline(self, spec: QuerySpec) -> Optional[float]:
-        """Per-spec deadline wins; else the engine default (sampling a
-        range deterministically, one draw per submission)."""
+        """Per-spec deadline wins, then the tenant default, then the
+        engine default (sampling a range deterministically, one draw
+        per submission)."""
         if spec.deadline is not None:
             return spec.deadline
+        if spec.tenant is not None:
+            tenant = self.tenants.get(spec.tenant)
+            if tenant is not None and tenant.deadline is not None:
+                return tenant.deadline
         if self.deadline is None:
             return None
         if isinstance(self.deadline, (int, float)):
@@ -431,10 +485,23 @@ class WorkloadEngine:
             or record.cancelled
         )
 
+    def _enqueue(self, record: QueryRecord) -> None:
+        """Join the admission queue.  The deque stays the arrival-
+        ordered source of truth (shed policies scan it directly); a
+        configured scheduler mirrors membership for its own ordering.
+        Recovery re-admissions come through here too, so the scheduler
+        sees their *original* arrival — a retry is not a fresh
+        arrival."""
+        self._queue.append(record)
+        if self.scheduler is not None:
+            self.scheduler.enqueue(record)
+
     def _remove_queued(self, record: QueryRecord) -> bool:
         """Drop ``record`` from the admission queue by identity (the
         deque holds mutable dataclasses; ``deque.remove`` would compare
         by value)."""
+        if self.scheduler is not None:
+            self.scheduler.remove(record)
         for position, queued in enumerate(self._queue):
             if queued is record:
                 del self._queue[position]
@@ -458,7 +525,9 @@ class WorkloadEngine:
             )
             self._query_done(record)
             return
-        self._queue.append(record)
+        if not self._tenant_admits(record):
+            return
+        self._enqueue(record)
         self._pump()
         if (
             self.queue_limit is not None
@@ -488,6 +557,17 @@ class WorkloadEngine:
                 self._pump()
 
     def _pump(self) -> None:
+        """Drive admission: the legacy FIFO loop, the scheduler loop,
+        or (with a positive ``scheduling_cost``) arm one costed
+        decision on the clock."""
+        if self.scheduler is None:
+            self._pump_fifo()
+        elif self.scheduling_cost > 0.0:
+            self._schedule_decision()
+        else:
+            self._pump_scheduled()
+
+    def _pump_fifo(self) -> None:
         """Admit from the FIFO queue head while the gates allow it."""
         while self._queue:
             if (
@@ -496,114 +576,228 @@ class WorkloadEngine:
             ):
                 return
             record = self._queue[0]
-            if (
-                record.deadline is not None
-                and self.machine.clock.now
-                >= record.arrival + record.deadline
-            ):
-                # Never start a query whose deadline has already passed
-                # (completion and expiry events can share an instant).
-                self._queue.popleft()
-                self._expire(record)
-                continue
-            tree = record.spec.tree()
-            catalog = record.spec.catalog()
-            try:
-                allocation = self.policy.allocate(
-                    record.spec, tree, catalog, self.machine, self.cost_model
-                )
-            except InfeasibleQueryError as exc:
-                # One query the policy can never run must not abort the
-                # workload mid-simulation: shed it and keep draining.
-                self._queue.popleft()
-                record.rejected = True
-                record.error = str(exc)
-                self._query_done(record)
-                continue
-            if allocation is None:
+            if not self._tenant_can_run(record):
+                # Strict FIFO: a head whose tenant is at its
+                # concurrency cap blocks the line (ordering is the
+                # contract; use a scheduler to skip past it).
                 return
-            schedule = get_strategy(allocation.strategy).schedule(
-                allocation.tree,
+            if self._admit(record) == "blocked":
+                return
+
+    def _pump_scheduled(self) -> None:
+        """Admit whatever the scheduler picks while the gates allow."""
+        while self._queue:
+            if (
+                self.max_concurrent is not None
+                and self._in_flight >= self.max_concurrent
+            ):
+                return
+            record = self.scheduler.pick(
+                self.machine, self.machine.clock.now
+            )
+            if record is None:
+                return
+            if self._admit(record) == "blocked":
+                return
+            self.scheduling_decisions += 1
+
+    def _schedule_decision(self) -> None:
+        """Arm one admission decision ``scheduling_cost`` seconds out
+        (unless one is already pending or nothing could be admitted)."""
+        if self._decision_pending or not self._queue:
+            return
+        if (
+            self.max_concurrent is not None
+            and self._in_flight >= self.max_concurrent
+        ):
+            return
+        self._decision_pending = True
+        self.machine.clock.after(self.scheduling_cost, self._decision_fire)
+
+    def _decision_fire(self) -> None:
+        """One costed scheduling decision: pick, admit, and arm the
+        next decision.  A blocked pick does *not* re-arm — re-scanning
+        an unchanged queue forever would melt simulated time; the next
+        completion, repair, or arrival re-pumps."""
+        self._decision_pending = False
+        if not self._queue:
+            return
+        if (
+            self.max_concurrent is not None
+            and self._in_flight >= self.max_concurrent
+        ):
+            return
+        record = self.scheduler.pick(self.machine, self.machine.clock.now)
+        if record is None:
+            return
+        if self._admit(record) == "blocked":
+            return
+        self.scheduling_decisions += 1
+        self._schedule_decision()
+
+    def _admit(self, record: QueryRecord) -> str:
+        """Try to start one queued query *now*.
+
+        Returns ``"admitted"``, ``"expired"`` (deadline already
+        passed), ``"rejected"`` (the policy can never run it), or
+        ``"blocked"`` (no allocation right now — leave it queued).
+        Everything but ``"blocked"`` removes the record from the
+        queue and the scheduler."""
+        if (
+            record.deadline is not None
+            and self.machine.clock.now
+            >= record.arrival + record.deadline
+        ):
+            # Never start a query whose deadline has already passed
+            # (completion and expiry events can share an instant).
+            self._remove_queued(record)
+            self._expire(record)
+            return "expired"
+        tree = record.spec.tree()
+        catalog = record.spec.catalog()
+        try:
+            allocation = self.policy.allocate(
+                record.spec, tree, catalog, self.machine, self.cost_model
+            )
+        except InfeasibleQueryError as exc:
+            # One query the policy can never run must not abort the
+            # workload mid-simulation: shed it and keep draining.
+            self._remove_queued(record)
+            record.rejected = True
+            record.error = str(exc)
+            self._query_done(record)
+            return "rejected"
+        if allocation is None:
+            return "blocked"
+        schedule = get_strategy(allocation.strategy).schedule(
+            allocation.tree,
+            catalog,
+            len(allocation.processors),
+            self.cost_model,
+        )
+        memory_bytes = 0.0
+        if self.memory_budget_bytes is not None:
+            memory_bytes = sum(
+                peak_memory_per_processor(
+                    schedule, catalog, self.memory_model, self.cost_model
+                ).values()
+            )
+            over = (
+                self._memory_in_use + memory_bytes
+                > self.memory_budget_bytes
+            )
+            if over and self._in_flight > 0:
+                return "blocked"
+        self._remove_queued(record)
+        if allocation.exclusive:
+            self.machine.claim(allocation.processors)
+        now = self.machine.clock.now
+        if record.admitted is None:
+            record.admitted = now
+        record.strategy = allocation.strategy
+        record.processors = allocation.processors
+        # First attempt keeps the historical "Q<i>:" trace label;
+        # retries get distinct prefixes so wasted work attributes
+        # to the attempt that burnt it.
+        attempt = record.attempts
+        prefix = (
+            f"Q{record.index}:"
+            if attempt == 0
+            else f"Q{record.index}r{attempt}:"
+        )
+        record.attempts += 1
+        pool = {
+            logical: self.machine.processors[physical]
+            for logical, physical in enumerate(allocation.processors)
+        }
+        hosted = dict(
+            clock=self.machine.clock,
+            processor_pool=pool,
+            start_at=now,
+            label_prefix=prefix,
+            on_complete=lambda sim, record=record: self._finish(
+                record, sim
+            ),
+            network=self.machine.network,
+        )
+        skip = self._credits.get(record.index, frozenset())
+        try:
+            sim = ScheduleSimulation(
+                schedule,
                 catalog,
-                len(allocation.processors),
+                self.machine.config,
                 self.cost_model,
+                self.skew_theta,
+                skip_tasks=skip,
+                **hosted,
             )
-            memory_bytes = 0.0
-            if self.memory_budget_bytes is not None:
-                memory_bytes = sum(
-                    peak_memory_per_processor(
-                        schedule, catalog, self.memory_model, self.cost_model
-                    ).values()
-                )
-                over = (
-                    self._memory_in_use + memory_bytes
-                    > self.memory_budget_bytes
-                )
-                if over and self._in_flight > 0:
-                    return
-            self._queue.popleft()
-            if allocation.exclusive:
-                self.machine.claim(allocation.processors)
-            now = self.machine.clock.now
-            if record.admitted is None:
-                record.admitted = now
-            record.strategy = allocation.strategy
-            record.processors = allocation.processors
-            # First attempt keeps the historical "Q<i>:" trace label;
-            # retries get distinct prefixes so wasted work attributes
-            # to the attempt that burnt it.
-            attempt = record.attempts
-            prefix = (
-                f"Q{record.index}:"
-                if attempt == 0
-                else f"Q{record.index}r{attempt}:"
+        except ValueError:
+            # The credited results no longer fit this attempt's plan
+            # (e.g. the strategy changed to pipelined dataflow):
+            # drop the credit and rebuild from scratch.
+            self._credits.pop(record.index, None)
+            sim = ScheduleSimulation(
+                schedule,
+                catalog,
+                self.machine.config,
+                self.cost_model,
+                self.skew_theta,
+                **hosted,
             )
-            record.attempts += 1
-            pool = {
-                logical: self.machine.processors[physical]
-                for logical, physical in enumerate(allocation.processors)
-            }
-            hosted = dict(
-                clock=self.machine.clock,
-                processor_pool=pool,
-                start_at=now,
-                label_prefix=prefix,
-                on_complete=lambda sim, record=record: self._finish(
-                    record, sim
-                ),
-                network=self.machine.network,
+        record.reused_tasks += len(sim.skip_tasks)
+        self._active[record.index] = (
+            record, sim, allocation, memory_bytes, prefix
+        )
+        self._in_flight += 1
+        self._memory_in_use += memory_bytes
+        self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+        if record.tenant is not None:
+            self._tenant_running[record.tenant] = (
+                self._tenant_running.get(record.tenant, 0) + 1
             )
-            skip = self._credits.get(record.index, frozenset())
-            try:
-                sim = ScheduleSimulation(
-                    schedule,
-                    catalog,
-                    self.machine.config,
-                    self.cost_model,
-                    self.skew_theta,
-                    skip_tasks=skip,
-                    **hosted,
-                )
-            except ValueError:
-                # The credited results no longer fit this attempt's plan
-                # (e.g. the strategy changed to pipelined dataflow):
-                # drop the credit and rebuild from scratch.
-                self._credits.pop(record.index, None)
-                sim = ScheduleSimulation(
-                    schedule,
-                    catalog,
-                    self.machine.config,
-                    self.cost_model,
-                    self.skew_theta,
-                    **hosted,
-                )
-            record.reused_tasks += len(sim.skip_tasks)
-            self._active[record.index] = (
-                record, sim, allocation, memory_bytes, prefix
-            )
-            self._in_flight += 1
-            self._memory_in_use += memory_bytes
-            self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+        if self.scheduler is not None:
+            self.scheduler.admitted(record, now)
+        return "admitted"
+
+    # -- tenants ----------------------------------------------------------
+
+    def _tenant_admits(self, record: QueryRecord) -> bool:
+        """Enforce the tenant's admission-queue cap at arrival; a
+        capped-out arrival is shed as ``tenant_queue_limit``."""
+        if record.tenant is None:
+            return True
+        tenant = self.tenants.get(record.tenant)
+        if tenant is None or tenant.queue_limit is None:
+            return True
+        queued = sum(
+            1 for waiting in self._queue if waiting.tenant == record.tenant
+        )
+        if queued < tenant.queue_limit:
+            return True
+        record.rejected = True
+        record.shed = "tenant_queue_limit"
+        record.error = (
+            f"tenant {record.tenant!r} admission queue limit "
+            f"({tenant.queue_limit}) reached"
+        )
+        self._query_done(record)
+        return False
+
+    def _tenant_can_run(self, record: QueryRecord) -> bool:
+        """Is the record's tenant under its concurrency cap?"""
+        if record.tenant is None:
+            return True
+        tenant = self.tenants.get(record.tenant)
+        if tenant is None or tenant.max_concurrent is None:
+            return True
+        return (
+            self._tenant_running.get(record.tenant, 0)
+            < tenant.max_concurrent
+        )
+
+    def _tenant_release(self, record: QueryRecord) -> None:
+        if record.tenant is not None:
+            self._tenant_running[record.tenant] -= 1
 
     def _finish(self, record: QueryRecord, sim: ScheduleSimulation) -> None:
         record.completed = self.machine.clock.now
@@ -614,6 +808,7 @@ class WorkloadEngine:
             self.machine.release(allocation.processors)
         self._in_flight -= 1
         self._memory_in_use -= memory_bytes
+        self._tenant_release(record)
         self._pump()
         self._query_done(record)
 
@@ -669,6 +864,7 @@ class WorkloadEngine:
             self.machine.release(allocation.processors)
         self._in_flight -= 1
         self._memory_in_use -= memory_bytes
+        self._tenant_release(record)
         return sim
 
     # -- fault recovery ---------------------------------------------------
@@ -752,10 +948,13 @@ class WorkloadEngine:
     def _rearrive(self, record: QueryRecord) -> None:
         """Re-queue a crashed query.  Unlike :meth:`_arrive`, a retry is
         never bounced off the queue limit — the query is already
-        admitted from the client's point of view."""
+        admitted from the client's point of view.  It re-enters through
+        :meth:`_enqueue`, so a configured scheduler ranks it by its
+        *original* arrival (EDF keeps its urgency, WFQ keeps its
+        virtual-time tag) instead of treating it as a fresh arrival."""
         if self._terminal(record):
             return  # cancelled or expired while waiting out the backoff
-        self._queue.append(record)
+        self._enqueue(record)
         self._pump()
 
     def _query_done(self, record: QueryRecord) -> None:
@@ -830,7 +1029,8 @@ class WorkloadEngine:
         # them as failures/rejections instead of hanging the workload —
         # the horizon must always be reachable.
         while self._queue:
-            record = self._queue.popleft()
+            record = self._queue[0]
+            self._remove_queued(record)
             if record.aborts:
                 record.failed = True
             else:
@@ -854,4 +1054,8 @@ class WorkloadEngine:
                 self.injector.crashes_fired if self.injector else 0
             ),
             repairs=self.injector.repairs_fired if self.injector else 0,
+            scheduler=(
+                self.scheduler.name if self.scheduler is not None else None
+            ),
+            scheduling_decisions=self.scheduling_decisions,
         )

@@ -44,7 +44,8 @@ class QueryRecord:
     never fires leaves the emitted JSONL bit-for-bit identical to a
     deadline-free run.  The lifecycle *outcomes* — ``shed``,
     ``cancelled``, ``deadline_missed`` — are in the row with stable
-    defaults.
+    defaults.  ``tenant`` appears in the row only when set, so
+    untenanted runs keep the pre-tenancy row layout byte-for-byte.
     """
 
     index: int
@@ -67,6 +68,7 @@ class QueryRecord:
     shed: Optional[str] = None            # load-shed reason, never ran to term
     cancelled: bool = False               # cancelled by the caller
     deadline_missed: bool = False         # expired queued or aborted mid-run
+    tenant: Optional[str] = None          # multi-tenant tag (spec.tenant)
 
     @property
     def latency(self) -> Optional[float]:
@@ -89,7 +91,7 @@ class QueryRecord:
 
     def row(self) -> Dict:
         """Deterministic JSONL row (no wall-clock, no object refs)."""
-        return {
+        data = {
             "query": self.index,
             "client": self.client,
             "shape": self.spec.shape,
@@ -115,6 +117,9 @@ class QueryRecord:
             "cancelled": self.cancelled,
             "deadline_missed": self.deadline_missed,
         }
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
+        return data
 
 
 @dataclass
@@ -129,14 +134,27 @@ class WorkloadResult:
     peak_in_flight: int
     faults_injected: int = 0  # crash events that actually fired
     repairs: int = 0          # processors that rejoined the pool
+    scheduler: Optional[str] = None  # ordering policy (None: legacy FIFO)
+    scheduling_decisions: int = 0    # admission decisions the scheduler made
 
     # -- populations ------------------------------------------------------
 
-    def completed(self) -> List[QueryRecord]:
-        return [r for r in self.records if r.completed is not None]
+    def completed(self, tenant: Optional[str] = None) -> List[QueryRecord]:
+        return [
+            r for r in self.records
+            if r.completed is not None
+            and (tenant is None or r.tenant == tenant)
+        ]
 
     def rejected_count(self) -> int:
         return sum(1 for r in self.records if r.rejected)
+
+    def tenants(self) -> List[str]:
+        """Tenant names seen in this run, sorted."""
+        return sorted({r.tenant for r in self.records if r.tenant is not None})
+
+    def tenant_records(self, tenant: str) -> List[QueryRecord]:
+        return [r for r in self.records if r.tenant == tenant]
 
     def latencies(self) -> List[float]:
         return [r.latency for r in self.completed()]
@@ -149,15 +167,19 @@ class WorkloadResult:
 
     # -- headline numbers -------------------------------------------------
 
-    def latency_stats(self) -> Dict[str, Optional[float]]:
-        """Mean / p50 / p95 / p99 latency over completed queries.
+    def latency_stats(
+        self, tenant: Optional[str] = None
+    ) -> Dict[str, Optional[float]]:
+        """Mean / p50 / p95 / p99 latency over completed queries,
+        optionally restricted to one tenant's.
 
         All four values are ``None`` when nothing completed (e.g. a
-        fully rejected, over-saturated load point): there is no latency
-        to report, and a fake 0.0 would poison downstream baselines
-        like :func:`saturation_knee`.
+        fully rejected, over-saturated load point, or a tenant that
+        never got a query through): there is no latency to report, and
+        a fake 0.0 would poison downstream baselines like
+        :func:`saturation_knee` and the fairness solo baselines.
         """
-        values = self.latencies()
+        values = [r.latency for r in self.completed(tenant)]
         if not values:
             return {"mean": None, "p50": None, "p95": None, "p99": None}
         return {
@@ -207,21 +229,26 @@ class WorkloadResult:
             return 0.0
         return self.wasted_seconds() / self.busy_seconds
 
-    def goodput(self) -> float:
+    def useful_count(self, tenant: Optional[str] = None) -> int:
+        """Completions that met their deadline (queries without a
+        deadline always count), optionally for one tenant."""
+        return sum(
+            1
+            for r in self.completed(tenant)
+            if r.deadline is None or r.latency <= r.deadline
+        )
+
+    def goodput(self, tenant: Optional[str] = None) -> float:
         """*Useful* completions per simulated second: completions that
-        met their deadline (queries without a deadline always count).
-        Compare with the offered arrival rate: the gap is load shed to
-        rejections, deadline misses, failures, and fault-induced
-        latency inflation.  Without deadlines this equals
+        met their deadline (queries without a deadline always count),
+        optionally restricted to one tenant's.  Compare with the
+        offered arrival rate: the gap is load shed to rejections,
+        deadline misses, failures, and fault-induced latency
+        inflation.  Without deadlines this equals
         :meth:`throughput`."""
         if self.makespan <= 0:
             return 0.0
-        useful = sum(
-            1
-            for r in self.completed()
-            if r.deadline is None or r.latency <= r.deadline
-        )
-        return useful / self.makespan
+        return self.useful_count(tenant) / self.makespan
 
     def mttr(self) -> Optional[float]:
         """Mean time from a query's first crash-abort to its eventual
@@ -251,24 +278,29 @@ class WorkloadResult:
 
     # -- request lifecycle ------------------------------------------------
 
-    def shed_counts(self) -> Dict[str, int]:
+    def shed_counts(self, tenant: Optional[str] = None) -> Dict[str, int]:
         """Shed queries grouped by reason (``drop_newest``,
-        ``drop_oldest``, ``deadline_aware``, ``expired`` — plus
-        anything a custom policy labels)."""
+        ``drop_oldest``, ``deadline_aware``, ``expired``,
+        ``tenant_queue_limit`` — plus anything a custom policy
+        labels), optionally for one tenant."""
         counts: Dict[str, int] = {}
         for r in self.records:
-            if r.shed is not None:
+            if r.shed is not None and (tenant is None or r.tenant == tenant):
                 counts[r.shed] = counts.get(r.shed, 0) + 1
         return counts
 
-    def shed_count(self) -> int:
+    def shed_count(self, tenant: Optional[str] = None) -> int:
         """Queries shed by load shedding or queue expiry — they never
         ran to term."""
-        return sum(1 for r in self.records if r.shed is not None)
+        return sum(
+            1
+            for r in self.records
+            if r.shed is not None and (tenant is None or r.tenant == tenant)
+        )
 
-    def expired_count(self) -> int:
+    def expired_count(self, tenant: Optional[str] = None) -> int:
         """Queries whose deadline passed while they were still queued."""
-        return self.shed_counts().get("expired", 0)
+        return self.shed_counts(tenant).get("expired", 0)
 
     def cancelled_count(self) -> int:
         return sum(1 for r in self.records if r.cancelled)
@@ -308,6 +340,35 @@ class WorkloadResult:
             "miss_rate_completed": self.deadline_miss_rate(),
             "goodput": self.goodput(),
         }
+
+    # -- multi-tenancy ----------------------------------------------------
+
+    def tenant_summary(self) -> Dict[str, Dict]:
+        """Per-tenant service numbers, one cell per tenant name.
+
+        Each cell carries ``submitted`` / ``completed`` / ``useful``
+        (in-deadline completions) / ``shed`` / ``expired`` /
+        ``rejected`` / ``failed`` counts, the tenant's ``goodput``
+        (useful completions per simulated second), and its
+        ``latency`` stats dict (all-``None`` when nothing completed —
+        never fake zeros).  Untenanted queries are not summarized
+        here; the top-level metrics still cover everything.
+        """
+        summary: Dict[str, Dict] = {}
+        for tenant in self.tenants():
+            records = self.tenant_records(tenant)
+            summary[tenant] = {
+                "submitted": len(records),
+                "completed": len(self.completed(tenant)),
+                "useful": self.useful_count(tenant),
+                "shed": self.shed_count(tenant),
+                "expired": self.expired_count(tenant),
+                "rejected": sum(1 for r in records if r.rejected),
+                "failed": sum(1 for r in records if r.failed),
+                "goodput": self.goodput(tenant),
+                "latency": self.latency_stats(tenant),
+            }
+        return summary
 
     # -- emission ---------------------------------------------------------
 
@@ -367,6 +428,18 @@ class WorkloadResult:
                 f"{'n/a' if miss_rate is None else f'{miss_rate:.0%}'}, "
                 f"goodput {self.goodput():.3f} q/s"
             )
+        if self.scheduler is not None:
+            text += (
+                f" | scheduler {self.scheduler}: "
+                f"{self.scheduling_decisions} decisions"
+            )
+            names = self.tenants()
+            if names:
+                shares = ", ".join(
+                    f"{name} {self.goodput(name):.3f} q/s"
+                    for name in names
+                )
+                text += f"; tenants: {shares}"
         return text
 
 

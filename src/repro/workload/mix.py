@@ -30,6 +30,11 @@ class QuerySpec:
     seconds *relative to its arrival* (``None``: no deadline).  A
     per-spec deadline overrides any workload-level deadline the engine
     carries.
+
+    ``tenant`` tags the query with the tenant that submitted it
+    (``None``: untenanted).  The engine resolves the tag against its
+    :class:`~repro.workload.sched.TenantSpec` table for fair-share
+    weights, priorities, default deadlines, and per-tenant caps.
     """
 
     shape: str
@@ -37,6 +42,7 @@ class QuerySpec:
     strategy: str = "FP"
     relations: int = 10
     deadline: Optional[float] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shape not in SHAPE_NAMES:
@@ -54,6 +60,8 @@ class QuerySpec:
             raise ValueError("a join query needs at least two relations")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive (seconds from arrival)")
+        if self.tenant is not None and not self.tenant:
+            raise ValueError("tenant must be a non-empty name or None")
 
     def tree(self) -> Node:
         return make_shape(self.shape, paper_relation_names(self.relations))

@@ -44,8 +44,13 @@ def sweep_rows():
     return run.rows()
 
 
-def workload_open():
-    """Open-loop poisson traffic, exclusive allocation (the fused path)."""
+def workload_open(**overrides):
+    """Open-loop poisson traffic, exclusive allocation (the fused path).
+
+    ``overrides`` let the identity tests re-run the pinned workload
+    with strictly-equivalent knobs (e.g. ``scheduler="fifo"``) and
+    demand the same bytes.
+    """
     from repro import api
 
     return api.run_workload(
@@ -58,10 +63,11 @@ def workload_open():
         policy="exclusive",
         strategy="FP",
         cardinality=2_000,
+        **overrides,
     )
 
 
-def workload_closed():
+def workload_closed(**overrides):
     """Closed-loop traffic on a *shared* allocation policy plus a
     deadline — paths on which event coalescing must stand down."""
     from repro import api
@@ -80,6 +86,7 @@ def workload_closed():
         strategy="SE",
         cardinality=1_000,
         deadline=400.0,
+        **overrides,
     )
 
 

@@ -1,0 +1,112 @@
+"""The runner's scheduler axis: workload-mode sweep cells, cache-key
+stability for classic cells, and deterministic JSONL under fan-out."""
+
+import pytest
+
+from repro.runner import Job, SweepSpec, WorkloadTraffic, run_sweep
+from repro.sim import MachineConfig
+
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+
+def workload_spec(**kwargs):
+    defaults = dict(
+        shapes=("wide_bushy",),
+        strategies=("FP",),
+        processors=(12,),
+        cardinalities=(400,),
+        configs=(FAST,),
+        schedulers=("fifo", "wfq"),
+        workload=WorkloadTraffic(rate=0.3, duration=20.0, seed=7),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestSchedulerAxis:
+    def test_pinned_cache_keys_unchanged(self):
+        """Pre-scheduler cells keep their content addresses: the new
+        payload keys appear only when a scheduler is set, so every
+        existing cache entry stays valid."""
+        assert Job("wide_bushy", "FP", 40, 5_000).key() == (
+            "ea60f30754a8ceda3e747417010a2a6afa41438c74da13154cce097f42ea8878"
+        )
+        assert Job(
+            "left_linear", "SE", 20, 2_000, skew_theta=0.7
+        ).key() == (
+            "d9728d43b21c50bcb0c0bb05a9a3d9b2d207ad92e1b6adf01144185fb5a67746"
+        )
+
+    def test_payload_carries_scheduler_only_when_set(self):
+        classic = Job("wide_bushy", "FP", 40, 5_000)
+        assert "scheduler" not in classic.payload()
+        assert "workload" not in classic.payload()
+        cell = Job("wide_bushy", "FP", 40, 400, scheduler="wfq")
+        payload = cell.payload()
+        assert payload["scheduler"] == "wfq"
+        assert payload["workload"]["rate"] == WorkloadTraffic().rate
+        assert "sched=wfq" in cell.label()
+
+    def test_expansion_order_and_len(self):
+        spec = workload_spec(schedulers=(None, "fifo", "edf"))
+        jobs = spec.expand()
+        assert len(jobs) == len(spec) == 3
+        assert [job.scheduler for job in jobs] == [None, "fifo", "edf"]
+        assert jobs[0].workload is None
+        assert jobs[1].workload == spec.workload
+
+    def test_distinct_schedulers_get_distinct_keys(self):
+        spec = workload_spec()
+        keys = {job.key() for job in spec.expand()}
+        assert len(keys) == 2
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            Job("wide_bushy", "FP", 40, 400, scheduler="lifo")
+        with pytest.raises(ValueError, match="needs a scheduler"):
+            Job("wide_bushy", "FP", 40, 400, workload=WorkloadTraffic())
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            SweepSpec(schedulers=("lifo",))
+        with pytest.raises(ValueError, match="at least one scheduler"):
+            SweepSpec(workload=WorkloadTraffic())
+
+    def test_traffic_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            WorkloadTraffic(rate=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            WorkloadTraffic(duration=0.0)
+        with pytest.raises(ValueError, match="pool_size"):
+            WorkloadTraffic(pool_size=0)
+        with pytest.raises(ValueError, match="scheduling_cost"):
+            WorkloadTraffic(scheduling_cost=-0.1)
+
+
+class TestWorkloadCells:
+    def test_workload_cell_metrics(self, tmp_path):
+        run = run_sweep(
+            workload_spec(schedulers=("fifo",)), cache_dir=tmp_path
+        )
+        (row,) = run.rows()
+        metrics = row["metrics"]
+        assert metrics["submitted"] > 0
+        assert metrics["completed"] > 0
+        assert metrics["makespan"] > 0
+        assert metrics["scheduling_decisions"] >= metrics["completed"]
+        assert row["scheduler"] == "fifo"
+        assert {"goodput", "latency_p50", "latency_p95"} <= set(metrics)
+
+    def test_workers_do_not_change_the_rows(self, tmp_path):
+        spec = workload_spec()
+        serial = run_sweep(spec, workers=1, cache=False)
+        pooled = run_sweep(spec, workers=2, cache=False)
+        assert serial.rows() == pooled.rows()
+
+    def test_cache_replays_workload_cells(self, tmp_path):
+        spec = workload_spec(schedulers=("wfq",))
+        first = run_sweep(spec, cache_dir=tmp_path)
+        second = run_sweep(spec, cache_dir=tmp_path)
+        assert second.outcomes[0].source == "cache"
+        assert first.rows() == second.rows()

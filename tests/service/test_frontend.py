@@ -189,3 +189,68 @@ class TestLifecycle:
     def test_workload_deadline_range_accepted(self):
         response = SERVICE.handle(dict(self.WORKLOAD, deadline=[5.0, 50.0]))
         assert response["ok"]
+
+
+class TestSchedulersAndTenants:
+    """The scheduler/tenant keys of the workload op."""
+
+    WORKLOAD = dict(TestWorkloadOp.REQUEST)
+
+    def test_scheduler_reported_when_set(self):
+        response = SERVICE.handle(dict(self.WORKLOAD, scheduler="wfq"))
+        assert response["ok"]
+        assert response["scheduler"] == "wfq"
+        assert response["scheduling_decisions"] >= response["completed"]
+
+    def test_scheduler_absent_by_default(self):
+        response = SERVICE.handle(dict(self.WORKLOAD))
+        assert response["ok"]
+        assert "scheduler" not in response
+        assert "scheduling_decisions" not in response
+        assert "tenants" not in response
+
+    def test_unknown_scheduler_is_an_error_dict(self):
+        response = SERVICE.handle(dict(self.WORKLOAD, scheduler="lifo"))
+        assert not response["ok"]
+        assert "unknown scheduler" in response["error"]
+
+    def test_tenants_summarized(self):
+        response = SERVICE.handle(dict(
+            self.WORKLOAD,
+            scheduler="wfq",
+            tenants=[
+                {"name": "a", "rate": 0.2},
+                {"name": "b", "rate": 0.2, "weight": 2.0},
+            ],
+        ))
+        assert response["ok"]
+        assert sorted(response["tenants"]) == ["a", "b"]
+        cell = response["tenants"]["a"]
+        assert {"submitted", "useful", "goodput", "latency"} <= set(cell)
+
+    def test_lifecycle_carries_per_tenant_shed_counts(self):
+        """Satellite: the lifecycle response names each tenant's shed
+        and expired counts."""
+        response = SERVICE.handle(dict(
+            self.WORKLOAD,
+            scheduler="fifo",
+            rate=None,
+            tenants=[
+                {"name": "greedy", "rate": 4.0, "deadline": 2.0},
+                {"name": "calm", "rate": 0.02, "deadline": 50.0},
+            ],
+        ))
+        assert response["ok"]
+        lifecycle = response["lifecycle"]
+        assert sorted(lifecycle["tenants"]) == ["calm", "greedy"]
+        greedy = lifecycle["tenants"]["greedy"]
+        assert greedy["shed"] > 0
+        assert greedy["expired"] > 0
+
+    def test_bad_tenant_payload_is_an_error_dict(self):
+        response = SERVICE.handle(dict(
+            self.WORKLOAD, scheduler="wfq",
+            tenants=[{"name": "a", "wieght": 2.0}],
+        ))
+        assert not response["ok"]
+        assert "unknown tenant keys" in response["error"]

@@ -57,3 +57,19 @@ def test_workload_closed_identical(generators, tmp_path):
     out = tmp_path / "workload_closed.jsonl"
     generators.workload_closed().write_jsonl(out)
     assert out.read_bytes() == fixture_bytes("workload_closed")
+
+
+class TestFifoSchedulerIdentity:
+    """``scheduler="fifo"`` must be a byte-identical alias of the
+    legacy (scheduler-free) admission queue on the pinned pre-scheduler
+    fixtures: same rows, same floats, same order."""
+
+    def test_workload_open_fifo_identical(self, generators, tmp_path):
+        out = tmp_path / "workload_open_fifo.jsonl"
+        generators.workload_open(scheduler="fifo").write_jsonl(out)
+        assert out.read_bytes() == fixture_bytes("workload_open")
+
+    def test_workload_closed_fifo_identical(self, generators, tmp_path):
+        out = tmp_path / "workload_closed_fifo.jsonl"
+        generators.workload_closed(scheduler="fifo").write_jsonl(out)
+        assert out.read_bytes() == fixture_bytes("workload_closed")

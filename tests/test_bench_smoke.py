@@ -71,3 +71,28 @@ def test_figure_smoke_point(shape, tmp_path):
     assert warm.cached_count() == len(run.rows())
     assert warm.computed_count() == 0
     assert warm.jsonl() == run.jsonl()
+
+
+@pytest.mark.bench_smoke
+def test_fairness_smoke_point():
+    """One tiny fairness cell per scheduler: at 3x abuse the
+    well-behaved tenant keeps more goodput under wfq than under fifo
+    (the full gate lives in ``benchmarks/bench_fairness.py``)."""
+    from repro.workload import fairness_sweep
+
+    points = fairness_sweep(
+        schedulers=("fifo", "wfq"),
+        abuse_factors=(3.0,),
+        good_rate=0.3,
+        abuse_fair_rate=0.48,
+        deadline=15.0,
+        duration=60.0,
+        machine_size=40,
+        seed=7,
+        strategy="FP",
+        cardinality=CARDINALITY,
+        config=FAST,
+    )
+    good = {p.scheduler: p for p in points if p.tenant == "good"}
+    assert good["wfq"].completed > good["fifo"].completed
+    assert good["wfq"].share > good["fifo"].share

@@ -212,3 +212,49 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestWorkloadSchedulers:
+    ARGS = TestWorkload.ARGS
+
+    def test_fifo_scheduler_is_byte_identical(self, capsys, tmp_path):
+        plain, named = tmp_path / "p.jsonl", tmp_path / "f.jsonl"
+        run_cli(capsys, *self.ARGS, "--jsonl", str(plain), "--quiet")
+        run_cli(capsys, *self.ARGS, "--scheduler", "fifo",
+                "--jsonl", str(named), "--quiet")
+        assert plain.read_bytes() == named.read_bytes()
+
+    def test_scheduler_reported_in_summary(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, *self.ARGS, "--scheduler", "edf",
+            "--jsonl", str(tmp_path / "e.jsonl"),
+        )
+        assert code == 0
+        assert "scheduler edf" in out
+
+    def test_tenants_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "tenants.json"
+        spec.write_text(
+            '{"tenants": [{"name": "a", "rate": 0.2},'
+            ' {"name": "b", "rate": 0.2, "weight": 2.0}]}'
+        )
+        code, out = run_cli(
+            capsys, *self.ARGS, "--scheduler", "wfq",
+            "--tenants", str(spec), "--jsonl", str(tmp_path / "t.jsonl"),
+        )
+        assert code == 0
+        assert "scheduler wfq" in out
+        assert "tenants:" in out
+
+    def test_pool_size_and_cost_accepted(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, *self.ARGS, "--scheduler", "wfq", "--pool-size", "4",
+            "--scheduling-cost", "0.01",
+            "--jsonl", str(tmp_path / "k.jsonl"), "--quiet",
+        )
+        assert code == 0
+
+    def test_pool_size_without_scheduler_errors(self, capsys, tmp_path):
+        with pytest.raises(ValueError, match="pool_size needs a scheduler"):
+            run_cli(capsys, *self.ARGS, "--pool-size", "4",
+                    "--jsonl", str(tmp_path / "x.jsonl"))

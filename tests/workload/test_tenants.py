@@ -1,0 +1,305 @@
+"""Multi-tenancy: tenant contracts, per-tenant caps and deadlines,
+per-tenant metrics, the api's rated arrival streams, and the recovery
+seam (crash retries keep their original urgency)."""
+
+import pytest
+
+from repro.api import run_workload
+from repro.faults import CrashFault, FaultSchedule
+from repro.workload import (
+    QuerySpec,
+    TenantSpec,
+    WorkloadEngine,
+    make_tenants,
+)
+
+SMALL = QuerySpec("wide_bushy", 200, "SE", 4)
+
+
+def small_engine(fast_config, **kwargs):
+    return WorkloadEngine(8, config=fast_config, **kwargs)
+
+
+def tenant_spec(name, **kwargs):
+    return QuerySpec("wide_bushy", 200, "SE", 4, tenant=name, **kwargs)
+
+
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            TenantSpec("")
+        with pytest.raises(ValueError, match="weight"):
+            TenantSpec("t", weight=0.0)
+        with pytest.raises(ValueError, match="deadline"):
+            TenantSpec("t", deadline=-1.0)
+        with pytest.raises(ValueError, match="queue_limit"):
+            TenantSpec("t", queue_limit=-1)
+        with pytest.raises(ValueError, match="max_concurrent"):
+            TenantSpec("t", max_concurrent=0)
+        with pytest.raises(ValueError, match="rate"):
+            TenantSpec("t", rate=0.0)
+
+    def test_payload_round_trip(self):
+        spec = TenantSpec(
+            "gold", weight=2.0, priority=3, deadline=60.0,
+            queue_limit=4, max_concurrent=2, rate=0.1,
+        )
+        assert TenantSpec.from_payload(spec.to_payload()) == spec
+
+    def test_payload_omits_defaults(self):
+        assert TenantSpec("plain").to_payload() == {"name": "plain"}
+
+    def test_from_payload_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown tenant keys"):
+            TenantSpec.from_payload({"name": "t", "wieght": 2.0})
+        with pytest.raises(ValueError, match="needs a 'name'"):
+            TenantSpec.from_payload({"weight": 2.0})
+
+
+class TestMakeTenants:
+    def test_none_is_empty(self):
+        assert make_tenants(None) == {}
+
+    def test_sequence_of_specs_and_dicts(self):
+        tenants = make_tenants(
+            [TenantSpec("a"), {"name": "b", "weight": 2.0}]
+        )
+        assert sorted(tenants) == ["a", "b"]
+        assert tenants["b"].weight == 2.0
+
+    def test_json_document_form(self):
+        tenants = make_tenants({"tenants": [{"name": "a"}]})
+        assert list(tenants) == ["a"]
+
+    def test_ready_mapping_passes_through(self):
+        spec = TenantSpec("a")
+        assert make_tenants({"a": spec}) == {"a": spec}
+
+    def test_mapping_name_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            make_tenants({"a": TenantSpec("b")})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            make_tenants([TenantSpec("a"), TenantSpec("a")])
+
+    def test_bad_entry_type_rejected(self):
+        with pytest.raises(TypeError, match="TenantSpec or payload"):
+            make_tenants(["a"])
+
+
+class TestTenantDeadlines:
+    def test_tenant_default_applies(self, fast_config):
+        engine = small_engine(
+            fast_config, tenants=[TenantSpec("t", deadline=60.0)]
+        )
+        record = engine.submit_at(0.0, tenant_spec("t"))
+        assert record.deadline == 60.0
+
+    def test_spec_deadline_wins(self, fast_config):
+        engine = small_engine(
+            fast_config, tenants=[TenantSpec("t", deadline=60.0)]
+        )
+        record = engine.submit_at(0.0, tenant_spec("t", deadline=5.0))
+        assert record.deadline == 5.0
+
+    def test_engine_default_covers_unknown_tenants(self, fast_config):
+        engine = small_engine(
+            fast_config, deadline=30.0,
+            tenants=[TenantSpec("t", deadline=60.0)],
+        )
+        assert engine.submit_at(0.0, tenant_spec("other")).deadline == 30.0
+        assert engine.submit_at(0.0, SMALL).deadline == 30.0
+
+
+class TestTenantCaps:
+    def test_queue_limit_sheds_the_overflow(self, fast_config):
+        engine = small_engine(
+            fast_config, tenants=[TenantSpec("t", queue_limit=1)]
+        )
+        result = engine.run_open([(0.0, tenant_spec("t"))] * 3)
+        first, queued, shed = result.records
+        assert shed.shed == "tenant_queue_limit"
+        assert "queue limit (1)" in shed.error
+        assert len(result.completed()) == 2
+        assert result.shed_count("t") == 1
+
+    def test_max_concurrent_skipped_by_scheduler(self, fast_config):
+        """Half-machine partitions run two queries at once; with tenant
+        ``a`` capped at one, the scheduler skips a's second query and
+        lets ``b`` through instead."""
+        from repro.workload import ExclusivePolicy
+
+        engine = small_engine(
+            fast_config,
+            policy=ExclusivePolicy(4),
+            scheduler="fifo",
+            tenants=[TenantSpec("a", max_concurrent=1)],
+        )
+        result = engine.run_open([
+            (0.0, tenant_spec("a")),
+            (0.0, tenant_spec("a")),
+            (0.0, tenant_spec("b")),
+        ])
+        a1, a2, b = result.records
+        assert b.admitted == 0.0
+        assert a2.admitted > a1.admitted
+        assert result.peak_in_flight == 2
+        assert len(result.completed()) == 3
+
+    def test_max_concurrent_blocks_the_fifo_head(self, fast_config):
+        """The legacy queue is strict FIFO: the capped tenant's second
+        query holds the head and ``b`` waits behind it."""
+        from repro.workload import ExclusivePolicy
+
+        engine = small_engine(
+            fast_config,
+            policy=ExclusivePolicy(4),
+            tenants=[TenantSpec("a", max_concurrent=1)],
+        )
+        result = engine.run_open([
+            (0.0, tenant_spec("a")),
+            (0.0, tenant_spec("a")),
+            (0.0, tenant_spec("b")),
+        ])
+        a1, a2, b = result.records
+        assert a2.admitted > 0.0
+        assert b.admitted >= a2.admitted
+        assert len(result.completed()) == 3
+
+
+class TestTenantMetrics:
+    def test_tenant_summary_counts(self, fast_config):
+        engine = small_engine(fast_config)
+        result = engine.run_open([
+            (0.0, tenant_spec("a")),
+            (0.0, tenant_spec("b")),
+            (0.5, tenant_spec("a")),
+        ])
+        summary = result.tenant_summary()
+        assert sorted(summary) == ["a", "b"]
+        assert summary["a"]["submitted"] == 2
+        assert summary["a"]["completed"] == 2
+        assert summary["b"]["submitted"] == 1
+        assert summary["a"]["goodput"] > 0
+
+    def test_latency_stats_none_for_idle_tenant(self, fast_config):
+        """A tenant with no completions reports None latency, never a
+        fake zero (it would poison solo baselines)."""
+        engine = small_engine(
+            fast_config, tenants=[TenantSpec("doomed", deadline=0.001)]
+        )
+        result = engine.run_open([
+            (0.0, tenant_spec("lucky")),
+            (0.0, tenant_spec("doomed")),
+        ])
+        assert result.latency_stats("doomed") == {
+            "mean": None, "p50": None, "p95": None, "p99": None,
+        }
+        assert result.latency_stats("lucky")["p50"] is not None
+        assert result.latency_stats() == result.latency_stats(None)
+
+    def test_rows_carry_tenant_only_when_set(self, fast_config):
+        engine = small_engine(fast_config)
+        result = engine.run_open([(0.0, tenant_spec("a")), (0.5, SMALL)])
+        tagged, untagged = result.rows()
+        assert tagged["tenant"] == "a"
+        assert "tenant" not in untagged
+
+
+class TestApiTenantStreams:
+    def test_rated_tenants_generate_streams(self, fast_config):
+        result = run_workload(
+            "wide_bushy",
+            duration=40.0,
+            seed=3,
+            machine_size=8,
+            strategy="SE",
+            cardinality=200,
+            relations=4,
+            config=fast_config,
+            scheduler="wfq",
+            tenants=[
+                TenantSpec("a", rate=0.2),
+                TenantSpec("b", rate=0.2, weight=2.0),
+            ],
+        )
+        tenants = {record.tenant for record in result.records}
+        assert tenants == {"a", "b"}
+        assert result.scheduler == "wfq"
+        assert len(result.records) > 0
+
+    def test_rated_streams_are_deterministic(self, fast_config):
+        kwargs = dict(
+            duration=40.0, seed=3, machine_size=8, strategy="SE",
+            cardinality=200, relations=4, config=fast_config,
+            scheduler="wfq",
+        )
+        tenants = (TenantSpec("a", rate=0.2), TenantSpec("b", rate=0.3))
+        first = run_workload("wide_bushy", tenants=tenants, **kwargs)
+        second = run_workload("wide_bushy", tenants=tenants, **kwargs)
+        assert first.rows() == second.rows()
+
+    def test_unrated_tenants_use_the_shared_stream(self, fast_config):
+        """Without any rated tenant the classic single arrival stream
+        runs, untenanted."""
+        result = run_workload(
+            "wide_bushy",
+            rate=0.2,
+            duration=20.0,
+            machine_size=8,
+            strategy="SE",
+            cardinality=200,
+            relations=4,
+            config=fast_config,
+            scheduler="fifo",
+            tenants=[TenantSpec("idle", weight=2.0)],
+        )
+        assert all(record.tenant is None for record in result.records)
+
+
+class TestRecoverySeam:
+    """Satellite regression: a crash retry re-enters through the
+    scheduler with its *original* arrival, so EDF ranks it by its real
+    urgency instead of treating it as a fresh arrival."""
+
+    ARRIVALS = None  # built per test: timing matters
+
+    def _run(self, fast_config, scheduler):
+        faults = FaultSchedule(
+            crashes=(CrashFault(processor=0, at=0.3, repair_at=0.35),)
+        )
+        engine = small_engine(
+            fast_config,
+            scheduler=scheduler,
+            faults=faults,
+            recovery="restart",
+            retry_backoff=0.5,
+        )
+        victim = QuerySpec("wide_bushy", 200, "SE", 4, deadline=1_000.0)
+        filler = SMALL
+        fresh = QuerySpec("wide_bushy", 200, "SE", 4, deadline=2_000.0)
+        return engine.run_open([
+            (0.0, victim),     # admitted, crashed at 0.3, retries at 0.8
+            (0.32, filler),    # occupies the machine through the retry
+            (0.4, fresh),      # queued before the retry re-arrives
+        ])
+
+    def test_edf_ranks_the_retry_by_original_arrival(self, fast_config):
+        result = self._run(fast_config, "edf")
+        victim, filler, fresh = result.records
+        assert victim.attempts == 2
+        assert victim.completed is not None
+        # EDF: the retry's absolute deadline (0 + 1000) beats the fresh
+        # arrival's (0.4 + 2000) even though the fresh query was
+        # enqueued first — the retry runs before the fresh query is
+        # even admitted.  (``admitted`` keeps the first-attempt stamp,
+        # so completion order is the observable.)
+        assert victim.completed <= fresh.admitted
+        assert victim.completed < fresh.completed
+
+    def test_fifo_contrast_serves_the_fresh_arrival_first(self, fast_config):
+        result = self._run(fast_config, "fifo")
+        victim, filler, fresh = result.records
+        assert victim.attempts == 2
+        assert fresh.completed < victim.completed
