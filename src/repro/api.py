@@ -58,7 +58,8 @@ RUN_KEYWORDS = (
 #: The frozen (v1) keyword-only surface of :func:`run_workload`.
 #: Extended additively post-freeze by the scheduling/multi-tenancy
 #: keywords (``scheduler``/``pool_size``/``scheduling_cost``/
-#: ``tenants``) — existing call sites are untouched.
+#: ``tenants``) and the turbo-v2 ``fast_path`` toggle — existing call
+#: sites are untouched.
 RUN_WORKLOAD_KEYWORDS = (
     "arrivals", "rate", "duration", "seed", "machine_size", "policy",
     "share", "strategy", "cardinality", "relations", "clients",
@@ -67,7 +68,7 @@ RUN_WORKLOAD_KEYWORDS = (
     "faults", "recovery", "max_retries", "retry_backoff",
     "rejected_retry_delay", "deadline", "shed", "cancellations",
     "watchdog_limit", "scheduler", "pool_size", "scheduling_cost",
-    "tenants",
+    "tenants", "fast_path",
 )
 
 
@@ -308,6 +309,7 @@ def run_workload(
     pool_size: Optional[int] = None,
     scheduling_cost: float = 0.0,
     tenants=None,
+    fast_path: bool = True,
     **unknown,
 ):
     """Serve a stream of queries on one shared simulated machine.
@@ -370,6 +372,13 @@ def run_workload(
         priorities, default deadlines, and queue/concurrency caps
         apply either way.  The result then carries per-tenant metrics
         (``tenant_summary()``, ``latency_stats(tenant=...)``).
+    ``fast_path``
+        Attempt the turbo analytic fast path for single-occupancy
+        epochs (default on).  Results are bit-identical either way;
+        ``False`` forces every query onto the classic event loop
+        (useful for benchmarking and equivalence tests).  The result's
+        ``fast_path_queries`` counts the epochs that replayed
+        analytically.
 
     Returns a :class:`~repro.workload.WorkloadResult`; its
     ``write_jsonl`` emits one deterministic row per query.
@@ -425,6 +434,7 @@ def run_workload(
         pool_size=pool_size,
         scheduling_cost=scheduling_cost,
         tenants=tenant_map,
+        fast_path=fast_path,
     )
     for when, index in cancellations or ():
         engine.cancel_at(when, index)

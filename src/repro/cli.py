@@ -15,6 +15,7 @@ Every major capability of the reproduction behind one entry point::
                              --rate 5 --duration 60 --seed 1
     python -m repro faults   --strategies SP,SE,RD,FP \\
                              --crash-rates 0,0.002,0.01 --recovery restart
+    python -m repro perf     --profile --top 25
     python -m repro serve    < requests.jsonl
 """
 
@@ -248,6 +249,7 @@ def _cmd_workload(args) -> int:
         pool_size=args.pool_size,
         scheduling_cost=args.scheduling_cost,
         tenants=tenants,
+        fast_path=not args.no_fast_path,
     )
     jsonl_path = args.jsonl
     if jsonl_path is None:
@@ -301,6 +303,70 @@ def _cmd_faults(args) -> int:
     write_jsonl(jsonl_path, [pt.row() for pt in points])
     if not args.quiet:
         print(f"results: {jsonl_path}")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    """A small self-contained hot-path bench: every strategy through
+    the simulator plus a repeat-heavy hosted workload, optionally under
+    ``cProfile`` so perf work starts from measured hot spots instead of
+    guesses (the committed numbers live in ``benchmarks/bench_perf.py``;
+    this command is for finding where the time goes)."""
+    import time
+
+    from .api import run, run_workload
+    from .sim import turbo
+
+    repeats = 1 if args.smoke else args.repeats
+    queries = 8 if args.smoke else 24
+
+    def bench() -> None:
+        turbo.clear_cache()
+        for strategy in ("SP", "SE", "RD", "FP"):
+            for _ in range(repeats):
+                run(
+                    "wide_bushy",
+                    strategy,
+                    args.processors,
+                    cardinality=args.cardinality,
+                )
+        run_workload(
+            "wide_bushy",
+            arrivals="closed",
+            clients=1,
+            think_time=0.5,
+            queries_per_client=queries,
+            duration=1e9,
+            seed=3,
+            machine_size=args.processors,
+            policy="exclusive",
+            strategy="FP",
+            cardinality=args.cardinality,
+            fast_path=not args.no_fast_path,
+        )
+
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        bench()
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(args.top)
+        print(stream.getvalue(), end="")
+    else:
+        started = time.perf_counter()
+        bench()
+        elapsed = time.perf_counter() - started
+        print(
+            f"perf bench: {elapsed:.3f}s wall "
+            f"({repeats}x4 strategies @ {args.cardinality} tuples, "
+            f"{queries}-query closed loop); turbo {turbo.cache_stats()}"
+        )
     return 0
 
 
@@ -464,6 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="path to a tenant spec file: "
                         '{"tenants": [{"name": ..., "weight": ..., '
                         '"rate": ...}, ...]}')
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="force every query onto the classic event loop "
+                        "(results are bit-identical either way)")
     p.add_argument("--jsonl", default=None,
                    help="per-query JSONL path "
                         "(default: workload_<shape>_<arrivals>.jsonl)")
@@ -508,6 +577,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress the table")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "perf",
+        help="hot-path micro-bench, optionally under cProfile "
+             "(committed numbers come from benchmarks/bench_perf.py)",
+    )
+    p.add_argument("--profile", action="store_true",
+                   help="wrap the bench in cProfile and print the "
+                        "hottest functions by cumulative time")
+    p.add_argument("--top", type=int, default=25,
+                   help="profile rows to print (with --profile)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="simulator runs per strategy")
+    p.add_argument("--cardinality", type=int, default=2000,
+                   help="tuples per relation")
+    p.add_argument("--processors", type=int, default=40,
+                   help="machine size")
+    p.add_argument("--smoke", action="store_true",
+                   help="minimal work (CI artifact generation)")
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="profile the classic event loop instead of "
+                        "the turbo fast path")
+    p.set_defaults(fn=_cmd_perf)
 
     p = sub.add_parser(
         "serve", help="JSONL query service: one request per line on stdin"

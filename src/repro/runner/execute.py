@@ -146,6 +146,7 @@ def _run_workload_job(job: Job, started: float) -> Tuple[Dict, Dict]:
         scheduler=job.scheduler,
         pool_size=traffic.pool_size,
         scheduling_cost=traffic.scheduling_cost,
+        fast_path=traffic.fast_path,
     )
     latency = result.latency_stats()
     row = {

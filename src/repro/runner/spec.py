@@ -54,6 +54,12 @@ class WorkloadTraffic:
     shed: Optional[str] = None
     pool_size: Optional[int] = None
     scheduling_cost: float = 0.0
+    #: Attempt the turbo fast path for single-occupancy epochs.  Like
+    #: ``workers``, this is an execution detail, not an experiment
+    #: parameter: results are bit-identical either way, so it is
+    #: deliberately absent from the cache payload — both settings
+    #: share one content address.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -128,6 +134,9 @@ class Job:
         if self.scheduler is not None:
             data["scheduler"] = self.scheduler
             data["workload"] = asdict(self.workload or WorkloadTraffic())
+            # Bit-identical either way (house invariant), so the fast
+            # path must not split the cache address space.
+            del data["workload"]["fast_path"]
         return data
 
     def key(self) -> str:

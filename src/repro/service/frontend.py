@@ -38,7 +38,7 @@ _WORKLOAD_KEYS = (
     "think_time", "queries_per_client", "max_concurrent", "queue_limit",
     "memory_budget_bytes", "skew_theta", "faults", "recovery",
     "max_retries", "retry_backoff", "deadline", "shed", "cancellations",
-    "scheduler", "pool_size", "scheduling_cost", "tenants",
+    "scheduler", "pool_size", "scheduling_cost", "tenants", "fast_path",
 )
 
 

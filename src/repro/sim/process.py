@@ -30,7 +30,12 @@ observable of this module bit for bit (chunk boundaries, batch
 emission times, tie-breaks between arrivals and completions, interval
 coalescing).  Any behavioural change here therefore needs a matching
 change there — the golden-identity and turbo-equivalence tests pin
-the pairing.
+the pairing.  Turbo additionally *caches* replayable timing profiles
+keyed on the inputs these state machines read (algorithm, work scale,
+port modes and coefficients, chunk policy), so any change to the
+chunking or emission policy here must also bump
+:data:`repro.sim.turbo.STRUCTURE_VERSION` — otherwise a stale cached
+profile from before the change could replay the old semantics.
 """
 
 from __future__ import annotations

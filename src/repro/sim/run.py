@@ -344,24 +344,42 @@ class ScheduleSimulation:
                 by_index[dep].dependents.append(runtime)
 
         # Serial scheduler initialization: one process after another,
-        # in task order then processor order (Section 2.2).
+        # in task order then processor order (Section 2.2).  Hosted
+        # runs schedule cancellably and keep the handles: the epoch
+        # fast path (repro.sim.turbo.execute_hosted) simulates these
+        # events analytically and must then unschedule them.  A
+        # cancellable entry that is never cancelled dispatches exactly
+        # like a plain one, so the classic hosted path is unchanged.
+        hosted = self._pool is not None
+        self._build_handles = [] if hosted else None
+        schedule_event = (
+            self.clock.at_cancellable if hosted else self.clock.at
+        )
         sequence = 0
         for runtime in self.runtimes:
             for process in runtime.processes:
                 sequence += 1
-                self.clock.at(
+                handle = schedule_event(
                     self.start_at + sequence * self.config.process_startup,
                     process.init_ready,
                 )
+                if hosted:
+                    self._build_handles.append(handle)
 
         # Release unbarriered tasks at query start; replay the stored
         # results of reused tasks (they bypass barriers — the work that
         # produced them already happened in the aborted attempt).
         for runtime in self.runtimes:
             if runtime.task.index in self.skip_tasks:
-                self.clock.at(self.start_at, self._complete_skipped, runtime)
+                handle = schedule_event(
+                    self.start_at, self._complete_skipped, runtime
+                )
             elif runtime.remaining_deps == 0:
-                self.clock.at(self.start_at, self._release, runtime)
+                handle = schedule_event(self.start_at, self._release, runtime)
+            else:
+                continue
+            if hosted:
+                self._build_handles.append(handle)
 
         # The deadline is a cancellable event: completion cancels it,
         # so a met deadline never dispatches, never counts, and never

@@ -38,6 +38,8 @@ from typing import (
 from ..core.cost import CostModel
 from ..core.memory import MemoryModel, peak_memory_per_processor
 from ..core.strategies import get_strategy
+from ..model.analytic import forecast_epoch_end
+from ..sim import turbo
 from ..sim.events import EventHandle, SimulationClock
 from ..sim.machine import MachineConfig, NetworkLink, Processor
 from ..sim.run import ScheduleSimulation
@@ -223,6 +225,7 @@ class WorkloadEngine:
         pool_size: Optional[int] = None,
         scheduling_cost: float = 0.0,
         tenants=None,
+        fast_path: bool = True,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -309,6 +312,14 @@ class WorkloadEngine:
                 )
             injector.attach_engine(self)
             self.injector = injector
+        #: Attempt the turbo fast path for single-occupancy epochs.
+        #: Pure performance: results are bit-identical either way
+        #: (pinned by the golden fixtures), so this stays on by
+        #: default and exists mainly so tests and benchmarks can
+        #: compare against the classic event loop.
+        self.fast_path = bool(fast_path)
+        #: Queries whose whole epoch replayed analytically.
+        self.fast_path_queries = 0
         self.records: List[QueryRecord] = []
         self._queue: Deque[QueryRecord] = deque()
         # record.index -> (record, sim, allocation, memory_bytes, prefix)
@@ -721,6 +732,37 @@ class WorkloadEngine:
             network=self.machine.network,
         )
         skip = self._credits.get(record.index, frozenset())
+        # Hosted single-occupancy epoch: if this query is alone on the
+        # machine and no foreign clock event (arrival, horizon, cancel,
+        # costed decision) can land before it completes, its whole
+        # epoch can replay on the turbo fast path instead of draining
+        # the event heap.  The barrier must be scanned *before* the
+        # sim is built — afterwards the queue also holds the sim's own
+        # init/release events.  The analytic forecast is only a
+        # pre-gate against computing runs that would roll back;
+        # ``execute_hosted`` re-checks the exact completion.
+        fp_barrier = None
+        if (
+            self.fast_path
+            and self.injector is None
+            and record.deadline is None
+            and not skip
+            and self._in_flight == 0
+            and not self._queue
+            and not self._decision_pending
+        ):
+            barrier = self._earliest_pending_event()
+            if now < barrier and (
+                forecast_epoch_end(
+                    schedule,
+                    catalog,
+                    now,
+                    self.machine.config,
+                    self.cost_model,
+                )
+                < barrier
+            ):
+                fp_barrier = barrier
         try:
             sim = ScheduleSimulation(
                 schedule,
@@ -757,7 +799,26 @@ class WorkloadEngine:
             )
         if self.scheduler is not None:
             self.scheduler.admitted(record, now)
+        if fp_barrier is not None:
+            # All admission bookkeeping is done, so a successful fast
+            # path leaves engine state exactly where the classic loop
+            # would at this instant; a rollback leaves the sim's own
+            # events armed and the heap drains it classically.
+            if turbo.execute_hosted(sim, fp_barrier) is not None:
+                self.fast_path_queries += 1
         return "admitted"
+
+    def _earliest_pending_event(self) -> float:
+        """Earliest live event on the shared clock — the barrier before
+        which a hosted fast-path epoch must fully complete.  Cancelled
+        entries are lazily deleted tombstones and cannot fire."""
+        earliest = float("inf")
+        for time, _seq, handle, _fn, _args in self.machine.clock._queue:
+            if handle is not None and handle.cancelled:
+                continue
+            if time < earliest:
+                earliest = time
+        return earliest
 
     # -- tenants ----------------------------------------------------------
 
@@ -1058,4 +1119,5 @@ class WorkloadEngine:
                 self.scheduler.name if self.scheduler is not None else None
             ),
             scheduling_decisions=self.scheduling_decisions,
+            fast_path_queries=self.fast_path_queries,
         )

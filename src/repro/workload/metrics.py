@@ -136,6 +136,11 @@ class WorkloadResult:
     repairs: int = 0          # processors that rejoined the pool
     scheduler: Optional[str] = None  # ordering policy (None: legacy FIFO)
     scheduling_decisions: int = 0    # admission decisions the scheduler made
+    #: Queries whose whole hosted epoch ran on the turbo fast path
+    #: (single-occupancy, no foreign event before completion).  Pure
+    #: telemetry: the rows and every other metric are bit-identical
+    #: whether a query replayed analytically or drained the heap.
+    fast_path_queries: int = 0
 
     # -- populations ------------------------------------------------------
 
@@ -427,6 +432,11 @@ class WorkloadResult:
                 "miss rate "
                 f"{'n/a' if miss_rate is None else f'{miss_rate:.0%}'}, "
                 f"goodput {self.goodput():.3f} q/s"
+            )
+        if self.fast_path_queries:
+            text += (
+                f" | fast path: {self.fast_path_queries} queries "
+                "replayed analytically"
             )
         if self.scheduler is not None:
             text += (

@@ -59,6 +59,26 @@ def test_workload_closed_identical(generators, tmp_path):
     assert out.read_bytes() == fixture_bytes("workload_closed")
 
 
+class TestHostedFastPathIdentity:
+    """The turbo-v2 hosted single-occupancy fast path is on by default,
+    so the plain golden tests above already pin it against the
+    pre-fast-path fixtures; these prove the *off* switch is equally
+    byte-identical — the fast path must be pure performance in both
+    directions."""
+
+    def test_workload_open_fast_path_off_identical(self, generators, tmp_path):
+        out = tmp_path / "workload_open_classic.jsonl"
+        generators.workload_open(fast_path=False).write_jsonl(out)
+        assert out.read_bytes() == fixture_bytes("workload_open")
+
+    def test_workload_closed_fast_path_off_identical(
+        self, generators, tmp_path
+    ):
+        out = tmp_path / "workload_closed_classic.jsonl"
+        generators.workload_closed(fast_path=False).write_jsonl(out)
+        assert out.read_bytes() == fixture_bytes("workload_closed")
+
+
 class TestFifoSchedulerIdentity:
     """``scheduler="fifo"`` must be a byte-identical alias of the
     legacy (scheduler-free) admission queue on the pinned pre-scheduler

@@ -1,0 +1,166 @@
+"""Hosted-epoch fast path: byte-identity and eligibility.
+
+Turbo v2 lets the workload engine execute a *single-occupancy epoch* —
+exactly one unperturbed, deadline-free query in flight, no foreign
+clock event before its completion — analytically instead of draining
+the event heap.  The contract is the house invariant: the fast path is
+pure performance, so every row, float, and ordering must be
+byte-identical with the fast path on or off, at every worker count,
+with and without tenants and schedulers.  ``fast_path_queries`` is the
+only observable allowed to differ (it counts replayed epochs and lives
+outside the JSONL rows).
+"""
+
+import json
+
+from repro import api
+from repro.runner import SweepSpec, WorkloadTraffic, run_sweep
+from repro.sim import MachineConfig
+from repro.sim import turbo
+
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+
+def rows_json(result):
+    return json.dumps(result.rows(), sort_keys=True)
+
+
+def run_pair(**kwargs):
+    """One workload with the fast path on and off, caches cold."""
+    turbo.clear_cache()
+    on = api.run_workload(fast_path=True, **kwargs)
+    turbo.clear_cache()
+    off = api.run_workload(fast_path=False, **kwargs)
+    return on, off
+
+
+class TestByteIdentity:
+    def test_open_poisson_identical(self):
+        on, off = run_pair(
+            mix_or_shape="wide_bushy", arrivals="poisson", rate=0.2,
+            duration=40.0, seed=7, machine_size=12, policy="exclusive",
+            strategy="FP", cardinality=400, config=FAST,
+        )
+        assert rows_json(on) == rows_json(off)
+        assert off.fast_path_queries == 0
+
+    def test_closed_loop_identical(self):
+        on, off = run_pair(
+            mix_or_shape="paper", arrivals="closed", clients=3,
+            think_time=2.0, queries_per_client=3, duration=500.0,
+            seed=11, machine_size=12, policy="round_robin", share=6,
+            strategy="SE", cardinality=300, config=FAST,
+        )
+        assert rows_json(on) == rows_json(off)
+
+    def test_scheduler_and_tenants_identical(self):
+        tenants = {
+            "tenants": [
+                {"name": "gold", "weight": 3.0, "rate": 0.15},
+                {"name": "bronze", "weight": 1.0, "rate": 0.15},
+            ]
+        }
+        on, off = run_pair(
+            mix_or_shape="wide_bushy", arrivals="poisson", duration=40.0,
+            seed=5, machine_size=12, policy="exclusive", strategy="FP",
+            cardinality=300, config=FAST, scheduler="wfq", tenants=tenants,
+        )
+        assert rows_json(on) == rows_json(off)
+
+    def test_deadline_identical_and_ineligible(self):
+        """Deadline-bearing queries never fast-path (a deadline abort
+        mid-epoch cannot be replayed), and stay byte-identical."""
+        on, off = run_pair(
+            mix_or_shape="wide_bushy", arrivals="closed", clients=1,
+            think_time=1.0, queries_per_client=4, duration=1e6, seed=3,
+            machine_size=12, policy="exclusive", strategy="FP",
+            cardinality=300, config=FAST, deadline=500.0,
+        )
+        assert rows_json(on) == rows_json(off)
+        assert on.fast_path_queries == 0
+
+
+class TestEligibility:
+    def test_single_occupancy_closed_loop_replays_every_query(self):
+        """clients=1 + exclusive: every epoch is single-occupancy, so
+        every completed query must ride the fast path."""
+        turbo.clear_cache()
+        result = api.run_workload(
+            "wide_bushy", arrivals="closed", clients=1, think_time=1.0,
+            queries_per_client=5, duration=1e6, seed=3, machine_size=12,
+            policy="exclusive", strategy="FP", cardinality=300, config=FAST,
+        )
+        assert result.fast_path_queries == len(result.completed()) == 5
+        assert turbo.cache_stats()["hosted_rollbacks"] == 0
+
+    def test_fast_path_off_never_replays(self):
+        turbo.clear_cache()
+        result = api.run_workload(
+            "wide_bushy", arrivals="closed", clients=1, think_time=1.0,
+            queries_per_client=3, duration=1e6, seed=3, machine_size=12,
+            policy="exclusive", strategy="FP", cardinality=300,
+            config=FAST, fast_path=False,
+        )
+        assert result.fast_path_queries == 0
+        assert turbo.cache_stats()["hosted_runs"] == 0
+
+    def test_overlapping_queries_fall_back(self):
+        """Many clients with zero think time overlap from t=0: the
+        engine must decline or roll back, never corrupt."""
+        turbo.clear_cache()
+        on, off = run_pair(
+            mix_or_shape="wide_bushy", arrivals="closed", clients=4,
+            think_time=0.0, queries_per_client=3, duration=1e6, seed=3,
+            machine_size=12, policy="round_robin", share=6,
+            strategy="SE", cardinality=300, config=FAST,
+        )
+        assert rows_json(on) == rows_json(off)
+
+    def test_summary_reports_fast_path(self):
+        turbo.clear_cache()
+        result = api.run_workload(
+            "wide_bushy", arrivals="closed", clients=1, think_time=1.0,
+            queries_per_client=2, duration=1e6, seed=3, machine_size=12,
+            policy="exclusive", strategy="FP", cardinality=300, config=FAST,
+        )
+        assert "fast path: 2 queries" in result.summary()
+
+
+class TestRunnerFanout:
+    """The fast path must survive the runner's process-pool fan-out:
+    identical JSONL at workers=1 and workers=4, fast path on or off,
+    and one shared cache address for both settings."""
+
+    def spec(self, fast_path):
+        return SweepSpec(
+            shapes=("wide_bushy",),
+            strategies=("FP",),
+            processors=(12,),
+            cardinalities=(400,),
+            configs=(FAST,),
+            schedulers=("fifo",),
+            workload=WorkloadTraffic(
+                rate=0.15, duration=30.0, seed=7, fast_path=fast_path
+            ),
+        )
+
+    def test_workers_and_fast_path_rows_identical(self):
+        baseline = run_sweep(self.spec(True), workers=1, cache=False).rows()
+        for fast_path in (True, False):
+            for workers in (1, 4):
+                run = run_sweep(
+                    self.spec(fast_path), workers=workers, cache=False
+                )
+                assert run.rows() == baseline, (
+                    f"rows diverged at workers={workers}, "
+                    f"fast_path={fast_path}"
+                )
+
+    def test_fast_path_shares_the_cache_address(self):
+        (on_job,) = self.spec(True).expand()
+        (off_job,) = self.spec(False).expand()
+        assert on_job.key() == off_job.key()
+        assert "fast_path" not in on_job.payload()["workload"]
