@@ -1,0 +1,278 @@
+"""The BENCH cluster gate: sharded serving under a 2x load surge.
+
+One surge trace — Poisson at a base rate, doubling for a middle
+window, then back — is replayed through the same 2-shard cluster under
+four capacity plans:
+
+* ``static@base`` — every shard pinned at the base machine size (what
+  you provisioned for the average load);
+* ``static@peak`` — every shard pinned at the elastic ceiling (what
+  you would have to provision statically to absorb the surge);
+* ``reactive`` / ``predictive`` — elastic shards starting at the base
+  size with the ceiling as ``scale_max``.
+
+The claims this benchmark institutionalizes:
+
+* the surge degrades ``static@base`` p99 latency to at least
+  ``P99_DEGRADATION`` (2x) of the provisioned-peak p99;
+* reactive or predictive autoscaling retains at least ``RETENTION``
+  (80%) of the provisioned-peak goodput through the surge;
+* the house invariants hold: a 1-shard static cluster is row-identical
+  to ``run_workload``, and the 4-shard trace replay is JSONL-identical
+  at ``workers=1`` vs ``workers=4``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py            # full
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_cluster.py --check    # gate
+
+Writes ``BENCH_cluster.json`` (override with ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+from repro import api
+from repro.cluster import Trace
+from repro.sim import MachineConfig
+from repro.workload import QuerySpec
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.mix import QueryMix, sample_specs
+
+#: Coarse batches keep each cluster cell to a fraction of a second.
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+#: The surge must cost static@base at least this much p99 latency,
+#: relative to the provisioned-peak p99.
+P99_DEGRADATION = 2.0
+#: Elastic goodput must retain at least this fraction of the
+#: provisioned-peak goodput.
+RETENTION = 0.80
+
+SHARDS = 2
+BASE_SIZE = 10          # per-shard processors (the average-load plan)
+PEAK_SIZE = 30          # per-shard elastic ceiling (the surge plan)
+SHARE = 10              # exclusive per-query share (FP needs >= 9)
+STRATEGY = "FP"
+SEED = 7
+
+#: Full-run surge: base-rate windows around a 2x middle window.
+FULL = dict(cardinality=1_000, rate=0.3, window=90.0, cooldown=5.0)
+#: Smoke surge: same shape, shorter windows.
+SMOKE = dict(cardinality=1_000, rate=0.3, window=45.0, cooldown=5.0)
+
+
+def surge_trace(params) -> Trace:
+    """Poisson arrivals at ``rate`` for one window, ``2*rate`` for the
+    next, then ``rate`` again — each window its own seeded stream, so
+    the trace is deterministic and the surge boundary exact."""
+    window = params["window"]
+    pairs = []
+    for index, (rate, start) in enumerate([
+        (params["rate"], 0.0),
+        (2 * params["rate"], window),
+        (params["rate"], 2 * window),
+    ]):
+        times = poisson_arrivals(rate, window, SEED + 31 * index, start=start)
+        mix = QueryMix.single(
+            QuerySpec("wide_bushy", params["cardinality"], STRATEGY)
+        )
+        specs = sample_specs(mix, len(times), SEED + 31 * index)
+        pairs.extend(zip(times, specs))
+    return Trace.from_arrivals(pairs, seed=SEED)
+
+
+def run_plan(trace, plan, params):
+    """Replay the surge trace under one capacity plan."""
+    shared = dict(
+        trace=trace,
+        shards=SHARDS,
+        placement="round_robin",
+        seed=SEED,
+        policy="exclusive",
+        share=SHARE,
+        config=FAST,
+    )
+    if plan == "static@base":
+        return api.run_cluster(machine_size=BASE_SIZE, **shared)
+    if plan == "static@peak":
+        return api.run_cluster(machine_size=PEAK_SIZE, **shared)
+    return api.run_cluster(
+        machine_size=BASE_SIZE,
+        autoscale=plan,
+        scale_max=PEAK_SIZE,
+        scale_cooldown=params["cooldown"],
+        **shared,
+    )
+
+
+def plan_row(plan, result):
+    stats = result.latency_stats()
+    return {
+        "plan": plan,
+        "completed": result.completed_count(),
+        "submitted": result.submitted_count(),
+        "makespan": result.makespan,
+        "goodput": result.goodput(),
+        "latency_p50": stats["p50"],
+        "latency_p95": stats["p95"],
+        "latency_p99": stats["p99"],
+        "scale_ups": result.scale_ups(),
+        "scale_downs": result.scale_downs(),
+    }
+
+
+def identity_gate(params):
+    """The 1-shard static cluster must be row-identical to
+    run_workload (same knobs, same bytes)."""
+    knobs = dict(
+        arrivals="poisson", rate=0.4, duration=40.0, seed=SEED,
+        machine_size=BASE_SIZE, policy="exclusive", share=SHARE,
+        strategy=STRATEGY, cardinality=params["cardinality"], config=FAST,
+    )
+    single = api.run_workload("wide_bushy", **knobs)
+    cluster = api.run_cluster(
+        "wide_bushy", shards=1, placement="hash", autoscale="static",
+        **knobs,
+    )
+    return single.rows() == cluster.rows()
+
+
+def replay_gate(trace):
+    """The 4-shard replay must emit identical JSONL at workers=1 and
+    workers=4 (compared as written bytes, not just parsed rows)."""
+    knobs = dict(
+        trace=trace, shards=4, placement="hash", seed=SEED,
+        machine_size=BASE_SIZE, policy="exclusive", share=SHARE,
+        config=FAST,
+    )
+    serial = api.run_cluster(workers=1, **knobs)
+    pooled = api.run_cluster(workers=4, **knobs)
+    with tempfile.TemporaryDirectory() as tmp:
+        a = pathlib.Path(tmp) / "serial.jsonl"
+        b = pathlib.Path(tmp) / "pooled.jsonl"
+        serial.write_jsonl(a)
+        pooled.write_jsonl(b)
+        return a.read_bytes() == b.read_bytes()
+
+
+def check(rows, identity_ok, replay_ok):
+    """The cluster gate; returns a list of failure messages."""
+    failures = []
+    if not identity_ok:
+        failures.append("1-shard static cluster diverged from run_workload")
+    if not replay_ok:
+        failures.append("trace replay JSONL differs at workers=1 vs workers=4")
+    by_plan = {row["plan"]: row for row in rows}
+    peak = by_plan["static@peak"]
+    base = by_plan["static@base"]
+    if peak["latency_p99"] and base["latency_p99"]:
+        degradation = base["latency_p99"] / peak["latency_p99"]
+    else:
+        degradation = 0.0
+    if degradation < P99_DEGRADATION:
+        failures.append(
+            f"surge did not hurt static@base enough: p99 degradation "
+            f"{degradation:.1f}x < {P99_DEGRADATION:g}x (the scenario is "
+            f"not a real overload)"
+        )
+    retention = {
+        plan: (
+            by_plan[plan]["goodput"] / peak["goodput"]
+            if peak["goodput"] else 0.0
+        )
+        for plan in ("reactive", "predictive")
+    }
+    if max(retention.values()) < RETENTION:
+        failures.append(
+            f"no elastic plan retained {RETENTION:.0%} of provisioned-peak "
+            f"goodput: reactive {retention['reactive']:.0%}, "
+            f"predictive {retention['predictive']:.0%}"
+        )
+    return failures, {"p99_degradation": degradation, "retention": retention}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (shorter surge windows)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the cluster gate fails")
+    parser.add_argument("--output", default=None, help="result JSON path")
+    args = parser.parse_args(argv)
+
+    params = SMOKE if args.smoke else FULL
+    trace = surge_trace(params)
+    print(f"surge trace: {len(trace)} queries over {trace.horizon():.0f}s "
+          f"({params['rate']:g} -> {2 * params['rate']:g} -> "
+          f"{params['rate']:g} q/s)")
+
+    identity_ok = identity_gate(params)
+    print(f"1-shard identity vs run_workload: "
+          f"{'ok' if identity_ok else 'DIVERGED'}")
+    replay_ok = replay_gate(trace)
+    print(f"4-shard replay determinism (workers 1 vs 4): "
+          f"{'ok' if replay_ok else 'DIVERGED'}")
+
+    rows = []
+    for plan in ("static@base", "static@peak", "reactive", "predictive"):
+        result = run_plan(trace, plan, params)
+        row = plan_row(plan, result)
+        rows.append(row)
+        scale = (
+            f" ups={row['scale_ups']} downs={row['scale_downs']}"
+            if row["scale_ups"] or row["scale_downs"] else ""
+        )
+        print(f"  {plan:12s} done={row['completed']:3d}/{row['submitted']:3d} "
+              f"makespan={row['makespan']:7.1f}s goodput={row['goodput']:.3f} "
+              f"p99={row['latency_p99']:.1f}s{scale}")
+
+    failures, ratios = check(rows, identity_ok, replay_ok)
+    verdict = "PASS" if not failures else "FAIL"
+    print(f"surge gate: static@base p99 {ratios['p99_degradation']:.1f}x "
+          f"peak; elastic retention reactive "
+          f"{ratios['retention']['reactive']:.0%} / predictive "
+          f"{ratios['retention']['predictive']:.0%} -> {verdict}")
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
+
+    out = pathlib.Path(
+        args.output
+        or pathlib.Path(__file__).resolve().parent
+        / "results" / "BENCH_cluster.json"
+    )
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps({
+        "mode": "smoke" if args.smoke else "full",
+        "params": params,
+        "shards": SHARDS,
+        "base_size": BASE_SIZE,
+        "peak_size": PEAK_SIZE,
+        "trace_queries": len(trace),
+        "identity_ok": identity_ok,
+        "replay_ok": replay_ok,
+        "ratios": ratios,
+        "thresholds": {
+            "p99_degradation": P99_DEGRADATION, "retention": RETENTION,
+        },
+        "plans": rows,
+        "pass": not failures,
+    }, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

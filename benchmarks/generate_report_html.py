@@ -6,7 +6,8 @@ line charts for Figures 9-13 with per-panel claim checklists, SVG
 Gantt charts for the idealized Figures 3/4/6/7, and the beyond-paper
 multi-query workload saturation curve, fault-injection resilience
 section, goodput-under-overload (deadlines + load shedding) section,
-and the multi-tenant scheduler fairness section.
+the multi-tenant scheduler fairness section, and the sharded-serving
+elastic-autoscaling section.
 
     python benchmarks/generate_report_html.py
 """
@@ -98,6 +99,71 @@ def fairness_report_points():
     )
 
 
+def cluster_report_points():
+    """The four capacity plans of the sharded-serving section, each
+    replaying the same surge trace (base rate, 2x middle window, base
+    rate) through a 2-shard cluster."""
+    from repro.cluster import Trace
+    from repro.workload import QuerySpec
+    from repro.workload.arrivals import poisson_arrivals
+    from repro.workload.mix import sample_specs
+
+    pairs = []
+    for index, (rate, start) in enumerate(
+        [(0.3, 0.0), (0.6, 45.0), (0.3, 90.0)]
+    ):
+        times = poisson_arrivals(rate, 45.0, 7 + 31 * index, start=start)
+        mix = QueryMix.single(QuerySpec("wide_bushy", 1_000, "FP"))
+        pairs.extend(zip(times, sample_specs(mix, len(times), 7 + 31 * index)))
+    trace = Trace.from_arrivals(pairs, seed=7)
+
+    plans = [
+        ("static@base", dict(machine_size=10)),
+        ("static@peak", dict(machine_size=30)),
+        ("reactive", dict(machine_size=10, autoscale="reactive",
+                          scale_max=30, scale_cooldown=5.0)),
+        ("predictive", dict(machine_size=10, autoscale="predictive",
+                            scale_max=30, scale_cooldown=5.0)),
+    ]
+    points = []
+    for plan, overrides in plans:
+        result = api.run_cluster(
+            trace=trace, shards=2, placement="round_robin", seed=7,
+            policy="exclusive", share=10, config=FAST, **overrides,
+        )
+        stats = result.latency_stats()
+        points.append({
+            "plan": plan,
+            "submitted": result.submitted_count(),
+            "completed": result.completed_count(),
+            "goodput": result.goodput(),
+            "latency_p50": stats["p50"],
+            "latency_p99": stats["p99"],
+            "scale_ups": result.scale_ups(),
+            "scale_downs": result.scale_downs(),
+            "capacity": _capacity_series(result),
+        })
+    return points
+
+
+def _capacity_series(result):
+    """Total healthy cluster capacity as a step function of simulated
+    time, reconstructed from the per-shard scale events."""
+    capacity = sum(report.capacity_base for report in result.shards)
+    deltas = sorted(
+        (event["time"], event["to"] - event["from"])
+        for report in result.shards
+        for event in report.scale_events
+    )
+    series = [(0.0, capacity)]
+    for when, delta in deltas:
+        series.append((when, capacity))
+        capacity += delta
+        series.append((when, capacity))
+    series.append((result.makespan, capacity))
+    return series
+
+
 def main() -> None:
     sweeps = all_sweeps()
     diagrams = {
@@ -110,6 +176,7 @@ def main() -> None:
         render_report(
             sweeps, diagrams, workload_points(), resilience_points(),
             overload_points(), fairness_report_points(),
+            cluster_points=cluster_report_points(),
         )
     )
     print(f"wrote {out}")

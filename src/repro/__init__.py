@@ -76,6 +76,8 @@ __all__ = [
     "mirror",
     "paper_relation_names",
     "run",
+    "run_cluster",
+    "run_workload",
     "simulate_schedule",
     "strategy_names",
     "sweep",
@@ -91,7 +93,7 @@ def __getattr__(name):
     if name in ("MachineConfig", "SimulationResult", "simulate_schedule", "execute_schedule"):
         from . import engine
         return getattr(engine, name)
-    if name in ("run", "sweep"):
+    if name in ("run", "sweep", "run_workload", "run_cluster"):
         from . import api
         return getattr(api, name)
     if name in ("XRAPlan", "compile_schedule"):

@@ -71,6 +71,22 @@ RUN_WORKLOAD_KEYWORDS = (
     "tenants", "fast_path",
 )
 
+#: The frozen keyword-only surface of :func:`run_cluster`.  The
+#: traffic/engine keywords are spelled identically to
+#: :func:`run_workload` (same defaults), so a 1-shard static cluster
+#: is a drop-in spelling of the same run; the cluster-specific prefix
+#: (``trace`` through ``workers``) is new surface.
+RUN_CLUSTER_KEYWORDS = (
+    "trace", "shards", "placement", "autoscale", "scale_max",
+    "scale_min", "scale_cooldown", "workers",
+    "arrivals", "rate", "duration", "seed", "machine_size", "policy",
+    "share", "strategy", "cardinality", "relations", "clients",
+    "think_time", "queries_per_client", "max_concurrent", "queue_limit",
+    "memory_budget_bytes", "config", "cost_model", "skew_theta",
+    "rejected_retry_delay", "deadline", "shed", "watchdog_limit",
+    "scheduler", "pool_size", "scheduling_cost", "tenants", "fast_path",
+)
+
 
 def _reject_unknown_keywords(func_name: str, unknown, accepted) -> None:
     """Shared keyword gate of the v1 surface.
@@ -386,27 +402,12 @@ def run_workload(
     _reject_unknown_keywords("run_workload", unknown, RUN_WORKLOAD_KEYWORDS)
     from .workload import (
         REJECTED_RETRY_DELAY,
-        QueryMix,
-        QuerySpec,
         WorkloadEngine,
-        make_arrivals,
         make_policy,
         make_tenants,
-        sample_specs,
     )
 
-    if isinstance(mix_or_shape, QueryMix):
-        mix = mix_or_shape
-    elif mix_or_shape == "paper":
-        mix = QueryMix.paper(
-            cardinalities=(cardinality,),
-            strategies=(strategy,) if strategy != "auto" else ("auto",),
-            relations=relations,
-        )
-    else:
-        mix = QueryMix.single(
-            QuerySpec(mix_or_shape, cardinality, strategy, relations)
-        )
+    mix = _resolve_mix(mix_or_shape, strategy, cardinality, relations)
     tenant_map = make_tenants(tenants)
     engine = WorkloadEngine(
         machine_size,
@@ -447,16 +448,48 @@ def run_workload(
             duration=duration,
             seed=seed,
         )
+    return engine.run_open(
+        _open_pairs(mix, tenant_map, arrivals, rate, duration, seed)
+    )
+
+
+def _resolve_mix(mix_or_shape, strategy, cardinality, relations):
+    """The shared mix spelling of :func:`run_workload` and
+    :func:`run_cluster`: a :class:`~repro.workload.QueryMix` passes
+    through, ``"paper"`` builds the uniform paper mix, and any other
+    string is a shape name wrapped in a single-spec mix."""
+    from .workload import QueryMix, QuerySpec
+
+    if isinstance(mix_or_shape, QueryMix):
+        return mix_or_shape
+    if mix_or_shape == "paper":
+        return QueryMix.paper(
+            cardinalities=(cardinality,),
+            strategies=(strategy,) if strategy != "auto" else ("auto",),
+            relations=relations,
+        )
+    return QueryMix.single(
+        QuerySpec(mix_or_shape, cardinality, strategy, relations)
+    )
+
+
+def _open_pairs(mix, tenant_map, arrivals, rate, duration, seed):
+    """The shared open-loop arrival stream of :func:`run_workload` and
+    :func:`run_cluster` — identical bytes through either facade.
+
+    With rated tenants: one seeded stream per rated tenant, specs
+    tagged with the tenant name, merged in (time, tenant) order —
+    deterministic regardless of tenant count, and each tenant's own
+    stream is unchanged by the others' rates (isolation sweeps vary
+    one tenant's load without perturbing the rest).
+    """
+    from .workload import make_arrivals, sample_specs
+
     rated = [
         (name, spec) for name, spec in sorted(tenant_map.items())
         if spec.rate is not None
     ]
     if rated:
-        # One seeded stream per rated tenant, specs tagged with the
-        # tenant name, merged in (time, tenant) order — deterministic
-        # regardless of tenant count, and each tenant's own stream is
-        # unchanged by the others' rates (isolation sweeps vary one
-        # tenant's load without perturbing the rest).
         from dataclasses import replace as _replace
 
         pairs = []
@@ -471,10 +504,172 @@ def run_workload(
                 for time, spec in zip(times, specs)
             )
         pairs.sort(key=lambda pair: (pair[0], pair[1].tenant))
-        return engine.run_open(pairs)
+        return pairs
     times = make_arrivals(arrivals, rate, duration, seed)
     specs = sample_specs(mix, len(times), seed)
-    return engine.run_open(list(zip(times, specs)))
+    return list(zip(times, specs))
+
+
+def run_cluster(
+    mix_or_shape="wide_bushy",
+    *,
+    trace=None,
+    shards: int = 2,
+    placement: str = "hash",
+    autoscale: str = "static",
+    scale_max: Optional[int] = None,
+    scale_min: Optional[int] = None,
+    scale_cooldown: Optional[float] = None,
+    workers: Optional[int] = None,
+    arrivals: str = "poisson",
+    rate: float = 1.0,
+    duration: float = 60.0,
+    seed: int = 0,
+    machine_size: int = 40,
+    policy: str = "exclusive",
+    share: Optional[int] = None,
+    strategy: str = "FP",
+    cardinality: int = DEFAULT_CARDINALITY,
+    relations: int = DEFAULT_RELATIONS,
+    clients: int = 4,
+    think_time: float = 0.0,
+    queries_per_client: Optional[int] = None,
+    max_concurrent: Optional[int] = None,
+    queue_limit: Optional[int] = None,
+    memory_budget_bytes: Optional[float] = None,
+    config: Optional[MachineConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    skew_theta: float = 0.0,
+    rejected_retry_delay: Optional[float] = None,
+    deadline=None,
+    shed=None,
+    watchdog_limit: Optional[int] = DEFAULT_MAX_EVENTS_PER_INSTANT,
+    scheduler=None,
+    pool_size: Optional[int] = None,
+    scheduling_cost: float = 0.0,
+    tenants=None,
+    fast_path: bool = True,
+    **unknown,
+):
+    """Serve traffic on a shared-nothing cluster of workload shards.
+
+    Every shard is an independent :class:`~repro.workload.WorkloadEngine`
+    (its own simulated clock, processor pool, scheduler, and admission
+    control) of ``machine_size`` processors; the router splits the
+    arrival stream across them before any shard simulates.  The
+    traffic/engine keywords are spelled exactly like
+    :func:`run_workload` — a 1-shard static cluster is *byte-identical*
+    to the single-engine run (pinned against the golden fixtures).
+
+    ``trace``
+        A :class:`~repro.cluster.Trace` (or a path to its JSON file) to
+        replay instead of generating traffic: the trace's recorded
+        arrivals are the exact open-loop stream, bit for bit.  Mutually
+        exclusive with ``arrivals="closed"``; the generation knobs
+        (``rate``/``duration``/``arrivals``) are ignored.
+    ``shards`` / ``placement``
+        Shard count and the routing policy
+        (:data:`repro.cluster.PLACEMENT_NAMES`): ``"hash"`` —
+        consistent tenant→shard hashing on a SHA-1 ring (untenanted
+        queries spread by submission index); ``"least_loaded"`` — the
+        shard with the earliest analytic busy-until forecast;
+        ``"round_robin"`` — submission order modulo shard count.
+        Closed-loop traffic splits its *clients* round-robin instead
+        (there is no global arrival stream to place).
+    ``autoscale`` / ``scale_max`` / ``scale_min`` / ``scale_cooldown``
+        Per-shard elasticity (:data:`repro.cluster.AUTOSCALE_NAMES`):
+        ``"static"`` pins every shard at ``machine_size``;
+        ``"reactive"`` steps capacity on queue-depth thresholds;
+        ``"predictive"`` jumps to the analytic backlog forecast.
+        Capacity moves between ``scale_min`` (default ``machine_size``)
+        and ``scale_max`` (default ``2 * machine_size``) with
+        ``scale_cooldown`` simulated seconds between scale events
+        (default :data:`repro.cluster.DEFAULT_COOLDOWN`); scale-up
+        repairs drained processors, scale-down drains without aborting
+        running queries.
+    ``workers``
+        Fan the shards over a process pool (the output is byte-identical
+        to the serial run; reports merge in shard order).
+
+    Returns a :class:`~repro.cluster.ClusterResult`; its ``write_jsonl``
+    emits one deterministic row per query (tagged with its shard when
+    ``shards > 1``).
+    """
+    _reject_unknown_keywords("run_cluster", unknown, RUN_CLUSTER_KEYWORDS)
+    from .cluster import DEFAULT_COOLDOWN, Trace, run_cluster_shards
+    from .workload import REJECTED_RETRY_DELAY, make_tenants
+
+    mix = _resolve_mix(mix_or_shape, strategy, cardinality, relations)
+    tenant_map = make_tenants(tenants)
+    engine_options = {
+        "machine_size": machine_size,
+        "policy": policy,
+        "share": share,
+        "config": config,
+        "cost_model": cost_model,
+        "skew_theta": skew_theta,
+        "max_concurrent": max_concurrent,
+        "queue_limit": queue_limit,
+        "memory_budget_bytes": memory_budget_bytes,
+        "rejected_retry_delay": (
+            REJECTED_RETRY_DELAY
+            if rejected_retry_delay is None
+            else rejected_retry_delay
+        ),
+        "deadline": deadline,
+        "deadline_seed": seed,
+        "shed": shed,
+        "watchdog_limit": watchdog_limit,
+        "scheduler": scheduler,
+        "pool_size": pool_size,
+        "scheduling_cost": scheduling_cost,
+        "tenants": tenant_map,
+        "fast_path": fast_path,
+    }
+    common = dict(
+        shards=shards,
+        placement=placement,
+        autoscale=autoscale,
+        engine_options=engine_options,
+        scale_max=scale_max,
+        scale_min=scale_min,
+        scale_cooldown=(
+            DEFAULT_COOLDOWN if scale_cooldown is None else scale_cooldown
+        ),
+        workers=workers,
+        placement_context={
+            "machine_size": machine_size,
+            "config": config,
+            "cost_model": cost_model,
+        },
+    )
+    if trace is not None:
+        if arrivals == "closed":
+            raise ValueError(
+                "a trace replays as an open-loop stream; it cannot be "
+                "combined with arrivals='closed'"
+            )
+        if not isinstance(trace, Trace):
+            trace = Trace.read(trace)
+        return run_cluster_shards(open_arrivals=trace.arrivals(), **common)
+    if arrivals == "closed":
+        return run_cluster_shards(
+            closed={
+                "mix": mix,
+                "clients": clients,
+                "think_time": think_time,
+                "queries_per_client": queries_per_client,
+                "duration": duration,
+                "seed": seed,
+            },
+            **common,
+        )
+    return run_cluster_shards(
+        open_arrivals=_open_pairs(
+            mix, tenant_map, arrivals, rate, duration, seed
+        ),
+        **common,
+    )
 
 
 def _resolve_tree(tree_or_shape: Union[str, Node]) -> Node:
@@ -499,9 +694,11 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_CARDINALITY",
     "DEFAULT_RELATIONS",
+    "RUN_CLUSTER_KEYWORDS",
     "RUN_KEYWORDS",
     "RUN_WORKLOAD_KEYWORDS",
     "run",
+    "run_cluster",
     "run_workload",
     "sweep",
 ]

@@ -13,6 +13,8 @@ Every major capability of the reproduction behind one entry point::
     python -m repro optimize --relations 10 --cardinality 5000 --processors 40
     python -m repro workload --shape wide_bushy --arrivals poisson \\
                              --rate 5 --duration 60 --seed 1
+    python -m repro cluster  --shards 4 --placement hash \\
+                             --autoscale reactive --rate 4 --duration 60
     python -m repro faults   --strategies SP,SE,RD,FP \\
                              --crash-rates 0,0.002,0.01 --recovery restart
     python -m repro perf     --profile --top 25
@@ -29,6 +31,18 @@ from typing import List, Optional
 from .core import Catalog, get_strategy, make_shape, paper_relation_names
 from .core.shapes import SHAPE_NAMES
 from .sim import MachineConfig
+
+#: Default directory for CLI result artifacts (JSONL, traces).  The
+#: subcommands used to drop ``workload_*.jsonl``/``faults_*.jsonl``
+#: into the current directory; they now land here unless ``--out``/
+#: ``--jsonl`` says otherwise, so a default run never litters the
+#: repository root.
+RESULTS_DIR = pathlib.Path("benchmarks") / "results"
+
+
+def _results_path(name: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name
 
 
 def _add_common(parser: argparse.ArgumentParser, strategy: bool = True) -> None:
@@ -131,8 +145,11 @@ def _cmd_sweep(args) -> int:
     )
     jsonl_path = args.jsonl
     if jsonl_path is None:
-        base = run.cache_dir if run.cache_dir is not None else pathlib.Path(".")
-        jsonl_path = base / f"sweep_{args.shape}_{args.cardinality}.jsonl"
+        name = f"sweep_{args.shape}_{args.cardinality}.jsonl"
+        if run.cache_dir is not None:
+            jsonl_path = run.cache_dir / name
+        else:
+            jsonl_path = _results_path(name)
     run.write_jsonl(jsonl_path)
 
     experiment = Experiment(args.shape, args.cardinality, processors)
@@ -253,8 +270,91 @@ def _cmd_workload(args) -> int:
     )
     jsonl_path = args.jsonl
     if jsonl_path is None:
-        jsonl_path = pathlib.Path(
+        jsonl_path = _results_path(
             f"workload_{args.shape}_{args.arrivals}.jsonl"
+        )
+    result.write_jsonl(jsonl_path)
+    if not args.quiet:
+        print(result.summary())
+        print(f"results: {jsonl_path}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    import json
+
+    from .api import _open_pairs, _resolve_mix, run_cluster
+    from .cluster import Trace
+    from .workload import make_tenants
+
+    tenants = None
+    if args.tenants is not None:
+        tenants = json.loads(pathlib.Path(args.tenants).read_text())
+    shape = args.shape if not args.paper_mix else "paper"
+    options = dict(
+        shards=args.shards,
+        placement=args.placement,
+        autoscale=args.autoscale,
+        scale_max=args.scale_max,
+        scale_min=args.scale_min,
+        scale_cooldown=args.scale_cooldown,
+        workers=args.workers,
+        seed=args.seed,
+        machine_size=args.machine_size,
+        policy=args.policy,
+        share=args.share,
+        strategy=args.strategy,
+        cardinality=args.cardinality,
+        relations=args.relations,
+        queue_limit=args.queue_limit,
+        skew_theta=args.skew,
+        deadline=args.deadline,
+        shed=args.shed,
+        scheduler=args.scheduler,
+        tenants=tenants,
+        fast_path=not args.no_fast_path,
+    )
+    if args.trace is not None:
+        trace = Trace.read(args.trace)
+        result = run_cluster(shape, trace=trace, **options)
+    elif args.arrivals == "closed":
+        result = run_cluster(
+            shape,
+            arrivals="closed",
+            clients=args.clients,
+            think_time=args.think,
+            queries_per_client=args.queries_per_client,
+            duration=args.duration,
+            **options,
+        )
+    else:
+        if args.record is not None:
+            # Freeze the exact stream this run will serve, then replay
+            # it — the recorded trace reproduces this run bit for bit.
+            mix = _resolve_mix(
+                shape, args.strategy, args.cardinality, args.relations
+            )
+            pairs = _open_pairs(
+                mix, make_tenants(tenants), args.arrivals, args.rate,
+                args.duration, args.seed,
+            )
+            trace = Trace.from_arrivals(pairs, seed=args.seed)
+            trace.write(args.record)
+            if not args.quiet:
+                print(f"trace: {args.record} ({len(trace)} queries)")
+            result = run_cluster(shape, trace=trace, **options)
+        else:
+            result = run_cluster(
+                shape,
+                arrivals=args.arrivals,
+                rate=args.rate,
+                duration=args.duration,
+                **options,
+            )
+    jsonl_path = args.jsonl
+    if jsonl_path is None:
+        jsonl_path = _results_path(
+            f"cluster_{args.shards}x_{args.placement}_{args.autoscale}.jsonl"
         )
     result.write_jsonl(jsonl_path)
     if not args.quiet:
@@ -299,7 +399,7 @@ def _cmd_faults(args) -> int:
             )
     jsonl_path = args.jsonl
     if jsonl_path is None:
-        jsonl_path = pathlib.Path(f"faults_{args.recovery}.jsonl")
+        jsonl_path = _results_path(f"faults_{args.recovery}.jsonl")
     write_jsonl(jsonl_path, [pt.row() for pt in points])
     if not args.quiet:
         print(f"results: {jsonl_path}")
@@ -384,10 +484,15 @@ def _cmd_serve(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Parallel evaluation of multi-join "
         "queries' (SIGMOD 1995)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -426,8 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: .repro_cache/ "
                         "or $REPRO_CACHE_DIR)")
-    p.add_argument("--jsonl", default=None,
-                   help="JSONL results path (default: inside the cache dir)")
+    p.add_argument("--jsonl", "--out", dest="jsonl", default=None,
+                   help="JSONL results path (default: inside the cache "
+                        "dir, or benchmarks/results/ without a cache)")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="per-job timeout in seconds")
     p.add_argument("--quiet", action="store_true",
@@ -533,12 +639,101 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fast-path", action="store_true",
                    help="force every query onto the classic event loop "
                         "(results are bit-identical either way)")
-    p.add_argument("--jsonl", default=None,
-                   help="per-query JSONL path "
-                        "(default: workload_<shape>_<arrivals>.jsonl)")
+    p.add_argument("--jsonl", "--out", dest="jsonl", default=None,
+                   help="per-query JSONL path (default: benchmarks/results/"
+                        "workload_<shape>_<arrivals>.jsonl)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the summary line")
     p.set_defaults(fn=_cmd_workload)
+
+    p = sub.add_parser(
+        "cluster",
+        help="serve traffic on a shared-nothing cluster of workload shards",
+    )
+    p.add_argument("--shape", choices=SHAPE_NAMES, default="wide_bushy",
+                   help="query tree shape (Figure 8)")
+    p.add_argument("--paper-mix", action="store_true",
+                   help="draw from all five shapes instead of --shape")
+    p.add_argument("--relations", type=int, default=10)
+    p.add_argument("--cardinality", type=int, default=5000)
+    p.add_argument("--strategy",
+                   choices=["SP", "SE", "RD", "FP", "auto"], default="FP",
+                   help="execution strategy ('auto': Section 5 guideline)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="independent workload-engine shards")
+    p.add_argument("--placement",
+                   choices=["hash", "least_loaded", "round_robin"],
+                   default="hash",
+                   help="tenant→shard routing policy")
+    p.add_argument("--autoscale",
+                   choices=["static", "reactive", "predictive"],
+                   default="static",
+                   help="per-shard elasticity policy")
+    p.add_argument("--scale-max", type=int, default=None,
+                   help="elastic capacity ceiling per shard "
+                        "(default: 2x --machine-size)")
+    p.add_argument("--scale-min", type=int, default=None,
+                   help="elastic capacity floor per shard "
+                        "(default: --machine-size)")
+    p.add_argument("--scale-cooldown", type=float, default=None,
+                   help="simulated seconds between scale events")
+    p.add_argument("--workers", type=int, default=None,
+                   help="run shards on a process pool (byte-identical "
+                        "to the serial run)")
+    p.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                   help="replay this recorded trace instead of "
+                        "generating traffic")
+    p.add_argument("--record", default=None, metavar="TRACE_JSON",
+                   help="record the generated open-loop stream to this "
+                        "trace file, then serve it")
+    p.add_argument("--arrivals", choices=["poisson", "fixed", "closed"],
+                   default="poisson",
+                   help="open-loop arrival process, or a closed loop")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="open-loop arrival rate (queries/second, "
+                        "cluster-wide)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="simulated arrival horizon in seconds")
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop client population (split round-robin "
+                        "across shards)")
+    p.add_argument("--think", type=float, default=0.0,
+                   help="closed-loop think time between queries")
+    p.add_argument("--queries-per-client", type=int, default=None,
+                   help="closed-loop per-client query budget")
+    p.add_argument("--machine-size", type=int, default=40,
+                   help="processors per shard")
+    p.add_argument("--policy",
+                   choices=["exclusive", "round_robin", "guideline"],
+                   default="exclusive", help="processor allocation policy")
+    p.add_argument("--share", type=int, default=None,
+                   help="processors per query (policy-specific default)")
+    p.add_argument("--queue-limit", type=int, default=None,
+                   help="per-shard admission queue bound")
+    p.add_argument("--skew", type=float, default=0.0,
+                   help="Zipf partitioning skew for every query")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for arrivals, mix sampling and deadlines")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-query deadline in simulated seconds")
+    p.add_argument("--shed",
+                   choices=["drop_newest", "drop_oldest", "deadline_aware"],
+                   default=None,
+                   help="load-shedding policy at admission")
+    p.add_argument("--scheduler",
+                   choices=["fifo", "edf", "sjf", "priority", "wfq"],
+                   default=None,
+                   help="per-shard queue-ordering policy")
+    p.add_argument("--tenants", default=None, metavar="SPEC_JSON",
+                   help="path to a tenant spec file")
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="force every query onto the classic event loop")
+    p.add_argument("--jsonl", "--out", dest="jsonl", default=None,
+                   help="per-query JSONL path (default: benchmarks/results/"
+                        "cluster_<shards>x_<placement>_<autoscale>.jsonl)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the summary line")
+    p.set_defaults(fn=_cmd_cluster)
 
     p = sub.add_parser(
         "faults",
@@ -572,8 +767,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base of the exponential restart backoff")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for arrivals, mix and fault generation")
-    p.add_argument("--jsonl", default=None,
-                   help="per-cell JSONL path (default: faults_<recovery>.jsonl)")
+    p.add_argument("--jsonl", "--out", dest="jsonl", default=None,
+                   help="per-cell JSONL path (default: benchmarks/results/"
+                        "faults_<recovery>.jsonl)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the table")
     p.set_defaults(fn=_cmd_faults)

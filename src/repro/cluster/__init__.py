@@ -1,0 +1,88 @@
+"""Sharded serving: a shared-nothing cluster of workload engines.
+
+The subsystem has three pieces (DESIGN.md §7d):
+
+:mod:`repro.cluster.router`
+    The front-end — fans an arrival stream over N independent
+    :class:`~repro.workload.WorkloadEngine` shards and merges the
+    per-shard reports into a :class:`ClusterResult`.
+
+:mod:`repro.cluster.trace`
+    Deterministic trace record/replay — a frozen, JSON-round-trippable
+    :class:`Trace` recorded from any workload run or synthesized at
+    scale over a process pool, replayable bit for bit.
+
+:mod:`repro.cluster.placement` / :mod:`repro.cluster.autoscale`
+    The routing and elasticity policies: consistent tenant→shard
+    hashing (plus ``least_loaded`` and ``round_robin``), and
+    ``reactive``/``predictive`` autoscalers that grow and shrink a
+    shard's pool in simulated time through the fault/repair machinery.
+
+The user-facing entry points are :func:`repro.api.run_cluster` and
+``python -m repro cluster``.
+"""
+
+from .autoscale import (
+    AUTOSCALE_NAMES,
+    DEFAULT_COOLDOWN,
+    Autoscaler,
+    ElasticEngine,
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    ScaleEvent,
+    make_autoscaler,
+)
+from .placement import (
+    PLACEMENT_NAMES,
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    build_ring,
+    make_placement,
+    predict_service_time,
+    ring_assignments,
+    ring_lookup,
+)
+from .router import (
+    SHARD_SEED_STRIDE,
+    ClusterResult,
+    ShardReport,
+    run_cluster_shards,
+    shard_seed,
+    split_clients,
+    split_open_arrivals,
+)
+from .trace import TRACE_VERSION, Trace, TraceQuery, synthesize_trace
+
+__all__ = [
+    "AUTOSCALE_NAMES",
+    "Autoscaler",
+    "ClusterResult",
+    "DEFAULT_COOLDOWN",
+    "ElasticEngine",
+    "HashPlacement",
+    "LeastLoadedPlacement",
+    "PLACEMENT_NAMES",
+    "PlacementPolicy",
+    "PredictiveAutoscaler",
+    "ReactiveAutoscaler",
+    "RoundRobinPlacement",
+    "SHARD_SEED_STRIDE",
+    "ScaleEvent",
+    "ShardReport",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceQuery",
+    "build_ring",
+    "make_autoscaler",
+    "make_placement",
+    "predict_service_time",
+    "ring_assignments",
+    "ring_lookup",
+    "run_cluster_shards",
+    "shard_seed",
+    "split_clients",
+    "split_open_arrivals",
+    "synthesize_trace",
+]

@@ -121,9 +121,11 @@ def _run_workload_job(job: Job, started: float) -> Tuple[Dict, Dict]:
     (default :class:`WorkloadTraffic`) shapes the open-loop traffic;
     the row's metrics summarize the workload instead of one query.
     """
+    traffic = job.workload or WorkloadTraffic()
+    if traffic.shards > 1:
+        return _run_cluster_job(job, traffic, started)
     from ..api import run_workload
 
-    traffic = job.workload or WorkloadTraffic()
     result = run_workload(
         job.shape,
         arrivals=traffic.arrivals,
@@ -164,6 +166,68 @@ def _run_workload_job(job: Job, started: float) -> Tuple[Dict, Dict]:
             "latency_p50": latency["p50"],
             "latency_p95": latency["p95"],
             "scheduling_decisions": result.scheduling_decisions,
+        },
+    }
+    meta = {"elapsed": time.perf_counter() - started, "pid": os.getpid()}
+    return row, meta
+
+
+def _run_cluster_job(
+    job: Job, traffic: WorkloadTraffic, started: float
+) -> Tuple[Dict, Dict]:
+    """Run a ``shards > 1`` cell through the cluster front-end.
+
+    ``job.processors`` is the *per-shard* machine size.  The job runs
+    its shards serially — the sweep's own process pool is the
+    parallelism budget; nesting pools would oversubscribe it.
+    """
+    from ..api import run_cluster
+
+    result = run_cluster(
+        job.shape,
+        shards=traffic.shards,
+        placement=traffic.placement,
+        autoscale=traffic.autoscale,
+        scale_max=traffic.scale_max,
+        arrivals=traffic.arrivals,
+        rate=traffic.rate,
+        duration=traffic.duration,
+        seed=traffic.seed,
+        machine_size=job.processors,
+        policy=traffic.policy,
+        share=traffic.share,
+        strategy=job.strategy,
+        cardinality=job.cardinality,
+        relations=job.relations,
+        queue_limit=traffic.queue_limit,
+        shed=traffic.shed,
+        config=job.config,
+        cost_model=job.cost_model,
+        skew_theta=job.skew_theta,
+        deadline=job.deadline,
+        scheduler=job.scheduler,
+        pool_size=traffic.pool_size,
+        scheduling_cost=traffic.scheduling_cost,
+        fast_path=traffic.fast_path,
+    )
+    latency = result.latency_stats()
+    row = {
+        **job.payload(),
+        "metrics": {
+            "submitted": result.submitted_count(),
+            "completed": result.completed_count(),
+            "rejected": result.rejected_count(),
+            "useful": result.useful_count(),
+            "makespan": result.makespan,
+            "throughput": result.throughput(),
+            "goodput": result.goodput(),
+            "latency_p50": latency["p50"],
+            "latency_p95": latency["p95"],
+            "latency_p99": latency["p99"],
+            "shards": len(result.shards),
+            "migrations": result.migrations,
+            "scale_ups": result.scale_ups(),
+            "scale_downs": result.scale_downs(),
         },
     }
     meta = {"elapsed": time.perf_counter() - started, "pid": os.getpid()}

@@ -60,6 +60,16 @@ class WorkloadTraffic:
     #: deliberately absent from the cache payload — both settings
     #: share one content address.
     fast_path: bool = True
+    #: Cluster axis: ``shards > 1`` runs the cell through
+    #: :func:`repro.api.run_cluster` (``processors`` is the per-shard
+    #: machine size) with this placement and autoscaling policy.  The
+    #: defaults describe the classic single-engine cell and are deleted
+    #: from the cache payload at ``shards == 1``, so every pre-cluster
+    #: cache entry keeps its content address.
+    shards: int = 1
+    placement: str = "hash"
+    autoscale: str = "static"
+    scale_max: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -70,6 +80,22 @@ class WorkloadTraffic:
             raise ValueError("pool_size must be positive")
         if self.scheduling_cost < 0:
             raise ValueError("scheduling_cost must be non-negative")
+        if self.shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        from ..cluster import AUTOSCALE_NAMES, PLACEMENT_NAMES
+
+        if self.placement not in PLACEMENT_NAMES:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; expected one of "
+                f"{PLACEMENT_NAMES}"
+            )
+        if self.autoscale not in AUTOSCALE_NAMES:
+            raise ValueError(
+                f"unknown autoscale policy {self.autoscale!r}; expected "
+                f"one of {AUTOSCALE_NAMES}"
+            )
+        if self.scale_max is not None and self.scale_max < 1:
+            raise ValueError("scale_max must be positive")
 
 
 @dataclass(frozen=True)
@@ -109,6 +135,15 @@ class Job:
                 "workload traffic needs a scheduler (single-query cells "
                 "have no admission queue)"
             )
+        if (
+            self.workload is not None
+            and self.workload.shards > 1
+            and self.faults is not None
+        ):
+            raise ValueError(
+                "cluster cells (shards > 1) do not take a fault schedule; "
+                "elasticity already drives the fault/repair machinery"
+            )
 
     def payload(self) -> Dict:
         """The job's full configuration as plain JSON-able data.
@@ -137,6 +172,12 @@ class Job:
             # Bit-identical either way (house invariant), so the fast
             # path must not split the cache address space.
             del data["workload"]["fast_path"]
+            if data["workload"]["shards"] == 1:
+                # A 1-shard cell is byte-identical to the pre-cluster
+                # single-engine cell (house invariant), so the cluster
+                # keys must not split its cache address either.
+                for key in ("shards", "placement", "autoscale", "scale_max"):
+                    del data["workload"][key]
         return data
 
     def key(self) -> str:

@@ -41,25 +41,64 @@ _WORKLOAD_KEYS = (
     "scheduler", "pool_size", "scheduling_cost", "tenants", "fast_path",
 )
 
+#: Keys an ``op: "cluster"`` request may pass through to
+#: :func:`repro.api.run_cluster` (the single-engine-only knobs —
+#: faults/recovery/cancellations — do not apply).
+_CLUSTER_KEYS = (
+    "trace", "shards", "placement", "autoscale", "scale_max",
+    "scale_min", "scale_cooldown", "workers",
+    "arrivals", "rate", "duration", "seed", "machine_size", "policy",
+    "share", "strategy", "cardinality", "relations", "clients",
+    "think_time", "queries_per_client", "max_concurrent", "queue_limit",
+    "memory_budget_bytes", "skew_theta", "deadline", "shed",
+    "scheduler", "pool_size", "scheduling_cost", "tenants", "fast_path",
+)
+
+#: Keys a stats request may carry (``{"stats": true}`` or
+#: ``{"op": "stats"}``).
+_STATS_KEYS = ("stats",)
+
 
 class QueryService:
-    """Stateless handler mapping request dicts to response dicts."""
+    """Handler mapping request dicts to response dicts.
+
+    Request handling is stateless; the service additionally keeps two
+    pieces of observability state for the ``stats`` op — per-op served
+    counters, and the engine/per-shard occupancy snapshot of the most
+    recent workload or cluster run.
+    """
+
+    def __init__(self) -> None:
+        self._served: Dict[str, int] = {}
+        self._engine_stats: Optional[Dict] = None
 
     def handle(self, request) -> Dict:
         """Serve one request; never raises on bad input."""
         if not isinstance(request, dict):
             return self._error("request must be a JSON object")
         op = request.get("op")
+        if op is None and request.get("stats"):
+            op = "stats"
         try:
             if op == "query":
-                return self._query(request)
+                return self._count(op, self._query(request))
             if op == "workload":
-                return self._workload(request)
+                return self._count(op, self._workload(request))
+            if op == "cluster":
+                return self._count(op, self._cluster(request))
+            if op == "stats":
+                return self._stats(request)
         except (ValueError, TypeError, KeyError) as exc:
             return self._error(str(exc))
         return self._error(
-            f"unknown op {op!r}; expected 'query' or 'workload'"
+            f"unknown op {op!r}; expected 'query', 'workload', "
+            f"'cluster', or 'stats'"
         )
+
+    def _count(self, op: str, response: Dict) -> Dict:
+        if response.get("ok"):
+            self._served[op] = self._served.get(op, 0) + 1
+        return response
 
     # -- the two operations -----------------------------------------------
 
@@ -199,7 +238,97 @@ class QueryService:
             response["lifecycle"] = lifecycle
         if request.get("rows"):
             response["rows"] = result.rows()
+        self._engine_stats = {
+            "op": "workload",
+            "machine_size": result.machine_size,
+            "utilization": result.utilization(),
+            "peak_in_flight": result.peak_in_flight,
+            "peak_queued": result.peak_queued,
+            "lifecycle": {
+                "submitted": len(result.records),
+                "completed": len(result.completed()),
+                "rejected": result.rejected_count(),
+                "shed": result.shed_count(),
+                "expired": result.deadline_missed_count(),
+                "cancelled": result.cancelled_count(),
+                "failed": result.failed_count(),
+            },
+        }
         return response
+
+    def _cluster(self, request: Dict) -> Dict:
+        from ..api import run_cluster
+
+        accepted = _CLUSTER_KEYS + ("shape", "rows")
+        unknown = self._unknown_keys(request, accepted)
+        if unknown:
+            return self._error(
+                f"unknown cluster parameters {unknown}; accepted keys: "
+                f"{sorted(accepted)}"
+            )
+        options = {
+            key: request[key] for key in _CLUSTER_KEYS if key in request
+        }
+        if "deadline" in options and isinstance(options["deadline"], list):
+            options["deadline"] = tuple(options["deadline"])
+        if "trace" in options:
+            # Requests are JSON, so traces arrive as the
+            # Trace.to_payload() dict form.
+            from ..cluster import Trace
+
+            try:
+                options["trace"] = Trace.from_payload(options["trace"])
+            except (TypeError, KeyError, ValueError) as exc:
+                return self._error(f"bad trace: {exc}")
+        result = run_cluster(request.get("shape", "wide_bushy"), **options)
+        response = {
+            "ok": True,
+            "op": "cluster",
+            "shards": len(result.shards),
+            "placement": result.placement,
+            "autoscale": result.autoscale,
+            "submitted": result.submitted_count(),
+            "completed": result.completed_count(),
+            "rejected": result.rejected_count(),
+            "makespan": result.makespan,
+            "goodput": result.goodput(),
+            "latency": result.latency_stats(),
+            "migrations": result.migrations,
+            "per_shard": result.per_shard(),
+        }
+        if result.scale_ups() or result.scale_downs():
+            response["scale_ups"] = result.scale_ups()
+            response["scale_downs"] = result.scale_downs()
+        if request.get("rows"):
+            response["rows"] = result.rows()
+        self._engine_stats = {
+            "op": "cluster",
+            "shards": result.per_shard(),
+            "placement": result.placement,
+            "autoscale": result.autoscale,
+            "migrations": result.migrations,
+            "lifecycle": {
+                "submitted": result.submitted_count(),
+                "completed": result.completed_count(),
+                "useful": result.useful_count(),
+                "rejected": result.rejected_count(),
+            },
+        }
+        return response
+
+    def _stats(self, request: Dict) -> Dict:
+        unknown = self._unknown_keys(request, _STATS_KEYS)
+        if unknown:
+            return self._error(
+                f"unknown stats parameters {unknown}; accepted keys: "
+                f"{sorted(_STATS_KEYS)}"
+            )
+        return {
+            "ok": True,
+            "op": "stats",
+            "served": dict(sorted(self._served.items())),
+            "engine": self._engine_stats,
+        }
 
     @staticmethod
     def _unknown_keys(request: Dict, accepted) -> list:

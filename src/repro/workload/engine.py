@@ -331,6 +331,7 @@ class WorkloadEngine:
         self._in_flight = 0
         self._memory_in_use = 0.0
         self.peak_in_flight = 0
+        self.peak_queued = 0
         #: Admission decisions the scheduler performed (admissions,
         #: expiries, and rejections it picked — not blocked looks).
         self.scheduling_decisions = 0
@@ -504,6 +505,7 @@ class WorkloadEngine:
         sees their *original* arrival — a retry is not a fresh
         arrival."""
         self._queue.append(record)
+        self.peak_queued = max(self.peak_queued, len(self._queue))
         if self.scheduler is not None:
             self.scheduler.enqueue(record)
 
@@ -1120,4 +1122,5 @@ class WorkloadEngine:
             ),
             scheduling_decisions=self.scheduling_decisions,
             fast_path_queries=self.fast_path_queries,
+            peak_queued=self.peak_queued,
         )

@@ -141,6 +141,8 @@ class WorkloadResult:
     #: telemetry: the rows and every other metric are bit-identical
     #: whether a query replayed analytically or drained the heap.
     fast_path_queries: int = 0
+    #: Deepest the admission queue ever got (autoscaler telemetry).
+    peak_queued: int = 0
 
     # -- populations ------------------------------------------------------
 

@@ -1,0 +1,111 @@
+"""Elastic capacity: bounds, determinism, event telemetry, and the
+round-robin rejection."""
+
+import pytest
+
+from repro.cluster import (
+    ElasticEngine,
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    make_autoscaler,
+)
+from repro.workload import ExclusivePolicy, QueryMix, QuerySpec
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.mix import sample_specs
+
+
+def burst_arrivals(rate=1.0, duration=30.0, seed=3):
+    times = poisson_arrivals(rate, duration, seed)
+    mix = QueryMix.single(QuerySpec("wide_bushy", 1_000, "FP"))
+    return list(zip(times, sample_specs(mix, len(times), seed)))
+
+
+def elastic(autoscaler, fast_config, **overrides):
+    options = dict(
+        autoscaler=autoscaler,
+        scale_max=30,
+        scale_cooldown=2.0,
+        config=fast_config,
+    )
+    options.update(overrides)
+    return ElasticEngine(10, ExclusivePolicy(10), **options)
+
+
+class TestMakeAutoscaler:
+    def test_static_and_none_mean_no_autoscaler(self):
+        assert make_autoscaler(None) is None
+        assert make_autoscaler("static") is None
+
+    def test_names_resolve(self):
+        assert isinstance(make_autoscaler("reactive"), ReactiveAutoscaler)
+        assert isinstance(make_autoscaler("predictive"), PredictiveAutoscaler)
+
+    def test_instance_passes_through(self):
+        scaler = ReactiveAutoscaler(step=5)
+        assert make_autoscaler(scaler) is scaler
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="oracle"):
+            make_autoscaler("oracle")
+
+
+class TestConstruction:
+    def test_round_robin_policy_rejected(self, fast_config):
+        """Round-robin time-shares the whole pool without claiming
+        processors, so a capacity change would be a silent no-op — the
+        engine must refuse instead of quietly not autoscaling."""
+        from repro.workload import RoundRobinPolicy
+
+        with pytest.raises(ValueError, match="round_robin"):
+            ElasticEngine(
+                10,
+                RoundRobinPolicy(10),
+                autoscaler=ReactiveAutoscaler(),
+                scale_max=30,
+                config=fast_config,
+            )
+
+    def test_scale_max_below_base_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="scale_max"):
+            elastic(ReactiveAutoscaler(), fast_config, scale_max=5)
+
+    def test_bad_scale_min_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="scale_min"):
+            elastic(ReactiveAutoscaler(), fast_config, scale_min=20)
+
+    def test_surplus_starts_drained(self, fast_config):
+        engine = elastic(ReactiveAutoscaler(), fast_config)
+        assert engine.capacity == 10
+        assert len(engine.machine.free_ids()) == 10
+
+
+@pytest.mark.parametrize("scaler", ["reactive", "predictive"])
+class TestElasticRun:
+    def test_scales_up_under_burst_and_back_down(self, scaler, fast_config):
+        engine = elastic(make_autoscaler(scaler), fast_config)
+        result = engine.run_open(burst_arrivals())
+        assert len(result.completed()) == len(result.records)
+        assert engine.scale_ups() > 0
+        assert engine.scale_downs() > 0
+        for event in engine.scale_events:
+            assert engine.scale_min <= event.capacity_to <= engine.scale_max
+
+    def test_cooldown_separates_scale_events(self, scaler, fast_config):
+        engine = elastic(make_autoscaler(scaler), fast_config)
+        engine.run_open(burst_arrivals())
+        times = [event.time for event in engine.scale_events]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= engine.scale_cooldown - 1e-9 for gap in gaps)
+
+    def test_rows_are_deterministic(self, scaler, fast_config):
+        first = elastic(make_autoscaler(scaler), fast_config)
+        second = elastic(make_autoscaler(scaler), fast_config)
+        assert (
+            first.run_open(burst_arrivals()).rows()
+            == second.run_open(burst_arrivals()).rows()
+        )
+
+    def test_no_query_aborted_by_scale_down(self, scaler, fast_config):
+        engine = elastic(make_autoscaler(scaler), fast_config)
+        result = engine.run_open(burst_arrivals())
+        assert all(row["failed"] is False for row in result.rows())

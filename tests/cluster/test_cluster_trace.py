@@ -1,0 +1,113 @@
+"""Trace determinism: the frozen record/replay format round-trips
+byte for byte, and synthesis is worker-count invariant."""
+
+import json
+
+import pytest
+
+from repro.cluster import TRACE_VERSION, Trace, TraceQuery, synthesize_trace
+from repro.workload import QuerySpec
+
+
+def small_trace():
+    return synthesize_trace(
+        "wide_bushy", rate=0.5, duration=30.0, seed=13, workers=1
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_byte_identical(self):
+        trace = small_trace()
+        text = trace.to_json()
+        again = Trace.from_payload(json.loads(text))
+        assert again.to_json() == text
+        assert again == trace
+
+    def test_file_round_trip_is_byte_identical(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "trace.json"
+        trace.write(path)
+        first = path.read_bytes()
+        Trace.read(path).write(tmp_path / "again.json")
+        assert (tmp_path / "again.json").read_bytes() == first
+
+    def test_canonical_json_is_stable(self):
+        # Canonical form: sorted keys, no whitespace — so two equal
+        # traces always serialize to the same bytes.
+        trace = small_trace()
+        payload = json.loads(trace.to_json())
+        assert payload["version"] == TRACE_VERSION
+        assert trace.to_json() == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_optional_fields_survive(self):
+        query = TraceQuery(
+            arrival=1.5, shape="wide_bushy", cardinality=500,
+            strategy="SE", relations=6, deadline=30.0, tenant="acme",
+        )
+        trace = Trace(queries=(query,), seed=3)
+        again = Trace.from_payload(json.loads(trace.to_json()))
+        assert again.queries[0].deadline == 30.0
+        assert again.queries[0].tenant == "acme"
+
+
+class TestValidation:
+    def test_unknown_payload_key_rejected(self):
+        payload = json.loads(small_trace().to_json())
+        payload["comment"] = "hand-edited"
+        with pytest.raises(ValueError, match="comment"):
+            Trace.from_payload(payload)
+
+    def test_unknown_query_key_rejected(self):
+        payload = json.loads(small_trace().to_json())
+        payload["queries"][0]["priority"] = 9
+        with pytest.raises(ValueError, match="priority"):
+            Trace.from_payload(payload)
+
+    def test_out_of_order_arrivals_rejected(self):
+        queries = (
+            TraceQuery(arrival=2.0, shape="wide_bushy"),
+            TraceQuery(arrival=1.0, shape="wide_bushy"),
+        )
+        with pytest.raises(ValueError):
+            Trace(queries=queries)
+
+    def test_wrong_version_rejected(self):
+        payload = json.loads(small_trace().to_json())
+        payload["version"] = TRACE_VERSION + 1
+        with pytest.raises(ValueError):
+            Trace.from_payload(payload)
+
+
+class TestSynthesis:
+    def test_worker_count_invariant(self):
+        serial = synthesize_trace(
+            "wide_bushy", rate=1.0, duration=60.0, seed=21, workers=1
+        )
+        pooled = synthesize_trace(
+            "wide_bushy", rate=1.0, duration=60.0, seed=21, workers=4
+        )
+        assert serial.to_json() == pooled.to_json()
+
+    def test_seed_changes_the_trace(self):
+        a = synthesize_trace("wide_bushy", rate=1.0, duration=30.0, seed=1)
+        b = synthesize_trace("wide_bushy", rate=1.0, duration=30.0, seed=2)
+        assert a.to_json() != b.to_json()
+
+    def test_arrivals_sorted(self):
+        trace = synthesize_trace(
+            "wide_bushy", rate=2.0, duration=30.0, seed=5
+        )
+        times = [q.arrival for q in trace.queries]
+        assert times == sorted(times)
+        assert len(trace) > 10
+
+
+class TestFromArrivals:
+    def test_from_arrivals_sorts_and_freezes(self):
+        spec = QuerySpec("wide_bushy", 500, "SE")
+        trace = Trace.from_arrivals([(3.0, spec), (1.0, spec)], seed=4)
+        assert [q.arrival for q in trace.queries] == [1.0, 3.0]
+        assert trace.seed == 4
+        assert trace.arrivals()[0][1].shape == "wide_bushy"

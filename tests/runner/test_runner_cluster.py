@@ -1,0 +1,88 @@
+"""The runner's cluster axis: sharded workload cells, cache-address
+stability for unsharded cells, and cluster-row metrics."""
+
+import pytest
+
+from repro.runner import Job, WorkloadTraffic, run_sweep
+from repro.sim import MachineConfig
+
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+
+def cluster_job(**traffic_overrides):
+    traffic = dict(
+        rate=0.3, duration=20.0, seed=7, shards=2, policy="exclusive",
+        share=12,
+    )
+    traffic.update(traffic_overrides)
+    return Job(
+        "wide_bushy", "FP", 12, 400, config=FAST, scheduler="fifo",
+        workload=WorkloadTraffic(**traffic),
+    )
+
+
+class TestPayloadStability:
+    def test_unsharded_payload_carries_no_cluster_keys(self):
+        """Cache-address preservation: at shards=1 the payload is
+        byte-identical to the pre-cluster runner, so every existing
+        cache entry stays valid."""
+        job = Job(
+            "wide_bushy", "FP", 12, 400, scheduler="fifo",
+            workload=WorkloadTraffic(rate=0.3),
+        )
+        payload = job.payload()
+        for key in ("shards", "placement", "autoscale", "scale_max"):
+            assert key not in payload["workload"]
+
+    def test_sharded_payload_carries_the_cluster_keys(self):
+        payload = cluster_job().payload()
+        assert payload["workload"]["shards"] == 2
+        assert payload["workload"]["placement"] == "hash"
+        assert payload["workload"]["autoscale"] == "static"
+
+    def test_shard_counts_get_distinct_cache_keys(self):
+        assert cluster_job().key() != cluster_job(shards=3).key()
+
+
+class TestValidation:
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ValueError, match="shard"):
+            WorkloadTraffic(shards=0)
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            WorkloadTraffic(shards=2, placement="zone_aware")
+
+    def test_bad_autoscale_rejected(self):
+        with pytest.raises(ValueError, match="autoscale"):
+            WorkloadTraffic(shards=2, autoscale="oracle")
+
+    def test_faults_and_shards_are_exclusive(self):
+        from repro.faults import FaultSchedule
+
+        with pytest.raises(ValueError, match="fault schedule"):
+            Job(
+                "wide_bushy", "FP", 12, 400, scheduler="fifo",
+                faults=FaultSchedule(crashes=((1.0, 0),)),
+                workload=WorkloadTraffic(shards=2),
+            )
+
+
+class TestClusterCells:
+    def test_cluster_cell_metrics(self, tmp_path):
+        run = run_sweep([cluster_job()], cache_dir=tmp_path, workers=1)
+        [row] = run.rows()
+        metrics = row["metrics"]
+        assert metrics["shards"] == 2
+        assert metrics["completed"] == metrics["submitted"]
+        assert metrics["goodput"] > 0
+        assert "scale_ups" in metrics
+
+    def test_cluster_cell_caches_and_replays(self, tmp_path):
+        first = run_sweep([cluster_job()], cache_dir=tmp_path, workers=1)
+        second = run_sweep([cluster_job()], cache_dir=tmp_path, workers=1)
+        assert second.outcomes[0].source == "cache"
+        assert first.rows() == second.rows()

@@ -254,3 +254,111 @@ class TestSchedulersAndTenants:
         ))
         assert not response["ok"]
         assert "unknown tenant keys" in response["error"]
+
+
+class TestClusterOp:
+    REQUEST = {
+        "op": "cluster", "shape": "wide_bushy", "cardinality": 500,
+        "strategy": "FP", "machine_size": 12, "policy": "exclusive",
+        "share": 12, "rate": 0.3, "duration": 30, "seed": 3, "shards": 2,
+    }
+
+    def test_summarizes_the_cluster_run(self):
+        response = SERVICE.handle(dict(self.REQUEST))
+        assert response["ok"]
+        assert response["shards"] == 2
+        assert response["placement"] == "hash"
+        assert response["autoscale"] == "static"
+        assert response["completed"] == response["submitted"]
+        assert len(response["per_shard"]) == 2
+        assert "rows" not in response
+
+    def test_rows_on_request_carry_their_shard(self):
+        response = SERVICE.handle(dict(self.REQUEST, rows=True))
+        assert len(response["rows"]) == response["submitted"]
+        assert all("shard" in row for row in response["rows"])
+
+    def test_deterministic(self):
+        assert SERVICE.handle(dict(self.REQUEST)) == SERVICE.handle(
+            dict(self.REQUEST)
+        )
+
+    def test_trace_payload_replays(self):
+        from repro.cluster import synthesize_trace
+
+        trace = synthesize_trace(
+            "wide_bushy", rate=0.5, duration=20.0, seed=5
+        )
+        request = dict(self.REQUEST, trace=trace.to_payload())
+        for key in ("rate", "duration", "cardinality", "strategy"):
+            del request[key]
+        response = SERVICE.handle(request)
+        assert response["ok"]
+        assert response["submitted"] == len(trace)
+
+    def test_bad_trace_is_an_error_dict(self):
+        response = SERVICE.handle(
+            dict(self.REQUEST, trace={"version": 99, "queries": []})
+        )
+        assert not response["ok"]
+        assert "bad trace" in response["error"]
+
+    def test_unknown_parameter_refused(self):
+        """Satellite: strict key validation on the cluster op — a typo
+        is an error naming the key, never a silent ignore."""
+        response = SERVICE.handle(dict(self.REQUEST, shardss=4))
+        assert not response["ok"]
+        assert "shardss" in response["error"]
+
+    def test_single_engine_knobs_refused(self):
+        response = SERVICE.handle(
+            dict(self.REQUEST, faults={"crashes": []})
+        )
+        assert not response["ok"]
+        assert "faults" in response["error"]
+
+
+class TestStatsOp:
+    def test_bare_stats_request(self):
+        """Satellite: ``{"stats": true}`` with no op is the stats op."""
+        service = QueryService()
+        response = service.handle({"stats": True})
+        assert response["ok"]
+        assert response["op"] == "stats"
+        assert response["served"] == {}
+        assert response["engine"] is None
+
+    def test_served_counters_track_ok_responses(self):
+        service = QueryService()
+        service.handle({"op": "query", "processors": 10, "cardinality": 500})
+        service.handle({"op": "query", "processors": 10, "cardinality": 500})
+        service.handle({"op": "query", "backend": "warp"})  # refused
+        response = service.handle({"stats": True})
+        assert response["served"] == {"query": 2}
+
+    def test_engine_snapshot_follows_the_last_workload(self):
+        service = QueryService()
+        service.handle({
+            "op": "workload", "shape": "wide_bushy", "cardinality": 200,
+            "relations": 4, "strategy": "SE", "machine_size": 8,
+            "rate": 0.05, "duration": 60, "seed": 1,
+        })
+        response = service.handle({"stats": True})
+        engine = response["engine"]
+        assert engine["op"] == "workload"
+        assert engine["machine_size"] == 8
+        assert engine["lifecycle"]["submitted"] > 0
+        assert "peak_queued" in engine
+
+    def test_engine_snapshot_follows_the_last_cluster(self):
+        service = QueryService()
+        service.handle(dict(TestClusterOp.REQUEST))
+        response = service.handle({"stats": True})
+        engine = response["engine"]
+        assert engine["op"] == "cluster"
+        assert len(engine["shards"]) == 2
+
+    def test_unknown_stats_key_refused(self):
+        response = SERVICE.handle({"op": "stats", "verbose": True})
+        assert not response["ok"]
+        assert "verbose" in response["error"]

@@ -258,3 +258,99 @@ class TestWorkloadSchedulers:
         with pytest.raises(ValueError, match="pool_size needs a scheduler"):
             run_cli(capsys, *self.ARGS, "--pool-size", "4",
                     "--jsonl", str(tmp_path / "x.jsonl"))
+
+
+class TestCluster:
+    ARGS = (
+        "cluster", "--shape", "wide_bushy", "--cardinality", "200",
+        "--relations", "4", "--strategy", "SE", "--machine-size", "8",
+        "--shards", "2", "--rate", "0.05", "--duration", "60",
+        "--seed", "1",
+    )
+
+    def test_writes_jsonl_and_summary(self, capsys, tmp_path):
+        jsonl = tmp_path / "c.jsonl"
+        code, out = run_cli(capsys, *self.ARGS, "--jsonl", str(jsonl))
+        assert code == 0
+        assert "cluster 2x8p" in out
+        assert jsonl.read_text().count("\n") >= 1
+
+    def test_out_is_an_alias_for_jsonl(self, capsys, tmp_path):
+        jsonl = tmp_path / "alias.jsonl"
+        code, _ = run_cli(capsys, *self.ARGS, "--out", str(jsonl), "--quiet")
+        assert code == 0
+        assert jsonl.exists()
+
+    def test_record_then_replay_is_byte_identical(self, capsys, tmp_path):
+        """Satellite: --record freezes the exact stream; --trace replay
+        of that file reproduces the run bit for bit."""
+        trace = tmp_path / "t.json"
+        recorded = tmp_path / "rec.jsonl"
+        replayed = tmp_path / "rep.jsonl"
+        run_cli(capsys, *self.ARGS, "--record", str(trace),
+                "--jsonl", str(recorded), "--quiet")
+        run_cli(capsys, *self.ARGS, "--trace", str(trace),
+                "--jsonl", str(replayed), "--quiet")
+        assert recorded.read_bytes() == replayed.read_bytes()
+
+    def test_workers_do_not_change_the_bytes(self, capsys, tmp_path):
+        serial, pooled = tmp_path / "s.jsonl", tmp_path / "p.jsonl"
+        run_cli(capsys, *self.ARGS, "--jsonl", str(serial), "--quiet")
+        run_cli(capsys, *self.ARGS, "--workers", "2",
+                "--jsonl", str(pooled), "--quiet")
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_autoscale_flags_accepted(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, *self.ARGS, "--autoscale", "reactive",
+            "--scale-max", "16", "--scale-cooldown", "2.0",
+            "--jsonl", str(tmp_path / "a.jsonl"),
+        )
+        assert code == 0
+
+
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestDefaultArtifactLocation:
+    """Satellite: CLI artifacts land under benchmarks/results/ by
+    default — never loose files in the repository root."""
+
+    def run_in(self, tmp_path, monkeypatch, capsys, *argv):
+        monkeypatch.chdir(tmp_path)
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        return [p for p in tmp_path.iterdir() if p.is_file()]
+
+    def test_workload_default_under_results(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        loose = self.run_in(
+            tmp_path, monkeypatch, capsys,
+            "workload", "--shape", "wide_bushy", "--cardinality", "200",
+            "--relations", "4", "--strategy", "SE", "--machine-size", "8",
+            "--rate", "0.05", "--duration", "60", "--quiet",
+        )
+        assert loose == []
+        results = tmp_path / "benchmarks" / "results"
+        assert list(results.glob("workload_*.jsonl"))
+
+    def test_cluster_default_under_results(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        loose = self.run_in(
+            tmp_path, monkeypatch, capsys,
+            "cluster", "--shape", "wide_bushy", "--cardinality", "200",
+            "--relations", "4", "--strategy", "SE", "--machine-size", "8",
+            "--shards", "2", "--rate", "0.05", "--duration", "60", "--quiet",
+        )
+        assert loose == []
+        results = tmp_path / "benchmarks" / "results"
+        assert list(results.glob("cluster_2x_hash_static.jsonl"))

@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.workload",
     "repro.service",
     "repro.faults",
+    "repro.cluster",
 ]
 
 
@@ -77,6 +78,7 @@ def test_frozen_keyword_tuples_are_the_signature():
     for func, frozen in (
         (api.run, api.RUN_KEYWORDS),
         (api.run_workload, api.RUN_WORKLOAD_KEYWORDS),
+        (api.run_cluster, api.RUN_CLUSTER_KEYWORDS),
     ):
         keyword_only = [
             p.name
@@ -125,6 +127,16 @@ def test_simulating_front_ends_share_keyword_surface():
         assert params["skew_theta"].default == 0.0
         assert params["cost_model"].default is None
         assert params["skew_theta"].kind is inspect.Parameter.KEYWORD_ONLY
+
+
+def test_version_is_frozen():
+    """``repro.__version__`` is part of the v1 freeze: a semver string
+    that only changes together with a deliberate API change."""
+    import re
+
+    import repro
+
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
 
 
 def test_top_level_lazy_exports():
