@@ -1,0 +1,328 @@
+"""The BENCH resilience gate: the coordinated cluster under failure.
+
+Three claims about ``repro.cluster.resilience`` / ``repro.cluster.chaos``
+are institutionalized here:
+
+* **failover** — killing 1 of 4 shards mid-run, the coordinated
+  cluster (failover + retry budgets) retains at least
+  ``FAILOVER_RETENTION`` (70%) of the fault-free goodput with zero
+  conservation violations, while the ``failover=False`` baseline
+  (the pre-resilience router) loses the dead shard's population to
+  honest per-query failures;
+* **hedging** — against a straggler shard (a shard-level stall fault
+  slowing every processor there), hedged requests cut p99 latency to
+  at most ``HEDGE_P99`` (0.75x) of the unhedged run at under
+  ``HEDGE_DUPLICATE`` (10%) duplicate busy time;
+* **shrinking** — the chaos harness's ddmin shrinker reduces a
+  multi-event failing fault schedule to a single-event minimal repro
+  that still trips the same invariant.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py            # full
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_resilience.py --check    # gate
+
+Writes ``BENCH_resilience.json`` (override with ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro import api
+from repro.cluster import HedgePolicy, shrink_schedule
+from repro.cluster.chaos import check_invariants
+from repro.faults import CrashFault, FaultSchedule, StallFault
+from repro.sim import MachineConfig
+
+#: Coarse batches keep each cluster cell to a fraction of a second.
+FAST = MachineConfig(
+    tuple_unit=0.001, process_startup=0.008, handshake=0.012,
+    network_latency=0.05, batches=8,
+)
+
+#: Failover + retries must retain this fraction of fault-free goodput.
+FAILOVER_RETENTION = 0.70
+#: Hedged p99 must be at most this fraction of the unhedged p99.
+HEDGE_P99 = 0.75
+#: Hedging must add less than this fraction of duplicate busy time.
+HEDGE_DUPLICATE = 0.10
+
+SHARDS = 4
+MACHINE_SIZE = 12       # per-shard processors (FP on wide_bushy needs >= 9)
+SHARE = 12
+STRATEGY = "FP"
+CARDINALITY = 1_000
+SEED = 11
+KILL_SHARD = 1
+STRAGGLER = 2
+STALL_FACTOR = 6.0
+
+#: ~80% of the 4-shard capacity (exclusive FP keeps each shard serial
+#: at roughly 7s per query): loaded enough that losing a shard hurts,
+#: unsaturated enough that live shards can absorb failover and hedges.
+FULL = dict(rate=0.45, duration=240.0)
+SMOKE = dict(rate=0.45, duration=120.0)
+
+
+def run_cell(params, **overrides):
+    """One coordinated-cluster run over the shared arrival stream.
+
+    Every cell passes ``retry_budget`` so the resilient (single-clock)
+    path serves it; identical knobs + seed give identical arrivals, so
+    the cells differ only in the fault and policy under test.
+    """
+    knobs = dict(
+        arrivals="poisson", rate=params["rate"], duration=params["duration"],
+        seed=SEED, shards=SHARDS, machine_size=MACHINE_SIZE,
+        policy="exclusive", share=SHARE, strategy=STRATEGY,
+        cardinality=CARDINALITY, placement="hash", config=FAST,
+        retry_budget=3,
+    )
+    knobs.update(overrides)
+    return api.run_cluster("wide_bushy", **knobs)
+
+
+def busy_seconds(result) -> float:
+    """Total busy time across shards — the duplicate-work currency."""
+    return sum(report.busy_seconds for report in result.shards)
+
+
+def cell_row(scenario, result, baseline_goodput=None):
+    stats = result.latency_stats()
+    res = result.resilience
+    return {
+        "scenario": scenario,
+        "submitted": result.submitted_count(),
+        "completed": result.completed_count(),
+        "failed": result.failed_count(),
+        "goodput": result.goodput(),
+        "retained": (
+            result.goodput() / baseline_goodput
+            if baseline_goodput else None
+        ),
+        "retries": res["retries"],
+        "hedges": res["hedges"],
+        "hedge_wins": res["hedge_wins"],
+        "p99": stats["p99"],
+        "busy_seconds": busy_seconds(result),
+        "conservation_violations": check_invariants(result),
+    }
+
+
+def failover_cells(params):
+    """Fault-free, failover, and no-failover runs of the same stream
+    with shard ``KILL_SHARD`` crashed permanently at 40% of the run."""
+    kill = FaultSchedule(
+        crashes=(CrashFault(KILL_SHARD, at=0.4 * params["duration"]),),
+        seed=SEED,
+    )
+    rows = []
+    fault_free = run_cell(params)
+    rows.append(cell_row("fault-free", fault_free))
+    goodput = fault_free.goodput()
+    resilient = run_cell(params, shard_faults=kill)
+    rows.append(cell_row("shard killed, failover", resilient, goodput))
+    baseline = run_cell(params, shard_faults=kill, failover=False)
+    rows.append(cell_row("shard killed, no failover", baseline, goodput))
+    return rows
+
+
+def hedge_cells(params):
+    """Unhedged and hedged runs against a straggler shard stalled for
+    the whole run (every processor ``STALL_FACTOR``x slower)."""
+    stall = FaultSchedule(
+        stalls=(
+            StallFault(
+                STRAGGLER, start=0.0, end=3.0 * params["duration"],
+                factor=STALL_FACTOR,
+            ),
+        ),
+        seed=SEED,
+    )
+    rows = []
+    unhedged = run_cell(params, shard_faults=stall)
+    rows.append(cell_row("straggler, unhedged", unhedged))
+    hedged = run_cell(
+        params, shard_faults=stall,
+        hedge=HedgePolicy(percentile=50.0, min_observations=6),
+    )
+    rows.append(cell_row("straggler, hedged", hedged))
+    return rows
+
+
+def shrink_cell():
+    """ddmin a noisy failing schedule down to the minimal repro.
+
+    The victim is a tiny 2-shard no-failover cluster; the invariant it
+    violates is "some query fails".  Of the many injected events, one
+    crash is enough to trip it — the shrinker must find that out.
+    """
+    schedule = FaultSchedule.generate(
+        machine_size=2, horizon=30.0, seed=SEED, crash_rate=0.15,
+        repair_time=None, stall_rate=0.1, stall_duration=5.0,
+    )
+
+    def fails(candidate) -> bool:
+        result = run_cell(
+            dict(rate=0.8, duration=30.0), shards=2,
+            shard_faults=candidate, failover=False, retry_budget=0,
+        )
+        return result.failed_count() > 0
+
+    shrunk = shrink_schedule(schedule, fails)
+    return {
+        "original_events": schedule.event_count,
+        "shrunk_events": shrunk.event_count,
+        "shrunk": shrunk.to_payload(),
+    }
+
+
+def check(failover_rows, hedge_rows, shrink_row):
+    """The resilience gate; returns a list of failure messages."""
+    failures = []
+    for row in failover_rows + hedge_rows:
+        if row["conservation_violations"]:
+            failures.append(
+                f"conservation violated in {row['scenario']!r}: "
+                f"{row['conservation_violations'][:3]}"
+            )
+    by_scenario = {row["scenario"]: row for row in failover_rows}
+    resilient = by_scenario["shard killed, failover"]
+    baseline = by_scenario["shard killed, no failover"]
+    if (resilient["retained"] or 0.0) < FAILOVER_RETENTION:
+        failures.append(
+            f"failover retained only {resilient['retained']:.0%} of "
+            f"fault-free goodput (< {FAILOVER_RETENTION:.0%})"
+        )
+    if baseline["failed"] == 0:
+        failures.append(
+            "the no-failover baseline lost nothing — the kill scenario "
+            "is not exercising the dead shard's population"
+        )
+    if resilient["completed"] <= baseline["completed"]:
+        failures.append(
+            f"failover completed no more queries than the no-failover "
+            f"baseline ({resilient['completed']} vs {baseline['completed']})"
+        )
+    unhedged, hedged = hedge_rows
+    if not (unhedged["p99"] and hedged["p99"]):
+        failures.append("hedge cells produced no p99 latency")
+    else:
+        ratio = hedged["p99"] / unhedged["p99"]
+        if ratio > HEDGE_P99:
+            failures.append(
+                f"hedging cut p99 to only {ratio:.0%} of unhedged "
+                f"(> {HEDGE_P99:.0%})"
+            )
+    if unhedged["busy_seconds"] > 0:
+        duplicate = (
+            hedged["busy_seconds"] - unhedged["busy_seconds"]
+        ) / unhedged["busy_seconds"]
+        if duplicate >= HEDGE_DUPLICATE:
+            failures.append(
+                f"hedging cost {duplicate:.0%} duplicate busy time "
+                f"(>= {HEDGE_DUPLICATE:.0%})"
+            )
+    else:
+        duplicate = None
+        failures.append("unhedged run recorded no busy time")
+    if shrink_row["shrunk_events"] >= shrink_row["original_events"]:
+        failures.append(
+            f"the shrinker did not shrink: {shrink_row['original_events']} "
+            f"-> {shrink_row['shrunk_events']} events"
+        )
+    if shrink_row["shrunk_events"] != 1:
+        failures.append(
+            f"the minimal repro has {shrink_row['shrunk_events']} events; "
+            f"a single crash suffices to fail a no-failover cluster"
+        )
+    ratios = {
+        "failover_retention": resilient["retained"],
+        "hedge_p99_ratio": (
+            hedged["p99"] / unhedged["p99"]
+            if unhedged["p99"] and hedged["p99"] else None
+        ),
+        "hedge_duplicate_work": duplicate,
+    }
+    return failures, ratios
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (shorter stream)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the resilience gate fails")
+    parser.add_argument("--output", default=None, help="result JSON path")
+    args = parser.parse_args(argv)
+
+    params = SMOKE if args.smoke else FULL
+    print(f"stream: poisson {params['rate']:g} q/s over "
+          f"{params['duration']:g}s across {SHARDS} shards")
+
+    failover_rows = failover_cells(params)
+    hedge_rows = hedge_cells(params)
+    for row in failover_rows + hedge_rows:
+        retained = (
+            "" if row["retained"] is None else f" retained={row['retained']:.0%}"
+        )
+        hedges = (
+            f" hedges={row['hedges']}({row['hedge_wins']} won)"
+            if row["hedges"] else ""
+        )
+        p99 = "n/a" if row["p99"] is None else f"{row['p99']:.1f}s"
+        print(f"  {row['scenario']:26s} done={row['completed']:3d}"
+              f"/{row['submitted']:3d} failed={row['failed']:2d} "
+              f"goodput={row['goodput']:.3f} p99={p99}"
+              f"{retained}{hedges} retries={row['retries']}")
+    shrink_row = shrink_cell()
+    print(f"  shrinker: {shrink_row['original_events']} events -> "
+          f"{shrink_row['shrunk_events']} (minimal repro)")
+
+    failures, ratios = check(failover_rows, hedge_rows, shrink_row)
+    verdict = "PASS" if not failures else "FAIL"
+    print(f"resilience gate: retention "
+          f"{ratios['failover_retention']:.0%}, hedge p99 "
+          f"{ratios['hedge_p99_ratio']:.0%}, duplicate work "
+          f"{ratios['hedge_duplicate_work']:+.1%} -> {verdict}")
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
+
+    out = pathlib.Path(
+        args.output
+        or pathlib.Path(__file__).resolve().parent
+        / "results" / "BENCH_resilience.json"
+    )
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps({
+        "mode": "smoke" if args.smoke else "full",
+        "params": params,
+        "shards": SHARDS,
+        "machine_size": MACHINE_SIZE,
+        "kill_shard": KILL_SHARD,
+        "straggler": STRAGGLER,
+        "stall_factor": STALL_FACTOR,
+        "ratios": ratios,
+        "thresholds": {
+            "failover_retention": FAILOVER_RETENTION,
+            "hedge_p99": HEDGE_P99,
+            "hedge_duplicate": HEDGE_DUPLICATE,
+        },
+        "cells": failover_rows + hedge_rows,
+        "shrink": shrink_row,
+        "pass": not failures,
+    }, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,13 @@ RUN_CLUSTER_KEYWORDS = (
     "memory_budget_bytes", "config", "cost_model", "skew_theta",
     "rejected_retry_delay", "deadline", "shed", "watchdog_limit",
     "scheduler", "pool_size", "scheduling_cost", "tenants", "fast_path",
+    # Extended additively post-freeze by the resilience surface:
+    # engine-level per-shard faults, and the coordinated-mode knobs
+    # (any of shard_faults/retry_budget/hedge/breaker/throttle/failover
+    # switches the run to the single-clock resilient cluster).
+    "faults", "recovery", "max_retries", "retry_backoff",
+    "shard_faults", "retry_budget", "hedge", "breaker", "throttle",
+    "failover",
 )
 
 
@@ -549,6 +556,16 @@ def run_cluster(
     scheduling_cost: float = 0.0,
     tenants=None,
     fast_path: bool = True,
+    faults=None,
+    recovery: str = "fail",
+    max_retries: int = 3,
+    retry_backoff: float = 1.0,
+    shard_faults=None,
+    retry_budget: Optional[int] = None,
+    hedge=None,
+    breaker=None,
+    throttle=None,
+    failover: Optional[bool] = None,
     **unknown,
 ):
     """Serve traffic on a shared-nothing cluster of workload shards.
@@ -590,6 +607,30 @@ def run_cluster(
     ``workers``
         Fan the shards over a process pool (the output is byte-identical
         to the serial run; reports merge in shard order).
+    ``faults`` / ``recovery`` / ``max_retries`` / ``retry_backoff``
+        Engine-level (processor) fault injection, per shard: a single
+        :class:`~repro.faults.FaultSchedule` applies to every shard, a
+        sequence of length ``shards`` (``None`` holes) or a
+        ``{shard: schedule}`` dict targets shards individually; the
+        recovery knobs are spelled like :func:`run_workload`.
+    ``shard_faults`` / ``retry_budget`` / ``hedge`` / ``breaker`` /
+    ``throttle`` / ``failover``
+        The resilience surface (DESIGN.md §7e).  Passing *any* of them
+        switches to the coordinated single-clock cluster
+        (:class:`~repro.cluster.ResilientCluster`): ``shard_faults`` is
+        a cluster-level :class:`~repro.faults.FaultSchedule` whose
+        crash events name *shards*; ``retry_budget`` re-dispatches of
+        aborted queries (exponential backoff in simulated time);
+        ``hedge``/``breaker``/``throttle`` take ``True``, a policy
+        dict, or a policy instance
+        (:class:`~repro.cluster.HedgePolicy` /
+        :class:`~repro.cluster.BreakerPolicy` /
+        :class:`~repro.cluster.ThrottlePolicy`); ``failover=False``
+        keeps the pre-routed loss behavior (a dead home shard fails
+        its queries) for baseline comparisons.  The coordinated mode
+        serves open-loop traffic on static shards and returns a
+        :class:`~repro.cluster.ResilientClusterResult` (one logical
+        row per query, however many shard attempts served it).
 
     Returns a :class:`~repro.cluster.ClusterResult`; its ``write_jsonl``
     emits one deterministic row per query (tagged with its shard when
@@ -625,7 +666,51 @@ def run_cluster(
         "scheduling_cost": scheduling_cost,
         "tenants": tenant_map,
         "fast_path": fast_path,
+        "faults": faults,
+        "recovery": recovery,
+        "max_retries": max_retries,
+        "retry_backoff": retry_backoff,
     }
+    resilient = any(
+        value is not None
+        for value in (
+            shard_faults, retry_budget, hedge, breaker, throttle, failover
+        )
+    )
+    if resilient:
+        if arrivals == "closed" and trace is None:
+            raise ValueError(
+                "the resilient (coordinated) cluster serves open-loop "
+                "traffic; closed-loop clients stay on the pre-routed path"
+            )
+        if autoscale not in (None, "static"):
+            raise ValueError(
+                "resilience and autoscale cannot combine: the "
+                "coordinated cluster runs static shards"
+            )
+        from .cluster import run_resilient_cluster
+
+        if trace is not None:
+            if not isinstance(trace, Trace):
+                trace = Trace.read(trace)
+            pairs = trace.arrivals()
+        else:
+            pairs = _open_pairs(
+                mix, tenant_map, arrivals, rate, duration, seed
+            )
+        return run_resilient_cluster(
+            open_arrivals=pairs,
+            shards=shards,
+            engine_options=engine_options,
+            placement=placement,
+            shard_faults=shard_faults,
+            retry_budget=0 if retry_budget is None else retry_budget,
+            hedge=hedge,
+            breaker=breaker,
+            throttle=throttle,
+            failover=True if failover is None else failover,
+            workers=workers,
+        )
     common = dict(
         shards=shards,
         placement=placement,

@@ -291,6 +291,35 @@ def _cmd_cluster(args) -> int:
     if args.tenants is not None:
         tenants = json.loads(pathlib.Path(args.tenants).read_text())
     shape = args.shape if not args.paper_mix else "paper"
+    faults = None
+    if args.crash_rate > 0:
+        from .cluster import shard_seed
+        from .faults import FaultSchedule
+
+        # Engine-level (processor) faults, one independent seeded
+        # schedule per shard — shards fail on their own timelines.
+        faults = [
+            FaultSchedule.generate(
+                machine_size=args.machine_size,
+                horizon=args.duration,
+                seed=shard_seed(args.seed, shard),
+                crash_rate=args.crash_rate,
+                repair_time=args.repair_time,
+            )
+            for shard in range(args.shards)
+        ]
+    shard_faults = None
+    if args.shard_crash_rate > 0:
+        from .faults import FaultSchedule
+
+        # Cluster-level faults: crash events name whole shards.
+        shard_faults = FaultSchedule.generate(
+            machine_size=args.shards,
+            horizon=args.duration,
+            seed=args.seed,
+            crash_rate=args.shard_crash_rate,
+            repair_time=args.shard_repair_time,
+        )
     options = dict(
         shards=args.shards,
         placement=args.placement,
@@ -313,6 +342,14 @@ def _cmd_cluster(args) -> int:
         scheduler=args.scheduler,
         tenants=tenants,
         fast_path=not args.no_fast_path,
+        faults=faults,
+        recovery=args.recovery,
+        shard_faults=shard_faults,
+        retry_budget=args.retry_budget,
+        hedge=args.hedge,
+        breaker=True if args.breaker else None,
+        throttle=True if args.throttle else None,
+        failover=False if args.no_failover else None,
     )
     if args.trace is not None:
         trace = Trace.read(args.trace)
@@ -361,6 +398,54 @@ def _cmd_cluster(args) -> int:
         print(result.summary())
         print(f"results: {jsonl_path}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .cluster import run_chaos_campaign
+
+    shapes = []
+    for token in args.shapes.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        shards, _, size = token.partition("x")
+        shapes.append((int(shards), int(size)))
+    rates = [float(r) for r in args.crash_rates.split(",")]
+    fixture_dir = args.fixtures
+    if fixture_dir is None:
+        fixture_dir = RESULTS_DIR / "chaos_fixtures"
+    result = run_chaos_campaign(
+        cluster_shapes=tuple(shapes),
+        crash_rates=tuple(rates),
+        queries=args.queries,
+        arrival_rate=args.rate,
+        horizon=args.horizon,
+        repair_time=args.repair_time,
+        retry_budget=args.retry_budget,
+        placement=args.placement,
+        seed=args.seed,
+        workers=args.workers,
+        fixture_dir=fixture_dir,
+    )
+    out_path = args.out
+    if out_path is None:
+        out_path = _results_path("chaos_campaign.json")
+    pathlib.Path(out_path).write_text(
+        json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n"
+    )
+    if not args.quiet:
+        print(result.summary())
+        for violation in result.violations():
+            print(
+                f"  VIOLATION point {violation['point']} "
+                f"[{violation['invariant']}]: {violation['detail']}"
+            )
+        for fixture in result.fixtures:
+            print(f"  shrunken repro: {fixture}")
+        print(f"results: {out_path}")
+    return 0 if result.ok else 1
 
 
 def _cmd_faults(args) -> int:
@@ -728,12 +813,79 @@ def build_parser() -> argparse.ArgumentParser:
                    help="path to a tenant spec file")
     p.add_argument("--no-fast-path", action="store_true",
                    help="force every query onto the classic event loop")
+    p.add_argument("--crash-rate", type=float, default=0.0,
+                   help="per-shard processor crash rate (crashes/second; "
+                        "each shard draws its own seeded schedule)")
+    p.add_argument("--repair-time", type=float, default=60.0,
+                   help="seconds until a crashed processor rejoins")
+    p.add_argument("--recovery",
+                   choices=["fail", "restart", "reassign"], default="fail",
+                   help="per-shard recovery policy for crashed queries")
+    p.add_argument("--shard-crash-rate", type=float, default=0.0,
+                   help="whole-shard crash rate (crashes/second across "
+                        "the cluster; switches to the coordinated "
+                        "resilient mode)")
+    p.add_argument("--shard-repair-time", type=float, default=30.0,
+                   help="seconds until a crashed shard rejoins the ring")
+    p.add_argument("--retry-budget", type=int, default=None,
+                   help="cluster-level re-dispatches per aborted query "
+                        "(resilient mode; exponential backoff)")
+    p.add_argument("--hedge", type=float, default=None, metavar="PCT",
+                   help="hedge requests whose forecast exceeds this "
+                        "percentile of recent latencies (resilient mode)")
+    p.add_argument("--breaker", action="store_true",
+                   help="per-shard circuit breakers (resilient mode)")
+    p.add_argument("--throttle", action="store_true",
+                   help="per-tenant token-bucket rate SLOs at cluster "
+                        "admission (resilient mode)")
+    p.add_argument("--no-failover", action="store_true",
+                   help="resilient mode without failover: a dead home "
+                        "shard fails its queries (baseline comparisons)")
     p.add_argument("--jsonl", "--out", dest="jsonl", default=None,
                    help="per-query JSONL path (default: benchmarks/results/"
                         "cluster_<shards>x_<placement>_<autoscale>.jsonl)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the summary line")
     p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-campaign sweep over cluster shapes with "
+             "invariant checks and failure shrinking",
+    )
+    p.add_argument("--shapes", default="2x8,4x8",
+                   help="comma-separated cluster shapes as "
+                        "SHARDSxPROCESSORS (e.g. '2x8,4x16')")
+    p.add_argument("--crash-rates", default="0,0.05",
+                   help="comma-separated whole-shard crash rates "
+                        "(crashes/second)")
+    p.add_argument("--queries", type=int, default=30,
+                   help="open-loop queries per campaign point")
+    p.add_argument("--rate", type=float, default=2.0,
+                   help="arrival rate per point (queries/second)")
+    p.add_argument("--horizon", type=float, default=60.0,
+                   help="fault-schedule horizon in simulated seconds")
+    p.add_argument("--repair-time", type=float, default=15.0,
+                   help="seconds until a crashed shard rejoins")
+    p.add_argument("--retry-budget", type=int, default=3,
+                   help="cluster-level retries per aborted query")
+    p.add_argument("--placement",
+                   choices=["hash", "least_loaded", "round_robin"],
+                   default="hash", help="routing policy for every point")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (points derive their own)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan campaign points over a process pool "
+                        "(payload is identical at any worker count)")
+    p.add_argument("--fixtures", default=None, metavar="DIR",
+                   help="directory for shrunken-schedule repro fixtures "
+                        "(default: benchmarks/results/chaos_fixtures/)")
+    p.add_argument("--out", default=None,
+                   help="campaign JSON payload path (default: benchmarks/"
+                        "results/chaos_campaign.json)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the summary lines")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
         "faults",

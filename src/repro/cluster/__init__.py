@@ -18,6 +18,15 @@ The subsystem has three pieces (DESIGN.md §7d):
     ``reactive``/``predictive`` autoscalers that grow and shrink a
     shard's pool in simulated time through the fault/repair machinery.
 
+:mod:`repro.cluster.resilience` / :mod:`repro.cluster.chaos`
+    Cluster-grade resilience (DESIGN.md §7e): the coordinated
+    single-clock mode with shard failover, retry budgets, hedged
+    requests, circuit breakers, and per-tenant rate SLOs — plus the
+    seeded chaos-campaign harness that sweeps fault schedules over
+    cluster shapes, asserts conservation/watchdog/determinism
+    invariants, and delta-debugs failing schedules down to minimal
+    regression fixtures.
+
 The user-facing entry points are :func:`repro.api.run_cluster` and
 ``python -m repro cluster``.
 """
@@ -43,11 +52,28 @@ from .placement import (
     predict_service_time,
     ring_assignments,
     ring_lookup,
+    ring_lookup_live,
+)
+from .chaos import (
+    CampaignResult,
+    ChaosPoint,
+    run_chaos_campaign,
+    shrink_schedule,
+)
+from .resilience import (
+    BreakerPolicy,
+    ClusterQueryRecord,
+    HedgePolicy,
+    ResilientCluster,
+    ResilientClusterResult,
+    ThrottlePolicy,
+    run_resilient_cluster,
 )
 from .router import (
     SHARD_SEED_STRIDE,
     ClusterResult,
     ShardReport,
+    resolve_shard_faults,
     run_cluster_shards,
     shard_seed,
     split_clients,
@@ -58,30 +84,43 @@ from .trace import TRACE_VERSION, Trace, TraceQuery, synthesize_trace
 __all__ = [
     "AUTOSCALE_NAMES",
     "Autoscaler",
+    "BreakerPolicy",
+    "CampaignResult",
+    "ChaosPoint",
+    "ClusterQueryRecord",
     "ClusterResult",
     "DEFAULT_COOLDOWN",
     "ElasticEngine",
     "HashPlacement",
+    "HedgePolicy",
     "LeastLoadedPlacement",
     "PLACEMENT_NAMES",
     "PlacementPolicy",
     "PredictiveAutoscaler",
     "ReactiveAutoscaler",
+    "ResilientCluster",
+    "ResilientClusterResult",
     "RoundRobinPlacement",
     "SHARD_SEED_STRIDE",
     "ScaleEvent",
     "ShardReport",
     "TRACE_VERSION",
+    "ThrottlePolicy",
     "Trace",
     "TraceQuery",
     "build_ring",
     "make_autoscaler",
     "make_placement",
     "predict_service_time",
+    "resolve_shard_faults",
     "ring_assignments",
     "ring_lookup",
+    "ring_lookup_live",
+    "run_chaos_campaign",
     "run_cluster_shards",
+    "run_resilient_cluster",
     "shard_seed",
+    "shrink_schedule",
     "split_clients",
     "split_open_arrivals",
     "synthesize_trace",

@@ -172,6 +172,27 @@ def ring_lookup(ring: Tuple[List[int], List[int]], key: str) -> int:
     return owners[position]
 
 
+def ring_lookup_live(
+    ring: Tuple[List[int], List[int]], key: str, alive
+) -> Optional[int]:
+    """First ring point clockwise of the key whose owner is in
+    ``alive`` (wrapping).  This is consistent-hash failover: a dead
+    shard's keys walk clockwise onto the *next* live owner, so only
+    ~1/N of the keyspace moves per dead shard, and a repaired shard's
+    keys snap back to their original owner (the walk stops at the
+    first point again).  Returns ``None`` when no live shard exists.
+    """
+    points, owners = ring
+    if not alive:
+        return None
+    start = bisect.bisect_right(points, _digest(key))
+    for offset in range(len(points)):
+        owner = owners[(start + offset) % len(points)]
+        if owner in alive:
+            return owner
+    return None
+
+
 def ring_assignments(keys, shards: int) -> Dict[str, int]:
     """Map every key to its shard on a fresh ring — the stability
     test's helper (compare assignments at N and N+1 shards)."""
@@ -189,38 +210,11 @@ def predict_service_time(
     cost_model=None,
 ) -> Optional[float]:
     """Analytic response time of ``spec`` at advised parallelism on a
-    ``machine_size`` shard — the same Section 3 forecast the SJF/WFQ
-    schedulers trust (:class:`~repro.workload.sched.ServiceEstimator`),
-    parameterized by shard capacity instead of a live engine.  Returns
+    ``machine_size`` shard — delegates to
+    :func:`repro.model.analytic.predict_spec_service_time`, where the
+    model lives alongside the other Section 3 forecasts.  Returns
     ``None`` for an infeasible spec.
     """
-    from ..core.cost import CostModel
-    from ..core.trees import num_joins
-    from ..model.analytic import predict
-    from ..optimizer.guidelines import (
-        advise_parallelism,
-        advise_strategy,
-        apply_advice,
-    )
+    from ..model.analytic import predict_spec_service_time
 
-    cost_model = cost_model or CostModel()
-    try:
-        tree = spec.tree()
-        catalog = spec.catalog()
-        strategy = spec.strategy
-        if strategy == "auto":
-            advice = advise_strategy(tree, catalog, machine_size, cost_model)
-            tree = apply_advice(tree, advice)
-            strategy = advice.strategy
-        processors = advise_parallelism(
-            tree, catalog, machine_size, cost_model
-        )
-        if strategy == "FP":
-            # Pipelining needs one processor per join to be feasible.
-            processors = max(processors, num_joins(tree))
-        processors = max(1, min(processors, machine_size))
-        return predict(
-            tree, catalog, strategy, processors, config, cost_model
-        ).response_time
-    except ValueError:
-        return None
+    return predict_spec_service_time(spec, machine_size, config, cost_model)

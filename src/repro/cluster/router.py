@@ -255,7 +255,9 @@ class ClusterResult:
 # -- shard execution (process-pool entry points) --------------------------
 
 
-def _build_engine(payload: Dict) -> WorkloadEngine:
+def _build_engine(
+    payload: Dict, *, clock=None, on_query_done=None
+) -> WorkloadEngine:
     options = payload["engine"]
     policy = make_policy(options["policy"], options["share"])
     common = dict(
@@ -275,6 +277,14 @@ def _build_engine(payload: Dict) -> WorkloadEngine:
         scheduling_cost=options["scheduling_cost"],
         tenants=options["tenants"],
         fast_path=options["fast_path"],
+        # Engine-level fault schedule + recovery policy, per shard
+        # (absent from pre-resilience payloads; .get keeps them valid).
+        faults=options.get("faults"),
+        recovery=options.get("recovery", "fail"),
+        max_retries=options.get("max_retries", 3),
+        retry_backoff=options.get("retry_backoff", 1.0),
+        clock=clock,
+        on_query_done=on_query_done,
     )
     autoscale = payload["autoscale"]
     if autoscale is None:
@@ -421,6 +431,9 @@ def run_cluster_shards(
             # changes *concurrency*, not per-query feasibility.
             engine_options = {**engine_options, "share": base}
 
+    shard_faults = resolve_shard_faults(
+        engine_options.get("faults"), shards
+    )
     migrations = 0
     payloads: List[Dict] = []
     if open_arrivals is not None:
@@ -431,7 +444,9 @@ def run_cluster_shards(
             payloads.append({
                 "shard": shard,
                 "arrivals": per_shard[shard],
-                "engine": _shard_engine_options(engine_options, shard),
+                "engine": _shard_engine_options(
+                    engine_options, shard, fault=shard_faults[shard]
+                ),
                 "autoscale": autoscale_payload,
             })
     else:
@@ -445,7 +460,9 @@ def run_cluster_shards(
                     "clients": counts[shard],
                     "seed": shard_seed(closed["seed"], shard),
                 },
-                "engine": _shard_engine_options(engine_options, shard),
+                "engine": _shard_engine_options(
+                    engine_options, shard, fault=shard_faults[shard]
+                ),
                 "autoscale": autoscale_payload,
             })
         payloads = [p for p in payloads if p["closed"]["clients"] > 0]
@@ -459,12 +476,70 @@ def run_cluster_shards(
     )
 
 
-def _shard_engine_options(engine_options: Dict, shard: int) -> Dict:
+def _shard_engine_options(
+    engine_options: Dict, shard: int, fault=None
+) -> Dict:
     """Per-shard engine options: shard 0 keeps the caller's seed (the
-    1-shard identity invariant); later shards derive theirs."""
+    1-shard identity invariant); later shards derive theirs.  ``fault``
+    (from :func:`resolve_shard_faults`) replaces any multi-shard
+    ``faults`` value with this shard's own schedule."""
     options = dict(engine_options)
     options["deadline_seed"] = shard_seed(options["deadline_seed"], shard)
+    options["faults"] = fault
     return options
+
+
+def resolve_shard_faults(faults, shards: int) -> List:
+    """Per-shard fault schedules from a ``faults=`` argument.
+
+    A single :class:`~repro.faults.FaultSchedule` applies to *every*
+    shard (each engine builds its own injector, so sharing the
+    schedule object is safe); a sequence of length ``shards`` (with
+    ``None`` holes) or a ``{shard: schedule}`` dict targets shards
+    individually.
+    """
+    if faults is None:
+        return [None] * shards
+    from ..faults import FaultSchedule
+
+    if isinstance(faults, FaultSchedule):
+        return [faults] * shards
+    if isinstance(faults, dict):
+        resolved: List = [None] * shards
+        for shard, schedule in faults.items():
+            if not isinstance(shard, int) or not 0 <= shard < shards:
+                raise ValueError(
+                    f"faults dict key {shard!r} is not a shard index in "
+                    f"[0, {shards})"
+                )
+            if schedule is not None and not isinstance(
+                schedule, FaultSchedule
+            ):
+                raise ValueError(
+                    f"faults[{shard}] must be a FaultSchedule or None, "
+                    f"got {type(schedule).__name__}"
+                )
+            resolved[shard] = schedule
+        return resolved
+    if isinstance(faults, (list, tuple)):
+        if len(faults) != shards:
+            raise ValueError(
+                f"faults sequence has {len(faults)} entries for "
+                f"{shards} shards"
+            )
+        for shard, schedule in enumerate(faults):
+            if schedule is not None and not isinstance(
+                schedule, FaultSchedule
+            ):
+                raise ValueError(
+                    f"faults[{shard}] must be a FaultSchedule or None, "
+                    f"got {type(schedule).__name__}"
+                )
+        return list(faults)
+    raise ValueError(
+        "faults must be a FaultSchedule, a per-shard sequence, or a "
+        "{shard: schedule} dict"
+    )
 
 
 def _execute(payloads: List[Dict], workers: Optional[int]) -> List[ShardReport]:

@@ -247,3 +247,53 @@ def relative_error(predicted: float, simulated: float) -> float:
     if simulated <= 0:
         raise ValueError("simulated time must be positive")
     return abs(predicted - simulated) / simulated
+
+
+def predict_spec_service_time(
+    spec,
+    machine_size: int,
+    config: Optional[MachineConfig] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Optional[float]:
+    """Analytic response time of one workload ``QuerySpec`` at advised
+    parallelism on a ``machine_size`` machine.
+
+    This is the Section 3 forecast the SJF/WFQ schedulers trust
+    (:class:`~repro.workload.sched.ServiceEstimator`), parameterized by
+    capacity instead of a live engine: plan the spec (resolving
+    ``"auto"`` through the guideline advisor), clamp the advised
+    parallelism to the machine (pipelining needs one processor per
+    join to be feasible), and predict.  The cluster layer leans on it
+    twice — ``least_loaded`` placement's busy-until forecast, and the
+    resilient router's hedging trigger (forecast completion versus the
+    recent-latency percentile).  Returns ``None`` for a spec no plan
+    can run at this capacity.
+    """
+    from ..core.trees import num_joins
+    from ..optimizer.guidelines import (
+        advise_parallelism,
+        advise_strategy,
+        apply_advice,
+    )
+
+    cost_model = cost_model or CostModel()
+    try:
+        tree = spec.tree()
+        catalog = spec.catalog()
+        strategy = spec.strategy
+        if strategy == "auto":
+            advice = advise_strategy(tree, catalog, machine_size, cost_model)
+            tree = apply_advice(tree, advice)
+            strategy = advice.strategy
+        processors = advise_parallelism(
+            tree, catalog, machine_size, cost_model
+        )
+        if strategy == "FP":
+            # Pipelining needs one processor per join to be feasible.
+            processors = max(processors, num_joins(tree))
+        processors = max(1, min(processors, machine_size))
+        return predict(
+            tree, catalog, strategy, processors, config, cost_model
+        ).response_time
+    except ValueError:
+        return None

@@ -2,6 +2,9 @@
 
 from .html import (
     claims_html,
+    cluster_chart,
+    cluster_html,
+    cluster_resilience_html,
     fairness_chart,
     fairness_html,
     figure14_html,
@@ -22,6 +25,9 @@ __all__ = [
     "LineChart",
     "Series2D",
     "claims_html",
+    "cluster_chart",
+    "cluster_html",
+    "cluster_resilience_html",
     "color_for",
     "fairness_chart",
     "fairness_html",

@@ -343,6 +343,46 @@ def cluster_html(points: List[Dict]) -> str:
     return "\n".join(parts)
 
 
+def cluster_resilience_html(points: List[Dict]) -> str:
+    """The cluster-resilience section: per-scenario table from
+    ``benchmarks/bench_resilience.py`` rows (beyond the paper: shard
+    failover, retry budgets and hedged requests on the coordinated
+    cluster)."""
+    parts = [
+        "<h2>Beyond the paper — cluster resilience under shard "
+        "failure</h2>",
+        "<p>The coordinated single-clock cluster survives shard "
+        "crash-stop failures: queued and in-flight queries on the dead "
+        "shard are evacuated and retried against live shards under a "
+        "per-query retry budget, and hedged requests duplicate slow "
+        "dispatches to a second shard, taking whichever attempt "
+        "finishes first. &ldquo;Retained&rdquo; is goodput as a "
+        "fraction of the fault-free run.</p>",
+        "<table><tr><th>scenario</th><th>done</th><th>failed</th>"
+        "<th>goodput</th><th>retained</th><th>retries</th>"
+        "<th>hedges</th><th>p99</th></tr>",
+    ]
+    for p in points:
+        retained = (
+            "n/a" if p.get("retained") is None else f"{p['retained']:.0%}"
+        )
+        p99 = "n/a" if p.get("p99") is None else f"{p['p99']:.2f}s"
+        hedges = (
+            f"{p.get('hedges', 0)} ({p.get('hedge_wins', 0)} won)"
+            if p.get("hedges")
+            else "0"
+        )
+        parts.append(
+            f"<tr><td>{escape(p['scenario'])}</td>"
+            f"<td>{p['completed']}/{p['submitted']}</td>"
+            f"<td>{p.get('failed', 0)}</td><td>{p['goodput']:.3f}</td>"
+            f"<td>{retained}</td><td>{p.get('retries', 0)}</td>"
+            f"<td>{hedges}</td><td>{p99}</td></tr>"
+        )
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
 def render_report(
     sweeps: Dict[Tuple[str, str], SweepResult],
     diagrams: Optional[Dict[str, SimulationResult]] = None,
@@ -351,6 +391,7 @@ def render_report(
     overload_points: Optional[List] = None,
     fairness_points: Optional[List] = None,
     cluster_points: Optional[List[Dict]] = None,
+    cluster_resilience_points: Optional[List[Dict]] = None,
 ) -> str:
     """The full HTML document."""
     parts = [
@@ -399,5 +440,7 @@ def render_report(
         parts.append(fairness_html(fairness_points))
     if cluster_points:
         parts.append(cluster_html(cluster_points))
+    if cluster_resilience_points:
+        parts.append(cluster_resilience_html(cluster_resilience_points))
     parts.append("</body></html>")
     return "\n".join(parts)

@@ -42,8 +42,10 @@ _WORKLOAD_KEYS = (
 )
 
 #: Keys an ``op: "cluster"`` request may pass through to
-#: :func:`repro.api.run_cluster` (the single-engine-only knobs —
-#: faults/recovery/cancellations — do not apply).
+#: :func:`repro.api.run_cluster`.  ``faults``/``recovery`` inject
+#: per-shard engine-level fault schedules; ``shard_faults`` through
+#: ``failover`` are the resilience surface (passing any of them runs
+#: the coordinated single-clock cluster).
 _CLUSTER_KEYS = (
     "trace", "shards", "placement", "autoscale", "scale_max",
     "scale_min", "scale_cooldown", "workers",
@@ -52,6 +54,9 @@ _CLUSTER_KEYS = (
     "think_time", "queries_per_client", "max_concurrent", "queue_limit",
     "memory_budget_bytes", "skew_theta", "deadline", "shed",
     "scheduler", "pool_size", "scheduling_cost", "tenants", "fast_path",
+    "faults", "recovery", "max_retries", "retry_backoff",
+    "shard_faults", "retry_budget", "hedge", "breaker", "throttle",
+    "failover",
 )
 
 #: Keys a stats request may carry (``{"stats": true}`` or
@@ -280,6 +285,26 @@ class QueryService:
                 options["trace"] = Trace.from_payload(options["trace"])
             except (TypeError, KeyError, ValueError) as exc:
                 return self._error(f"bad trace: {exc}")
+        if "shard_faults" in options:
+            from ..faults import FaultSchedule
+
+            try:
+                options["shard_faults"] = FaultSchedule.from_payload(
+                    options["shard_faults"]
+                )
+            except (TypeError, KeyError, ValueError) as exc:
+                return self._error(f"bad fault schedule: {exc}")
+        if "faults" in options:
+            # Engine-level faults: one schedule for every shard, a
+            # per-shard list (null = fault-free shard), or a
+            # {shard: payload} map — JSON object keys are strings, so
+            # the map form converts them back to shard indices.
+            try:
+                options["faults"] = self._parse_cluster_faults(
+                    options["faults"]
+                )
+            except (TypeError, KeyError, ValueError) as exc:
+                return self._error(f"bad fault schedule: {exc}")
         result = run_cluster(request.get("shape", "wide_bushy"), **options)
         response = {
             "ok": True,
@@ -299,21 +324,32 @@ class QueryService:
         if result.scale_ups() or result.scale_downs():
             response["scale_ups"] = result.scale_ups()
             response["scale_downs"] = result.scale_downs()
+        resilience = getattr(result, "resilience", None)
+        if resilience:
+            # Coordinated-cluster runs carry the full resilience
+            # telemetry, including per-shard abort/retry/hedge counts.
+            response["resilience"] = resilience
+            response["failed"] = result.failed_count()
         if request.get("rows"):
             response["rows"] = result.rows()
+        lifecycle = {
+            "submitted": result.submitted_count(),
+            "completed": result.completed_count(),
+            "useful": result.useful_count(),
+            "rejected": result.rejected_count(),
+        }
+        if resilience:
+            lifecycle["failed"] = result.failed_count()
         self._engine_stats = {
             "op": "cluster",
             "shards": result.per_shard(),
             "placement": result.placement,
             "autoscale": result.autoscale,
             "migrations": result.migrations,
-            "lifecycle": {
-                "submitted": result.submitted_count(),
-                "completed": result.completed_count(),
-                "useful": result.useful_count(),
-                "rejected": result.rejected_count(),
-            },
+            "lifecycle": lifecycle,
         }
+        if resilience:
+            self._engine_stats["resilience"] = resilience
         return response
 
     def _stats(self, request: Dict) -> Dict:
@@ -329,6 +365,31 @@ class QueryService:
             "served": dict(sorted(self._served.items())),
             "engine": self._engine_stats,
         }
+
+    @staticmethod
+    def _parse_cluster_faults(value):
+        from ..faults import FaultSchedule
+
+        if isinstance(value, dict) and "seed" in value:
+            return FaultSchedule.from_payload(value)
+        if isinstance(value, dict):
+            return {
+                int(shard): (
+                    None
+                    if payload is None
+                    else FaultSchedule.from_payload(payload)
+                )
+                for shard, payload in value.items()
+            }
+        if isinstance(value, list):
+            return [
+                None if payload is None else FaultSchedule.from_payload(payload)
+                for payload in value
+            ]
+        raise TypeError(
+            "faults must be a FaultSchedule payload, a per-shard list, "
+            "or a {shard: payload} map"
+        )
 
     @staticmethod
     def _unknown_keys(request: Dict, accepted) -> list:

@@ -75,14 +75,24 @@ REJECTED_RETRY_DELAY = 0.1
 
 
 class SharedMachine(MachineView):
-    """One simulated machine shared by every query of the workload."""
+    """One simulated machine shared by every query of the workload.
 
-    def __init__(self, size: int, config: MachineConfig):
+    ``clock`` lets a coordinator host several machines on *one*
+    simulated clock (the resilient cluster runs N shard engines in a
+    single event space); ``None`` keeps the historical private clock.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        config: MachineConfig,
+        clock: Optional[SimulationClock] = None,
+    ):
         if size < 1:
             raise ValueError("a machine needs at least one processor")
         self.size = size
         self.config = config
-        self.clock = SimulationClock()
+        self.clock = clock if clock is not None else SimulationClock()
         self.processors: Dict[int, Processor] = {
             ident: Processor(ident) for ident in range(size)
         }
@@ -226,6 +236,8 @@ class WorkloadEngine:
         scheduling_cost: float = 0.0,
         tenants=None,
         fast_path: bool = True,
+        clock: Optional[SimulationClock] = None,
+        on_query_done=None,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -274,8 +286,14 @@ class WorkloadEngine:
         self.scheduling_cost = scheduling_cost
         self.tenants: Dict[str, TenantSpec] = make_tenants(tenants)
         self.machine = SharedMachine(
-            machine_size, config or MachineConfig.paper()
+            machine_size, config or MachineConfig.paper(), clock=clock
         )
+        #: Optional terminal-event hook: called with each record the
+        #: instant it turns terminal (completed, rejected, failed,
+        #: cancelled, shed).  The resilient cluster coordinator hangs
+        #: its retry/hedge/breaker reactions here; ``None`` (default)
+        #: leaves the engine's behaviour untouched.
+        self.on_query_done = on_query_done
         if self.scheduler is not None:
             self.scheduler.attach(self, pool_size)
         self.policy = policy if policy is not None else ExclusivePolicy()
@@ -1026,6 +1044,8 @@ class WorkloadEngine:
         handle = self._deadline_handles.pop(record.index, None)
         if handle is not None:
             handle.cancel()
+        if self.on_query_done is not None:
+            self.on_query_done(record)
         if record.client is None or self._closed_mix is None:
             return
         delay = self._think_time
@@ -1078,6 +1098,30 @@ class WorkloadEngine:
                 ),
             ) from exc
 
+    def _shed_stranded(self) -> bool:
+        """Shed the stuck queue head after the clock drained.  Under
+        faults a permanently degraded machine can strand queued queries
+        (the policy will never find them processors); they are shed as
+        failures/rejections instead of hanging the workload — the
+        horizon must always be reachable.  Returns ``True`` when a
+        query was shed (shedding the stuck FIFO head may unblock
+        smaller queries behind it on the surviving processors, so the
+        caller re-runs the clock and asks again)."""
+        if not self._queue:
+            return False
+        record = self._queue[0]
+        self._remove_queued(record)
+        if record.aborts:
+            record.failed = True
+        else:
+            record.rejected = True
+        record.error = (
+            "machine degraded by failures: no feasible allocation"
+        )
+        self._query_done(record)
+        self._pump()
+        return True
+
     def _drain(self) -> WorkloadResult:
         clock = self.machine.clock
         self._run_clock(clock)
@@ -1087,30 +1131,21 @@ class WorkloadEngine:
                 f"workload drained with queries {stuck} still queued; "
                 "the policy never found them an allocation"
             )
-        # Under faults a permanently degraded machine can strand queued
-        # queries (the policy will never find them processors).  Shed
-        # them as failures/rejections instead of hanging the workload —
-        # the horizon must always be reachable.
-        while self._queue:
-            record = self._queue[0]
-            self._remove_queued(record)
-            if record.aborts:
-                record.failed = True
-            else:
-                record.rejected = True
-            record.error = (
-                "machine degraded by failures: no feasible allocation"
-            )
-            self._query_done(record)
-            # Shedding the stuck FIFO head may unblock smaller queries
-            # behind it on the surviving processors.
-            self._pump()
+        while self._shed_stranded():
             self._run_clock(clock)
+        return self.collect_result()
+
+    def collect_result(self) -> WorkloadResult:
+        """The run's :class:`WorkloadResult` from current engine state.
+
+        Split out of :meth:`_drain` so a coordinator driving one shared
+        clock across several engines can collect each engine's result
+        after the *global* drain."""
         return WorkloadResult(
             records=self.records,
             machine_size=self.machine.size,
             policy=self.policy.name,
-            makespan=clock.now,
+            makespan=self.machine.clock.now,
             busy_seconds=self.machine.busy_seconds(),
             peak_in_flight=self.peak_in_flight,
             faults_injected=(

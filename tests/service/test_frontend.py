@@ -310,10 +310,93 @@ class TestClusterOp:
         assert not response["ok"]
         assert "shardss" in response["error"]
 
-    def test_single_engine_knobs_refused(self):
+    def test_malformed_faults_payload_is_an_error_dict(self):
         response = SERVICE.handle(
             dict(self.REQUEST, faults={"crashes": []})
         )
+        assert not response["ok"]
+        assert "bad fault schedule" in response["error"]
+
+    def test_cancellations_still_refused(self):
+        """``cancellations`` stays a single-engine-only knob."""
+        response = SERVICE.handle(
+            dict(self.REQUEST, cancellations=[[1.0, 0]])
+        )
+        assert not response["ok"]
+        assert "cancellations" in response["error"]
+
+
+class TestClusterResilience:
+    """The resilience surface of the cluster op: fault payloads in,
+    per-shard abort/retry/hedge telemetry out."""
+
+    def shard_kill_payload(self):
+        from repro.faults import CrashFault, FaultSchedule
+
+        return FaultSchedule(
+            crashes=(CrashFault(0, at=10.0, repair_at=25.0),), seed=0
+        ).to_payload()
+
+    def request(self, **extra):
+        base = dict(
+            TestClusterOp.REQUEST, machine_size=12, share=12,
+            strategy="FP", rate=0.2,
+        )
+        base.update(extra)
+        return base
+
+    def test_shard_faults_payload_runs_the_coordinated_cluster(self):
+        service = QueryService()
+        response = service.handle(self.request(
+            shard_faults=self.shard_kill_payload(), retry_budget=2,
+        ))
+        assert response["ok"]
+        resilience = response["resilience"]
+        assert resilience["shard_crashes"] == 1
+        assert resilience["shard_repairs"] == 1
+        per_shard = resilience["per_shard"]
+        assert len(per_shard) == 2
+        assert all(
+            {"shard", "alive", "dispatches", "hedges", "aborts", "retries"}
+            <= set(entry) for entry in per_shard
+        )
+        stats = service.handle({"op": "stats"})
+        engine = stats["engine"]
+        assert engine["resilience"] == resilience
+        assert "failed" in engine["lifecycle"]
+
+    def test_engine_faults_accepted_in_all_three_forms(self):
+        payload = self.shard_kill_payload()
+        for faults in (
+            payload,
+            [payload, None],
+            {"0": payload, "1": None},
+        ):
+            response = SERVICE.handle(self.request(faults=faults))
+            assert response["ok"], response
+            assert "resilience" not in response
+
+    def test_hedge_retry_budget_and_failover_accepted(self):
+        response = SERVICE.handle(self.request(
+            retry_budget=1, hedge=95.0, breaker=True, throttle=False,
+            failover=True,
+        ))
+        assert response["ok"]
+        assert response["failed"] == 0
+
+    def test_deterministic_resilient_response(self):
+        request = self.request(
+            shard_faults=self.shard_kill_payload(), retry_budget=2,
+        )
+        assert SERVICE.handle(dict(request)) == SERVICE.handle(dict(request))
+
+    def test_bad_shard_faults_payload_is_an_error_dict(self):
+        response = SERVICE.handle(self.request(shard_faults={"nope": 1}))
+        assert not response["ok"]
+        assert "bad fault schedule" in response["error"]
+
+    def test_faults_of_wrong_shape_is_an_error_dict(self):
+        response = SERVICE.handle(self.request(faults="everything"))
         assert not response["ok"]
         assert "faults" in response["error"]
 

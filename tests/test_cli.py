@@ -309,6 +309,76 @@ class TestCluster:
         assert code == 0
 
 
+class TestClusterResilience:
+    ARGS = TestCluster.ARGS
+
+    def test_shard_faults_print_the_resilience_line(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, *self.ARGS, "--shard-crash-rate", "0.05",
+            "--shard-repair-time", "20", "--retry-budget", "2",
+            "--jsonl", str(tmp_path / "r.jsonl"),
+        )
+        assert code == 0
+        assert "resilience:" in out
+
+    def test_engine_faults_accepted_on_the_prerouted_path(
+        self, capsys, tmp_path
+    ):
+        code, out = run_cli(
+            capsys, *self.ARGS, "--crash-rate", "0.01",
+            "--repair-time", "10", "--recovery", "restart",
+            "--jsonl", str(tmp_path / "f.jsonl"),
+        )
+        assert code == 0
+        assert "resilience:" not in out
+
+    def test_hedge_breaker_throttle_flags_accepted(self, capsys, tmp_path):
+        code, _ = run_cli(
+            capsys, *self.ARGS, "--hedge", "95", "--breaker", "--throttle",
+            "--jsonl", str(tmp_path / "h.jsonl"), "--quiet",
+        )
+        assert code == 0
+
+    def test_no_failover_baseline_flag(self, capsys, tmp_path):
+        code, _ = run_cli(
+            capsys, *self.ARGS, "--shard-crash-rate", "0.05",
+            "--no-failover", "--jsonl", str(tmp_path / "b.jsonl"), "--quiet",
+        )
+        assert code == 0
+
+    def test_resilient_workers_do_not_change_the_bytes(
+        self, capsys, tmp_path
+    ):
+        serial, pooled = tmp_path / "s.jsonl", tmp_path / "p.jsonl"
+        flags = ("--shard-crash-rate", "0.05", "--retry-budget", "2")
+        run_cli(capsys, *self.ARGS, *flags, "--jsonl", str(serial), "--quiet")
+        run_cli(capsys, *self.ARGS, *flags, "--workers", "2",
+                "--jsonl", str(pooled), "--quiet")
+        assert serial.read_bytes() == pooled.read_bytes()
+
+
+class TestChaos:
+    ARGS = (
+        "chaos", "--shapes", "2x8", "--crash-rates", "0.1",
+        "--queries", "8", "--rate", "1.0", "--horizon", "20",
+        "--repair-time", "8", "--seed", "5",
+    )
+
+    def test_clean_campaign_exits_zero(self, capsys, tmp_path):
+        out_path = tmp_path / "campaign.json"
+        code, out = run_cli(
+            capsys, *self.ARGS, "--out", str(out_path),
+            "--fixtures", str(tmp_path / "fixtures"),
+        )
+        assert code == 0
+        assert "all invariants held" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["violations"] == []
+        assert len(payload["reports"]) == 1
+
+
 class TestVersionFlag:
     def test_version_exits_zero(self, capsys):
         import repro
@@ -354,3 +424,30 @@ class TestDefaultArtifactLocation:
         assert loose == []
         results = tmp_path / "benchmarks" / "results"
         assert list(results.glob("cluster_2x_hash_static.jsonl"))
+
+    def test_resilient_cluster_default_under_results(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        loose = self.run_in(
+            tmp_path, monkeypatch, capsys,
+            "cluster", "--shape", "wide_bushy", "--cardinality", "200",
+            "--relations", "4", "--strategy", "SE", "--machine-size", "8",
+            "--shards", "2", "--rate", "0.05", "--duration", "60",
+            "--retry-budget", "2", "--quiet",
+        )
+        assert loose == []
+        results = tmp_path / "benchmarks" / "results"
+        assert list(results.glob("cluster_2x_hash_static.jsonl"))
+
+    def test_chaos_defaults_under_results(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        loose = self.run_in(
+            tmp_path, monkeypatch, capsys,
+            "chaos", "--shapes", "2x8", "--crash-rates", "0",
+            "--queries", "4", "--rate", "1.0", "--horizon", "10",
+            "--quiet",
+        )
+        assert loose == []
+        results = tmp_path / "benchmarks" / "results"
+        assert (results / "chaos_campaign.json").exists()
